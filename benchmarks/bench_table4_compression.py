@@ -1,0 +1,171 @@
+"""Table 4: compression achieved for random integers and customer data.
+
+Two sections, exactly as the paper:
+
+* **1M random integers** (section 8.2.1; scaled by REPRO_T4A_COUNT) —
+  raw text, gzip, gzip+sort, and Vertica's storage of a sorted
+  projection.  Paper shape: raw 7.9 B/row, gzip ~2.1x, gzip+sort
+  ~3.3x, Vertica ~12.5x (0.6 B/row).
+* **200M customer meter records** (section 8.2.2; scaled by
+  REPRO_T4B_ROWS) — raw CSV vs gzip vs Vertica with a
+  (metric, meter, ts) sort order, including the paper's per-column
+  narrative (metric ~ nothing, meter and timestamp small, value
+  dominating).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.workloads import meters, random_integers
+
+from conftest import env_int, print_table
+
+T4A_COUNT = env_int("REPRO_T4A_COUNT", 200_000)
+T4B_ROWS = env_int("REPRO_T4B_ROWS", 400_000)
+
+
+@pytest.fixture(scope="module")
+def integer_values():
+    return random_integers.generate(T4A_COUNT)
+
+
+@pytest.fixture(scope="module")
+def integers_db(tmp_path_factory, integer_values):
+    db = Database(str(tmp_path_factory.mktemp("t4a")), node_count=1)
+    db.create_table(
+        TableDefinition("ints", [ColumnDef("n", types.INTEGER)]),
+        sort_order=["n"],
+    )
+    db.load("ints", [{"n": value} for value in integer_values], direct_to_ros=True)
+    db.run_tuple_movers()
+    return db
+
+
+def _vertica_bytes(db, table):
+    family = db.cluster.catalog.super_projection_for(table)
+    return sum(
+        node.manager.total_data_bytes(family.primary.name)
+        for node in db.cluster.nodes
+    )
+
+
+def test_random_integers_report(benchmark, integers_db, integer_values):
+    """Table 4, top section."""
+    sizes = random_integers.table4a_rows(integer_values)
+    vertica = _vertica_bytes(integers_db, "ints")
+    raw = sizes["raw"]
+    count = len(integer_values)
+    rows = []
+    for label, size in (
+        ("Raw", raw),
+        ("gzip", sizes["gzip"]),
+        ("gzip+sort", sizes["gzip+sort"]),
+        ("Vertica", vertica),
+    ):
+        rows.append(
+            [
+                label,
+                f"{size / 1e6:.2f} MB",
+                f"{raw / size:.1f}",
+                f"{size / count:.2f}",
+            ]
+        )
+    print_table(
+        f"Table 4a — {count} random integers in [1, 10M]",
+        ["storage", "size", "ratio", "bytes/row"],
+        rows,
+    )
+    # paper shape: Vertica >> gzip+sort > gzip > raw
+    assert sizes["gzip"] < raw
+    assert sizes["gzip+sort"] < sizes["gzip"]
+    assert vertica < sizes["gzip+sort"]
+    assert raw / vertica > 6  # paper: 12.5x at 1M rows
+    benchmark.pedantic(lambda: _vertica_bytes(integers_db, 'ints'), rounds=1, iterations=1)
+
+
+def test_random_integers_roundtrip(benchmark, integers_db, integer_values):
+    """The compressed storage is still the data: full readback."""
+    rows = integers_db.sql("SELECT n FROM ints")
+    assert sorted(row["n"] for row in rows) == sorted(integer_values)
+    benchmark.pedantic(lambda: integers_db.sql('SELECT count(*) AS n FROM ints'), rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def meter_rows():
+    spec = meters.spec_for_rows(T4B_ROWS)
+    return list(meters.generate(spec))
+
+
+@pytest.fixture(scope="module")
+def meters_db(tmp_path_factory, meter_rows):
+    db = Database(str(tmp_path_factory.mktemp("t4b")), node_count=1)
+    db.create_table(
+        meters.meters_table(),
+        sort_order=["metric", "meter", "ts"],
+    )
+    db.load("meter_readings", meter_rows, direct_to_ros=True)
+    db.run_tuple_movers()
+    return db
+
+
+def test_customer_data_report(benchmark, meters_db, meter_rows):
+    """Table 4, bottom section, plus the per-column breakdown."""
+    csv_payload = (
+        "\n".join(meters.csv_line(row) for row in meter_rows) + "\n"
+    ).encode()
+    raw = len(csv_payload)
+    gz = len(zlib.compress(csv_payload, level=6))
+    vertica = _vertica_bytes(meters_db, "meter_readings")
+    count = len(meter_rows)
+    print_table(
+        f"Table 4b — {count} customer meter records",
+        ["storage", "size", "ratio", "bytes/row"],
+        [
+            ["Raw CSV", f"{raw / 1e6:.2f} MB", "1", f"{raw / count:.1f}"],
+            ["gzip", f"{gz / 1e6:.2f} MB", f"{raw / gz:.1f}", f"{gz / count:.2f}"],
+            ["Vertica", f"{vertica / 1e6:.2f} MB", f"{raw / vertica:.1f}",
+             f"{vertica / count:.2f}"],
+        ],
+    )
+    # per-column breakdown (paper: metric ~ 5KB, meter 35MB, ts 20MB,
+    # value 363MB of 418MB total)
+    family = meters_db.cluster.catalog.super_projection_for("meter_readings")
+    manager = meters_db.cluster.nodes[0].manager
+    state = manager.storage(family.primary.name)
+    per_column: dict[str, int] = {}
+    import os
+
+    for container in state.containers.values():
+        for name in container.meta.columns:
+            per_column[name] = per_column.get(name, 0) + os.path.getsize(
+                os.path.join(container.path, f"{name}.dat")
+            )
+    print_table(
+        "Table 4b — per-column Vertica storage",
+        ["column", "bytes", "share"],
+        [
+            [name, size, f"{100 * size / max(sum(per_column.values()), 1):.1f}%"]
+            for name, size in sorted(per_column.items())
+        ],
+    )
+    # shape assertions
+    assert gz < raw
+    assert vertica < gz  # Vertica ratio beats gzip (paper: 14.8 vs 5.9)
+    assert per_column["metric"] < per_column["value"] / 50
+    assert per_column["ts"] < per_column["value"]
+    assert per_column["value"] == max(per_column.values())
+    benchmark.pedantic(lambda: _vertica_bytes(meters_db, 'meter_readings'), rounds=1, iterations=1)
+
+
+def test_customer_query_benchmark(benchmark, meters_db):
+    """Timing of the motivating query pattern (restrict by metric)."""
+    benchmark(
+        lambda: meters_db.sql(
+            "SELECT meter, count(*) AS n FROM meter_readings "
+            "WHERE metric = 'metric_0001' GROUP BY meter"
+        )
+    )

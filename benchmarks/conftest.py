@@ -1,0 +1,70 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench prints the paper artifact it regenerates (table rows or
+figure description) so that ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section end to end.  Scale factors are
+environment-tunable:
+
+* ``REPRO_T3_SCALE``  — C-Store benchmark scale (default 0.25)
+* ``REPRO_T4A_COUNT`` — random integers count (default 200000)
+* ``REPRO_T4B_ROWS``  — meter telemetry rows (default 400000)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+#: pytest config, captured at startup so _emit can suspend output
+#: capture — the regenerated paper tables then appear in every
+#: benchmark run's output with or without ``-s``.
+_CONFIG = None
+
+
+def pytest_configure(config):
+    global _CONFIG
+    _CONFIG = config
+
+
+def _emit(line: str) -> None:
+    capman = (
+        _CONFIG.pluginmanager.get_plugin("capturemanager")
+        if _CONFIG is not None
+        else None
+    )
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            print(line, flush=True)
+    else:  # pragma: no cover - direct invocation outside pytest
+        print(line)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a small aligned table, bypassing pytest capture."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    _emit("")
+    _emit(f"=== {title} ===")
+    _emit("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    _emit("  ".join("-" * w for w in widths))
+    for row in rendered:
+        _emit("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """The table printer, as a fixture."""
+    return print_table

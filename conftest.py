@@ -1,0 +1,11 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on sys.path so the test and benchmark suites run against
+the in-tree package even when it has not been pip-installed (useful in
+offline environments where editable installs are awkward).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Table 3 as a script: Vertica-style engine vs the C-Store baseline.
+
+Loads the C-Store benchmark (TPC-H-derived lineitem/orders), runs the
+seven queries on both engines, verifies they agree, and prints the
+per-query times plus the disk comparison — the interactive version of
+`benchmarks/bench_table3_cstore_vs_vertica.py`.
+
+Run:  python examples/cstore_shootout.py [scale]
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import Database
+from repro.cstore import CStoreDatabase, CStoreEngine
+from repro.workloads import cstore_benchmark as bench
+
+
+def best_of(fn, repeats=3):
+    fn()
+    return min(
+        (lambda s: (fn(), time.perf_counter() - s)[1])(time.perf_counter())
+        for _ in range(repeats)
+    ) * 1000
+
+
+def main(scale: float = 0.25) -> None:
+    data = bench.generate(scale=scale)
+    print(f"benchmark data: {data.lineitem_rows} lineitem rows, "
+          f"{data.orders_rows} orders rows (scale {scale})")
+
+    print("\nloading the C-Store-2005-style baseline...")
+    baseline = CStoreDatabase(tempfile.mkdtemp(prefix="repro_cstore_"))
+    baseline.create_table(bench.lineitem_table())
+    baseline.create_table(bench.orders_table())
+    baseline.load("lineitem", data.lineitem)
+    baseline.load("orders", data.orders)
+    engine = CStoreEngine(baseline)
+
+    print("loading the Vertica-style engine...")
+    vertica = Database(tempfile.mkdtemp(prefix="repro_vertica_"), node_count=1)
+    vertica.create_table(bench.lineitem_table())
+    vertica.create_table(bench.orders_table())
+    vertica.load("lineitem", data.lineitem, direct_to_ros=True)
+    vertica.load("orders", data.orders, direct_to_ros=True)
+    vertica.run_tuple_movers()
+    vertica.analyze_statistics()
+
+    def normalize(rows):
+        return sorted(
+            tuple(sorted((k, round(v, 6) if isinstance(v, float) else v)
+                         for k, v in row.items()))
+            for row in rows
+        )
+
+    print(f"\n{'query':6} {'cstore ms':>10} {'vertica ms':>11} {'speedup':>8}")
+    total_c = total_v = 0.0
+    for spec in bench.queries():
+        assert normalize(engine.run(spec)) == normalize(vertica.sql(spec.sql)), \
+            f"{spec.name}: engines disagree!"
+        ms_c = best_of(lambda s=spec: engine.run(s))
+        ms_v = best_of(lambda s=spec: vertica.sql(s.sql))
+        total_c += ms_c
+        total_v += ms_v
+        print(f"{spec.name:6} {ms_c:10.1f} {ms_v:11.1f} {ms_c / ms_v:7.2f}x")
+    print(f"{'Total':6} {total_c:10.1f} {total_v:11.1f} "
+          f"{total_c / total_v:7.2f}x   (paper: 1.95x)")
+
+    disk_c = baseline.total_data_bytes()
+    disk_v = vertica.cluster.total_data_bytes()
+    print(f"\ndisk: baseline {disk_c / 1e6:.2f} MB, "
+          f"vertica {disk_v / 1e6:.2f} MB -> {disk_c / disk_v:.2f}x smaller "
+          "(paper: 2.09x)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

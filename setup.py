@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works even
+in offline environments where PEP 517 build isolation cannot download
+build dependencies (pip falls back to the legacy setup.py path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "A Python reproduction of the Vertica Analytic Database "
+        "(C-Store 7 Years Later, VLDB 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,28 @@
+"""The simulated shared-nothing cluster (sections 3.6, 5)."""
+
+from .backup import BackupImage, create_backup, load_manifest, restore_backup
+from .cluster import Cluster
+from .membership import Membership
+from .node import ClusterNode
+from .recovery import (
+    RebalanceReport,
+    RecoveryReport,
+    rebalance,
+    recover_node,
+    refresh_projection,
+)
+
+__all__ = [
+    "BackupImage",
+    "create_backup",
+    "load_manifest",
+    "restore_backup",
+    "Cluster",
+    "Membership",
+    "ClusterNode",
+    "RebalanceReport",
+    "RecoveryReport",
+    "rebalance",
+    "recover_node",
+    "refresh_projection",
+]

@@ -1,0 +1,129 @@
+"""Backup and restore (section 5.2).
+
+    A backup operation takes a snapshot of the database catalog and
+    creates hard-links for each Vertica data file on the file system.
+    The hard-links ensure that the data files are not removed while
+    the backup image is copied off the cluster [...] The backup
+    mechanism supports both full and incremental backup.
+
+Because ROS containers are immutable, hard links are a consistent
+snapshot for free: the tuple mover may retire a container afterwards,
+but the linked inode keeps the backup's view alive.  Incremental
+backups link only containers absent from the previous image.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+
+from ..errors import ClusterError
+from .cluster import Cluster
+
+
+@dataclass
+class BackupImage:
+    """Manifest of one backup."""
+
+    path: str
+    epoch: int
+    #: (node, projection, container dir name) triples in the image.
+    entries: list[tuple[int, str, str]] = field(default_factory=list)
+    #: image this one is incremental over (path), if any.
+    base_image: str | None = None
+
+
+def _link_tree(source: str, target: str) -> None:
+    """Hard-link every file of ``source`` into ``target`` (fall back to
+    copy across filesystems)."""
+    os.makedirs(target, exist_ok=True)
+    for entry in os.listdir(source):
+        source_path = os.path.join(source, entry)
+        target_path = os.path.join(target, entry)
+        try:
+            os.link(source_path, target_path)
+        except OSError:
+            shutil.copy2(source_path, target_path)
+
+
+def create_backup(
+    cluster: Cluster, backup_dir: str, base: BackupImage | None = None
+) -> BackupImage:
+    """Snapshot the cluster's ROS state into ``backup_dir``.
+
+    Pass ``base`` for an incremental backup: containers already present
+    in the base image are recorded but not re-linked.
+    """
+    os.makedirs(backup_dir, exist_ok=True)
+    image = BackupImage(
+        path=backup_dir,
+        epoch=cluster.epochs.latest_queryable_epoch,
+        base_image=base.path if base else None,
+    )
+    already = set(base.entries) if base else set()
+    for node in cluster.nodes:
+        for projection_name in node.manager.projection_names():
+            state = node.manager.storage(projection_name)
+            for container in state.containers.values():
+                entry = (
+                    node.index,
+                    projection_name,
+                    os.path.basename(container.path),
+                )
+                image.entries.append(entry)
+                if entry in already:
+                    continue
+                target = os.path.join(
+                    backup_dir, f"node{node.index:02d}", projection_name, entry[2]
+                )
+                _link_tree(container.path, target)
+    manifest = {
+        "epoch": image.epoch,
+        "base_image": image.base_image,
+        "entries": image.entries,
+        "tables": sorted(cluster.catalog.tables),
+        "projections": sorted(cluster.catalog.families),
+    }
+    with open(os.path.join(backup_dir, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle)
+    return image
+
+
+def load_manifest(backup_dir: str) -> dict:
+    """Read a backup's manifest."""
+    with open(os.path.join(backup_dir, "manifest.json")) as handle:
+        return json.load(handle)
+
+
+def restore_backup(cluster: Cluster, image: BackupImage) -> int:
+    """Restore ROS containers from a backup image into an (empty-state)
+    cluster with the same catalog.  Returns containers restored."""
+    from ..storage.ros import ROSContainer
+
+    restored = 0
+    for node_index, projection_name, container_dir in image.entries:
+        if node_index >= cluster.node_count:
+            raise ClusterError("backup has more nodes than the cluster")
+        source = os.path.join(
+            image.path, f"node{node_index:02d}", projection_name, container_dir
+        )
+        if not os.path.isdir(source) and image.base_image:
+            source = os.path.join(
+                image.base_image,
+                f"node{node_index:02d}",
+                projection_name,
+                container_dir,
+            )
+        manager = cluster.nodes[node_index].manager
+        state = manager.storage(projection_name)
+        new_id = manager._next_container_id
+        manager._next_container_id += 1
+        target = os.path.join(manager.root, projection_name, f"ros_{new_id:06d}")
+        shutil.copytree(source, target)
+        container = ROSContainer.load(target)
+        container.meta.container_id = new_id
+        state.containers[new_id] = container
+        restored += 1
+    return restored

@@ -1,0 +1,422 @@
+"""The simulated shared-nothing cluster.
+
+Owns the catalog, the epoch clock, the lock manager, group membership
+and the per-node storage.  This is the layer where the paper's
+distributed behaviours live:
+
+* projection routing — replicated vs ring-segmented placement, buddy
+  copies at offset rings (sections 3.6, 5.2);
+* the commit protocol — broadcast, commit-or-eject, quorum
+  (section 5);
+* prejoin projection maintenance during load (section 3.3);
+* buddy failover for reads and the K-safety / availability rules
+  (sections 5.2-5.3);
+* per-node autonomous tuple movers and LGE bookkeeping (section 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.catalog import Catalog
+from ..core.schema import TableDefinition
+from ..errors import (
+    DataUnavailableError,
+    KSafetyError,
+    SqlAnalysisError,
+    UnknownObjectError,
+)
+from ..projections import (
+    HashSegmentation,
+    PrejoinSpec,
+    ProjectionDefinition,
+    ProjectionFamily,
+    Replicated,
+    make_buddy,
+    super_projection,
+)
+from ..tuple_mover import MergePolicy
+from ..txn import EpochManager, LockManager
+from .membership import Membership
+from .node import ClusterNode
+
+
+class Cluster:
+    """A K-safe, shared-nothing analytic database cluster (simulated)."""
+
+    def __init__(
+        self,
+        root: str,
+        node_count: int = 3,
+        k_safety: int = 1,
+        segments_per_node: int = 3,
+        wos_capacity: int = 65536,
+        merge_policy: MergePolicy | None = None,
+    ):
+        if k_safety >= node_count and node_count > 1:
+            raise KSafetyError(
+                f"k_safety={k_safety} requires more than {node_count} nodes"
+            )
+        if node_count == 1:
+            k_safety = 0
+        self.root = root
+        self.node_count = node_count
+        self.k_safety = k_safety
+        self.catalog = Catalog()
+        self.epochs = EpochManager()
+        self.locks = LockManager()
+        self.membership = Membership(node_count)
+        self.nodes = [
+            ClusterNode.create(
+                root,
+                index,
+                node_count,
+                segments_per_node=segments_per_node,
+                wos_capacity=wos_capacity,
+                merge_policy=merge_policy,
+            )
+            for index in range(node_count)
+        ]
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(
+        self,
+        table: TableDefinition,
+        sort_order: list[str] | None = None,
+        segmentation=None,
+        encodings: dict[str, str] | None = None,
+    ) -> ProjectionFamily:
+        """Register a table and build its super projection family
+        (primary + K buddies), with storage on every node."""
+        self.catalog.add_table(table)
+        primary = super_projection(
+            table,
+            sort_order=sort_order,
+            segmentation=segmentation,
+            encodings=encodings,
+        )
+        return self.add_projection_family(primary, populate=False)
+
+    def add_projection_family(
+        self, primary: ProjectionDefinition, populate: bool = True
+    ) -> ProjectionFamily:
+        """Register a projection (creating buddies per K-safety) and,
+        when ``populate`` is set, refresh it from existing table data."""
+        table = self.catalog.table(primary.anchor_table)
+        buddies = []
+        if not primary.segmentation.replicated and self.k_safety > 0:
+            buddies = [
+                make_buddy(primary, offset)
+                for offset in range(1, self.k_safety + 1)
+            ]
+        family = ProjectionFamily(primary, buddies)
+        self.catalog.add_family(family)
+        for node in self.nodes:
+            for copy in family.all_copies:
+                node.manager.register_projection(copy, table)
+        if populate:
+            from .recovery import refresh_projection
+
+            refresh_projection(self, family)
+        return family
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and all of its projections' storage."""
+        removed = self.catalog.drop_table(name)
+        for node in self.nodes:
+            for projection in removed:
+                node.manager.drop_projection(projection.name)
+
+    # -- routing --------------------------------------------------------
+
+    def projection_rows(
+        self, projection: ProjectionDefinition, table_rows: list[dict], epoch: int
+    ) -> list[dict]:
+        """Shape table rows for one projection (column subset; prejoin
+        expansion for prejoin projections)."""
+        if projection.prejoin is None:
+            names = projection.column_names
+            return [{name: row[name] for name in names} for row in table_rows]
+        return self._expand_prejoin(projection, table_rows, epoch)
+
+    def _expand_prejoin(
+        self, projection: ProjectionDefinition, table_rows: list[dict], epoch: int
+    ) -> list[dict]:
+        spec: PrejoinSpec = projection.prejoin
+        dimension_rows = self.read_table(spec.dimension_table, epoch)
+        index: dict = {}
+        for dimension_row in dimension_rows:
+            index[dimension_row[spec.dimension_key]] = dimension_row
+        carried = spec.carried_columns
+        own_names = [
+            name for name in projection.column_names if name not in carried.values()
+        ]
+        out = []
+        for row in table_rows:
+            dimension_row = index.get(row[spec.anchor_key])
+            if dimension_row is None:
+                raise SqlAnalysisError(
+                    f"prejoin load: no {spec.dimension_table} row with "
+                    f"{spec.dimension_key}={row[spec.anchor_key]!r}"
+                )
+            shaped = {name: row[name] for name in own_names}
+            for source, target in carried.items():
+                shaped[target] = dimension_row[source]
+            out.append(shaped)
+        return out
+
+    def route_rows(
+        self, projection: ProjectionDefinition, rows: list[dict]
+    ) -> dict[int, list[dict]]:
+        """node index -> rows that belong on it under the projection's
+        segmentation.  Replicated projections map every row to every
+        node (down nodes included; they catch up via recovery)."""
+        if projection.segmentation.replicated:
+            return {node: list(rows) for node in range(self.node_count)}
+        routed: dict[int, list[dict]] = {}
+        for row in rows:
+            node = projection.segmentation.node_for_row(row, self.node_count)
+            routed.setdefault(node, []).append(row)
+        return routed
+
+    # -- DML application ------------------------------------------------
+
+    def apply_insert(
+        self,
+        table_name: str,
+        rows: list[dict],
+        epoch: int,
+        direct_to_ros: bool = False,
+        only_nodes: set[int] | None = None,
+    ) -> None:
+        """Store committed rows into every projection of the table on
+        the given (up) nodes."""
+        table = self.catalog.table(table_name)
+        validated = [table.validate_row(row) for row in rows]
+        targets = (
+            set(self.membership.up) if only_nodes is None else set(only_nodes)
+        )
+        for family in self.catalog.families_for_table(table_name):
+            for copy in family.all_copies:
+                shaped = self.projection_rows(copy, validated, epoch)
+                for node_index, node_rows in self.route_rows(copy, shaped).items():
+                    if node_index in targets:
+                        self.nodes[node_index].manager.insert(
+                            copy.name, node_rows, epoch, direct_to_ros
+                        )
+
+    def apply_delete(
+        self,
+        table_name: str,
+        predicate,
+        commit_epoch: int,
+        snapshot_epoch: int,
+        only_nodes: set[int] | None = None,
+    ) -> int:
+        """Mark matching rows deleted in every projection of the table.
+
+        The predicate runs against full table rows (from the super
+        projection); narrow projections delete by multiset-consistent
+        value matching so every projection keeps answering queries with
+        the same row multiset.
+        """
+        table = self.catalog.table(table_name)
+        targets = (
+            set(self.membership.up) if only_nodes is None else set(only_nodes)
+        )
+        super_family = self.catalog.super_projection_for(table_name)
+        deleted_rows: list[dict] = []
+        for node_index, projection_name in self.scan_sources(super_family):
+            for row in self.nodes[node_index].manager.read_visible_rows(
+                projection_name, snapshot_epoch
+            ):
+                if predicate(row):
+                    deleted_rows.append(row)
+        for family in self.catalog.families_for_table(table_name):
+            for copy in family.all_copies:
+                self._delete_in_projection(
+                    copy, table, predicate, deleted_rows,
+                    commit_epoch, snapshot_epoch, targets,
+                )
+        return len(deleted_rows)
+
+    def _delete_in_projection(
+        self, copy, table, predicate, deleted_rows,
+        commit_epoch, snapshot_epoch, targets,
+    ) -> None:
+        covered = set(copy.column_names) >= set(table.column_names)
+        if covered and copy.prejoin is None:
+            for node_index in sorted(targets):
+                self.nodes[node_index].manager.delete_where(
+                    copy.name, predicate, commit_epoch, snapshot_epoch
+                )
+            return
+        # narrow / prejoin projection: delete by multiset matching
+        names = [
+            name
+            for name in copy.column_names
+            if copy.prejoin is None or name not in copy.prejoin.carried_columns.values()
+        ]
+        names = [name for name in names if table.has_column(name)]
+        budget = Counter(
+            tuple(repr(row[name]) for name in names) for row in deleted_rows
+        )
+        for node_index in sorted(targets):
+            remaining = Counter(budget)
+
+            def take(row, remaining=remaining):
+                key = tuple(repr(row[name]) for name in names)
+                if remaining[key] > 0:
+                    remaining[key] -= 1
+                    return True
+                return False
+
+            self.nodes[node_index].manager.delete_where(
+                copy.name, take, commit_epoch, snapshot_epoch
+            )
+
+    # -- reads -----------------------------------------------------------
+
+    def scan_sources(
+        self, family: ProjectionFamily
+    ) -> list[tuple[int, str]]:
+        """Choose (node, projection copy) pairs that together cover the
+        family's full row set using only up nodes.
+
+        With the primary copy's host down, the buddy copy hosted at
+        ``(node + offset) % N`` serves that ring segment (section 5.2).
+        Raises :class:`DataUnavailableError` when no copy of some
+        segment is reachable — the condition that shuts a real cluster
+        down.
+        """
+        primary = family.primary
+        if primary.segmentation.replicated:
+            up = self.membership.up_nodes()
+            if not up:
+                raise DataUnavailableError("no node up for replicated projection")
+            return [(up[0], primary.name)]
+        sources: list[tuple[int, str]] = []
+        for base in range(self.node_count):
+            chosen = None
+            for copy in family.all_copies:
+                offset = getattr(copy.segmentation, "offset", 0)
+                host = (base + offset) % self.node_count
+                if self.membership.is_up(host):
+                    chosen = (host, copy.name)
+                    break
+            if chosen is None:
+                raise DataUnavailableError(
+                    f"segment {base} of {primary.name} unavailable; "
+                    "cluster would shut down"
+                )
+            sources.append(chosen)
+        return sources
+
+    def read_table(self, table_name: str, epoch: int) -> list[dict]:
+        """All visible rows of a table at ``epoch`` (coordinator-side
+        convenience used by prejoin loads, refresh and tests)."""
+        family = self.catalog.super_projection_for(table_name)
+        rows: list[dict] = []
+        for node_index, projection_name in self.scan_sources(family):
+            rows.extend(
+                self.nodes[node_index].manager.read_visible_rows(
+                    projection_name, epoch
+                )
+            )
+        return rows
+
+    def collect_history(self, family: ProjectionFamily):
+        """(row, insert_epoch, delete_epoch) records covering the whole
+        family from up nodes — the replay log for refresh/recovery."""
+        records = []
+        for node_index, projection_name in self.scan_sources(family):
+            records.extend(
+                self.nodes[node_index].manager.dump_rows(projection_name)
+            )
+        return records
+
+    # -- commit protocol ----------------------------------------------------
+
+    def commit_dml(
+        self,
+        inserts: dict[str, list[dict]],
+        deletes: list[tuple[str, object]],
+        snapshot_epoch: int,
+        direct_to_ros: bool = False,
+    ) -> int:
+        """Run the cluster commit: broadcast, apply on receivers, eject
+        nodes that missed the message, advance the epoch.
+
+        Returns the commit epoch.  ``deletes`` is a list of
+        (table, predicate) pairs.
+        """
+        receivers = set(self.membership.broadcast_commit())
+        for node in self.membership.down_nodes():
+            self.epochs.node_down(node)
+        commit_epoch = self.epochs.advance_for_commit()
+        for table_name, rows in inserts.items():
+            self.apply_insert(
+                table_name, rows, commit_epoch,
+                direct_to_ros=direct_to_ros, only_nodes=receivers,
+            )
+        for table_name, predicate in deletes:
+            self.apply_delete(
+                table_name, predicate, commit_epoch, snapshot_epoch,
+                only_nodes=receivers,
+            )
+        return commit_epoch
+
+    # -- failures ------------------------------------------------------------
+
+    def fail_node(self, node_index: int) -> None:
+        """Take a node down (crash simulation).  Its WOS contents are
+        lost — exactly why the Last Good Epoch exists."""
+        self.membership.eject(node_index, "simulated failure")
+        self.epochs.node_down(node_index)
+        manager = self.nodes[node_index].manager
+        for projection_name in manager.projection_names():
+            state = manager.storage(projection_name)
+            state.wos.drain()
+            state.wos_deletes.clear()
+        self.membership.require_quorum()
+
+    def check_data_available(self) -> bool:
+        """Whether every projection family still has every segment
+        reachable (the paper's shutdown criterion)."""
+        try:
+            for _, family in sorted(self.catalog.families.items()):
+                self.scan_sources(family)
+        except DataUnavailableError:
+            return False
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def run_tuple_movers(self, advance_ahm: bool = True) -> None:
+        """One tuple mover cycle on every up node: moveout (advancing
+        each projection's LGE), then mergeout at the current AHM."""
+        if advance_ahm:
+            self.epochs.advance_ahm()
+        durable_epoch = self.epochs.latest_queryable_epoch
+        for node_index in self.membership.up_nodes():
+            node = self.nodes[node_index]
+            for projection_name in node.manager.projection_names():
+                node.mover.moveout(projection_name)
+                node.manager.persist_delete_vectors(projection_name)
+                if durable_epoch > self.epochs.lge(node_index, projection_name):
+                    self.epochs.set_lge(node_index, projection_name, durable_epoch)
+                node.mover.mergeout(projection_name, self.epochs.ahm)
+
+    # -- introspection -----------------------------------------------------------
+
+    def total_data_bytes(self) -> int:
+        """Encoded user data bytes across the whole cluster."""
+        return sum(node.manager.total_data_bytes() for node in self.nodes)
+
+    def node(self, index: int) -> ClusterNode:
+        """Access a node by index."""
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise UnknownObjectError(f"no node {index}") from None

@@ -1,0 +1,97 @@
+"""Group membership, quorum and the commit agreement protocol.
+
+    Vertica employs a distributed agreement and group membership
+    protocol to coordinate actions between nodes in the cluster. [...]
+    Failure to receive a message will cause a node to be ejected from
+    the cluster [...] Vertica does not employ traditional two-phase
+    commit: once a cluster transaction commit message is sent, nodes
+    either successfully complete the commit or are ejected from the
+    cluster.  A commit succeeds on the cluster if it succeeds on a
+    quorum of nodes.  (section 5)
+
+The simulated protocol delivers control messages to every *up* node;
+nodes marked failed (or configured to fail the next delivery) miss the
+message and are ejected.  A cluster below N/2+1 up nodes performs a
+safety shutdown to avoid split brain (section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import QuorumLossError
+
+
+@dataclass
+class Membership:
+    """Up/down state of the cluster's nodes plus the quorum rule."""
+
+    node_count: int
+    up: set[int] = field(default_factory=set)
+    #: Nodes that will fail to receive the next broadcast (fault
+    #: injection hook used by tests and the recovery bench).
+    drop_next_delivery: set[int] = field(default_factory=set)
+    #: History of ejections, as (node, reason) pairs.
+    ejections: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.up:
+            self.up = set(range(self.node_count))
+
+    @property
+    def quorum_size(self) -> int:
+        """N/2 + 1 nodes needed to stay live."""
+        return self.node_count // 2 + 1
+
+    def has_quorum(self) -> bool:
+        """Whether enough nodes are up to avoid split brain."""
+        return len(self.up) >= self.quorum_size
+
+    def require_quorum(self) -> None:
+        """Raise :class:`QuorumLossError` on quorum loss (safety
+        shutdown)."""
+        if not self.has_quorum():
+            raise QuorumLossError(
+                f"only {len(self.up)}/{self.node_count} nodes up; "
+                f"quorum is {self.quorum_size}"
+            )
+
+    def is_up(self, node: int) -> bool:
+        """Whether ``node`` is currently a cluster member."""
+        return node in self.up
+
+    def eject(self, node: int, reason: str) -> None:
+        """Remove a node from the cluster."""
+        if node in self.up:
+            self.up.discard(node)
+            self.ejections.append((node, reason))
+
+    def rejoin(self, node: int) -> None:
+        """Re-admit a recovered node."""
+        self.up.add(node)
+
+    def broadcast_commit(self) -> list[int]:
+        """Deliver a commit message to every up node.
+
+        Nodes scheduled to drop the delivery are ejected (they failed
+        the protocol) — there is no 2PC retry.  Returns the nodes that
+        received and applied the commit.  Raises if the survivors fall
+        below quorum.
+        """
+        receivers = []
+        for node in sorted(self.up):
+            if node in self.drop_next_delivery:
+                self.drop_next_delivery.discard(node)
+                self.eject(node, "missed commit delivery")
+            else:
+                receivers.append(node)
+        self.require_quorum()
+        return receivers
+
+    def up_nodes(self) -> list[int]:
+        """Sorted list of up node indexes."""
+        return sorted(self.up)
+
+    def down_nodes(self) -> list[int]:
+        """Sorted list of down node indexes."""
+        return sorted(set(range(self.node_count)) - self.up)

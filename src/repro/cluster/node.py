@@ -1,0 +1,47 @@
+"""One simulated cluster node: storage manager + tuple mover."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..storage import StorageManager
+from ..tuple_mover import MergePolicy, TupleMover
+
+
+@dataclass
+class ClusterNode:
+    """A shared-nothing node with its own storage directory."""
+
+    index: int
+    manager: StorageManager
+    mover: TupleMover = field(init=False)
+    merge_policy: MergePolicy | None = None
+
+    def __post_init__(self):
+        self.mover = TupleMover(self.manager, self.merge_policy)
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``node03``."""
+        return f"node{self.index:02d}"
+
+    @classmethod
+    def create(
+        cls,
+        root: str,
+        index: int,
+        node_count: int,
+        segments_per_node: int = 3,
+        wos_capacity: int = 65536,
+        merge_policy: MergePolicy | None = None,
+    ) -> "ClusterNode":
+        """Build a node with storage rooted under ``root``."""
+        manager = StorageManager(
+            os.path.join(root, f"node{index:02d}"),
+            node_count=node_count,
+            node_index=index,
+            segments_per_node=segments_per_node,
+            wos_capacity=wos_capacity,
+        )
+        return cls(index=index, manager=manager, merge_policy=merge_policy)

@@ -1,0 +1,279 @@
+"""Recovery, refresh and rebalance (section 5.2).
+
+Recovery replays the DML a down node missed, sourced from buddy
+projections, in two phases:
+
+* **historical phase** — no locks; copies committed history from the
+  node's Last Good Epoch up to a recent epoch ``E_h``;
+* **current phase** — takes a Shared lock on the table (blocking
+  writers but not snapshot readers) and copies the small remainder up
+  to the current epoch.
+
+*Refresh* populates a newly created projection from existing table
+data, and *rebalance* redistributes rows after the node count changes;
+both reuse the same history-replay machinery (the paper notes all
+three share structure).  All of them are **online**: queries keep
+running against the surviving copies throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterError
+from ..projections import ProjectionFamily
+from ..txn import LockMode
+from .cluster import Cluster
+
+#: Transaction id the recovery subsystem locks under.
+RECOVERY_TXN_ID = -1
+
+
+@dataclass
+class RecoveryReport:
+    """What one node recovery did, per projection copy."""
+
+    node: int
+    truncated_rows: int = 0
+    historical_rows: int = 0
+    current_rows: int = 0
+    #: projection -> (historical, current) row counts.
+    per_projection: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def _buddy_records_for_node(
+    cluster: Cluster, family: ProjectionFamily, node_index: int, copy
+):
+    """History records the recovering node's ``copy`` should hold,
+    sourced from surviving copies of the same family."""
+    if copy.segmentation.replicated:
+        for source in cluster.membership.up_nodes():
+            if source != node_index:
+                yield from cluster.nodes[source].manager.dump_rows(copy.name)
+                return
+        raise ClusterError("no live source for replicated projection")
+    my_offset = getattr(copy.segmentation, "offset", 0)
+    base = (node_index - my_offset) % cluster.node_count
+    for other in family.all_copies:
+        if other.name == copy.name:
+            continue
+        other_offset = getattr(other.segmentation, "offset", 0)
+        host = (base + other_offset) % cluster.node_count
+        if cluster.membership.is_up(host):
+            # the buddy's storage on `host` holds exactly this ring
+            # segment's rows (offset rings line up one-to-one).
+            yield from cluster.nodes[host].manager.dump_rows(other.name)
+            return
+    raise ClusterError(
+        f"no live buddy to recover {copy.name} on node {node_index}"
+    )
+
+
+def recover_node(
+    cluster: Cluster, node_index: int, historical_lag: int = 0
+) -> RecoveryReport:
+    """Bring a failed node back into the cluster.
+
+    ``historical_lag`` picks ``E_h = current - lag`` as the boundary
+    between the lock-free historical phase and the S-locked current
+    phase (0 means everything is copied historically and the current
+    phase only covers data committed *during* recovery — at simulation
+    granularity, nothing).
+    """
+    if cluster.membership.is_up(node_index):
+        raise ClusterError(f"node {node_index} is not down")
+    report = RecoveryReport(node=node_index)
+    manager = cluster.nodes[node_index].manager
+    current = cluster.epochs.latest_queryable_epoch
+    boundary = max(current - historical_lag, 0)
+    for _, family in sorted(cluster.catalog.families.items()):
+        for copy in family.all_copies:
+            table = cluster.catalog.table(copy.anchor_table)
+            lge = cluster.epochs.lge(node_index, copy.name)
+            # 1. truncate to the LGE: WOS contents died with the node
+            #    and post-LGE ROS state may be incomplete.
+            report.truncated_rows += manager.truncate_after_epoch(copy.name, lge)
+            records = list(
+                _buddy_records_for_node(cluster, family, node_index, copy)
+            )
+            # 2. historical phase (no locks): (LGE, boundary]
+            historical = [
+                record
+                for record in records
+                if lge < record[1] <= boundary
+            ]
+            manager.load_history(copy.name, historical)
+            _replay_deletes(manager, copy.name, records, lge, boundary)
+            # 3. current phase (Shared lock): (boundary, current]
+            cluster.locks.acquire(RECOVERY_TXN_ID, table.name, LockMode.S)
+            try:
+                current_records = [
+                    record
+                    for record in records
+                    if boundary < record[1] <= current
+                ]
+                manager.load_history(copy.name, current_records)
+                _replay_deletes(manager, copy.name, records, boundary, current)
+            finally:
+                cluster.locks.release(RECOVERY_TXN_ID, table.name)
+            if current > lge:
+                cluster.epochs.set_lge(node_index, copy.name, current)
+            report.historical_rows += len(historical)
+            report.current_rows += len(current_records)
+            report.per_projection[copy.name] = (
+                len(historical),
+                len(current_records),
+            )
+    cluster.membership.rejoin(node_index)
+    cluster.epochs.node_up(node_index)
+    return report
+
+
+def _replay_deletes(manager, projection_name, records, from_epoch, to_epoch):
+    """Re-apply delete markers stamped in (from_epoch, to_epoch] to rows
+    the node already holds (rows inserted before its LGE but deleted
+    while it was down)."""
+    window = [
+        (record[0], record[2])
+        for record in records
+        if record[2] is not None and from_epoch < record[2] <= to_epoch
+        # only rows the historical/current load did NOT just bring in
+        # (those carry their delete markers already)
+        and not (from_epoch < record[1] <= to_epoch)
+    ]
+    if not window:
+        return
+    from collections import Counter
+
+    # apply per delete epoch group for exact epoch stamping
+    by_epoch: dict[int, list[dict]] = {}
+    for row, delete_epoch in window:
+        by_epoch.setdefault(delete_epoch, []).append(row)
+    for delete_epoch, rows in sorted(by_epoch.items()):
+        remaining = Counter(
+            tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows
+        )
+
+        def matcher(row, remaining=remaining):
+            key = tuple(sorted((k, repr(v)) for k, v in row.items()))
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                return True
+            return False
+
+        manager.delete_where(
+            projection_name, matcher,
+            commit_epoch=delete_epoch, snapshot_epoch=delete_epoch - 1,
+        )
+
+
+def refresh_projection(cluster: Cluster, family: ProjectionFamily) -> int:
+    """Populate a newly created projection family from the anchor
+    table's existing data (historical + current phase, like recovery).
+    Returns the number of history records replayed per copy."""
+    table_name = family.primary.anchor_table
+    table = cluster.catalog.table(table_name)
+    source_family = None
+    for candidate in cluster.catalog.families_for_table(table_name):
+        if candidate.primary.name == family.primary.name:
+            continue
+        if candidate.primary.is_super_for(table) and candidate.primary.prejoin is None:
+            source_family = candidate
+            break
+    if source_family is None:
+        return 0  # the table's first projection starts empty
+    table_records = cluster.collect_history(source_family)
+    count = 0
+    cluster.locks.acquire(RECOVERY_TXN_ID, table_name, LockMode.S)
+    try:
+        for copy in family.all_copies:
+            shaped = []
+            for row, insert_epoch, delete_epoch in table_records:
+                projected = cluster.projection_rows(copy, [row], insert_epoch)[0]
+                shaped.append((projected, insert_epoch, delete_epoch))
+            for node_index, records in _route_records(
+                cluster, copy, shaped
+            ).items():
+                if cluster.membership.is_up(node_index):
+                    cluster.nodes[node_index].manager.load_history(
+                        copy.name, records
+                    )
+                    count += len(records)
+    finally:
+        cluster.locks.release(RECOVERY_TXN_ID, table_name)
+    return count
+
+
+def _route_records(cluster: Cluster, copy, records):
+    routed: dict[int, list] = {}
+    if copy.segmentation.replicated:
+        return {node: list(records) for node in range(cluster.node_count)}
+    for record in records:
+        node = copy.segmentation.node_for_row(record[0], cluster.node_count)
+        routed.setdefault(node, []).append(record)
+    return routed
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of a cluster rebalance."""
+
+    old_node_count: int
+    new_node_count: int
+    rows_moved: int = 0
+
+
+def rebalance(cluster: Cluster, new_node_count: int) -> RebalanceReport:
+    """Re-segment every projection for a new node count.
+
+    Models cluster expansion/contraction (section 3.6's local segments
+    exist to make this cheap; the simulation moves rows and reports the
+    volume).  All nodes must be up.
+    """
+    if cluster.membership.down_nodes():
+        raise ClusterError("rebalance requires all nodes up")
+    report = RebalanceReport(cluster.node_count, new_node_count)
+    # gather full history per family, then rebuild placement
+    histories = {
+        name: list(cluster.collect_history(family))
+        for name, family in sorted(cluster.catalog.families.items())
+    }
+    old_nodes = cluster.nodes
+    cluster.node_count = new_node_count
+    cluster.membership = type(cluster.membership)(new_node_count)
+    from .node import ClusterNode
+
+    cluster.nodes = [
+        ClusterNode.create(
+            cluster.root + "_rebalanced", index, new_node_count
+        )
+        if index >= len(old_nodes)
+        else old_nodes[index]
+        for index in range(new_node_count)
+    ]
+    for node in cluster.nodes:
+        node.manager.node_count = new_node_count
+    for name, family in sorted(cluster.catalog.families.items()):
+        for copy in family.all_copies:
+            records = histories[name]
+            for node in cluster.nodes:
+                manager = node.manager
+                if copy.name in manager.projection_names():
+                    state = manager.storage(copy.name)
+                    manager.remove_containers(copy.name, list(state.containers))
+                    state.wos.drain()
+                    state.wos_deletes.clear()
+                    state.persisted_ros_deletes.clear()
+                    state.pending_ros_deletes.clear()
+                else:
+                    manager.register_projection(
+                        copy, cluster.catalog.table(copy.anchor_table)
+                    )
+            for node_index, node_records in _route_records(
+                cluster, copy, records
+            ).items():
+                cluster.nodes[node_index].manager.load_history(
+                    copy.name, node_records
+                )
+                report.rows_moved += len(node_records)
+    return report

@@ -1,0 +1,7 @@
+"""Public facade: database, sessions, catalog and schema objects."""
+
+from .catalog import Catalog
+from .database import Database, Session
+from .schema import ColumnDef, TableDefinition
+
+__all__ = ["Catalog", "Database", "Session", "ColumnDef", "TableDefinition"]

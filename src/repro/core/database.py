@@ -1,0 +1,340 @@
+"""The public database facade.
+
+:class:`Database` assembles the whole system — simulated cluster,
+epoch-based transactions, locking, statistics, the optimizer
+generations and the distributed executor — behind the API an
+application would use.  :class:`Session` provides transactions with the
+paper's semantics: snapshot reads that take no locks (section 5),
+Insert/Exclusive table locks for writers (Table 1), UPDATE as
+delete-plus-insert (section 3.7.1), and commit through the cluster
+agreement protocol.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Cluster, recover_node
+from ..errors import TransactionError
+from ..execution.executor import DistributedExecutor, ExecutorStats
+from ..execution.expressions import Expr
+from ..execution.resource import ResourcePool, WorkloadPolicy
+from ..optimizer import StarifiedOpt, StarOpt, StatsCatalog, V2Opt
+from ..optimizer.logical import LogicalNode
+from ..tuple_mover import MergePolicy
+from ..txn import IsolationLevel, LockMode, Transaction, TxnStatus
+from .schema import TableDefinition
+
+OPTIMIZERS = {
+    "star": StarOpt,
+    "starified": StarifiedOpt,
+    "v2": V2Opt,
+}
+
+
+class Database:
+    """A single-process simulation of a Vertica-style cluster."""
+
+    def __init__(
+        self,
+        path: str,
+        node_count: int = 3,
+        k_safety: int = 1,
+        optimizer: str = "v2",
+        segments_per_node: int = 3,
+        wos_capacity: int = 65536,
+        merge_policy: MergePolicy | None = None,
+        workload_policy: WorkloadPolicy | None = None,
+    ):
+        #: Resource-management policy applied to every query (section 7
+        #: "Resource Management"); operators spill to disk rather than
+        #: exceed it.
+        self.workload_policy = workload_policy or WorkloadPolicy()
+        self.cluster = Cluster(
+            path,
+            node_count=node_count,
+            k_safety=k_safety,
+            segments_per_node=segments_per_node,
+            wos_capacity=wos_capacity,
+            merge_policy=merge_policy,
+        )
+        self.stats = StatsCatalog()
+        self.optimizer_name = optimizer
+        self._next_txn_id = 1
+
+    # -- DDL ------------------------------------------------------------
+
+    def create_table(
+        self,
+        table: TableDefinition,
+        sort_order: list[str] | None = None,
+        segmentation=None,
+        encodings: dict[str, str] | None = None,
+    ):
+        """Create a table with an auto-designed super projection."""
+        return self.cluster.create_table(
+            table, sort_order=sort_order, segmentation=segmentation,
+            encodings=encodings,
+        )
+
+    def add_projection(self, projection, populate: bool = True):
+        """Add a projection family (populated from existing data)."""
+        return self.cluster.add_projection_family(projection, populate=populate)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and its storage everywhere."""
+        self.cluster.drop_table(name)
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(
+        self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED
+    ) -> "Session":
+        """Open a client session."""
+        return Session(self, isolation)
+
+    def _allocate_txn_id(self) -> int:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
+
+    # -- conveniences (autocommit) ---------------------------------------------
+
+    def load(self, table: str, rows: list[dict], direct_to_ros: bool = False) -> int:
+        """Bulk load rows in one autocommit transaction; returns the
+        commit epoch."""
+        session = self.session()
+        session.insert(table, rows, direct_to_ros=direct_to_ros)
+        return session.commit()
+
+    def query(self, logical: LogicalNode, optimizer: str | None = None) -> list[dict]:
+        """Run a query in a fresh READ COMMITTED session."""
+        return self.session().query(logical, optimizer=optimizer)
+
+    def explain(self, logical: LogicalNode, optimizer: str | None = None) -> str:
+        """Physical plan text for a query."""
+        planner = self.planner(optimizer)
+        return planner.plan(logical).explain()
+
+    def planner(self, optimizer: str | None = None):
+        """Instantiate an optimizer generation bound to current stats."""
+        name = optimizer or self.optimizer_name
+        try:
+            cls = OPTIMIZERS[name]
+        except KeyError:
+            raise TransactionError(f"unknown optimizer {name!r}") from None
+        return cls(self.cluster, self.stats)
+
+    def analyze_statistics(self) -> None:
+        """Collect optimizer statistics from live data."""
+        self.stats.refresh(
+            self.cluster, self.cluster.epochs.latest_queryable_epoch
+        )
+
+    # -- SQL ----------------------------------------------------------------------
+
+    def sql(self, text: str, copy_rows=None):
+        """Execute one SQL statement in an autocommitting session.
+
+        SELECTs return row dicts; EXPLAIN returns the plan text; COPY
+        takes its input via ``copy_rows`` (an iterable of dicts, field
+        lists or '|'-delimited lines) and returns a
+        :class:`repro.sql.CopyResult`.
+        """
+        from ..sql import execute_sql
+
+        session = self.session()
+        result = execute_sql(session, text, copy_rows=copy_rows)
+        if session.txn is not None and session.txn.has_dml:
+            session.commit()
+        return result
+
+    def system(self, view: str) -> list[dict]:
+        """A monitoring view (``projections``, ``storage_containers``,
+        ``nodes``, ``locks``, ``epochs``) — section 7's resource and
+        allocation reporting."""
+        from .monitor import system_view
+
+        return system_view(self, view)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def run_tuple_movers(self) -> None:
+        """One moveout+mergeout cycle on every node."""
+        self.cluster.run_tuple_movers()
+
+    def fail_node(self, node_index: int) -> None:
+        """Crash a node."""
+        self.cluster.fail_node(node_index)
+
+    def recover_node(self, node_index: int, historical_lag: int = 0):
+        """Recover a failed node from its buddies."""
+        return recover_node(self.cluster, node_index, historical_lag)
+
+    @property
+    def current_epoch(self) -> int:
+        """The cluster's current (uncommitted) epoch."""
+        return self.cluster.epochs.current_epoch
+
+    @property
+    def latest_epoch(self) -> int:
+        """The newest queryable epoch."""
+        return self.cluster.epochs.latest_queryable_epoch
+
+
+class Session:
+    """A client connection with transaction state."""
+
+    def __init__(self, db: Database, isolation: IsolationLevel):
+        self.db = db
+        self.isolation = isolation
+        self.txn: Transaction | None = None
+        self.last_stats: ExecutorStats | None = None
+        #: Resource pool of the most recent query (spill observability).
+        self.last_pool: ResourcePool | None = None
+
+    # -- transaction control ------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction (implicit on first statement)."""
+        if self.txn is not None and self.txn.status is TxnStatus.ACTIVE:
+            return self.txn
+        self.txn = Transaction(
+            txn_id=self.db._allocate_txn_id(),
+            isolation=self.isolation,
+            snapshot_epoch=self.db.latest_epoch,
+        )
+        return self.txn
+
+    def _active(self) -> Transaction:
+        txn = self.begin()
+        txn.check_active()
+        if txn.isolation is IsolationLevel.READ_COMMITTED:
+            txn.snapshot_epoch = self.db.latest_epoch
+        return txn
+
+    def commit(self) -> int:
+        """Commit; returns the commit epoch (or the current snapshot
+        epoch when the transaction had no DML)."""
+        txn = self.begin()
+        txn.check_active()
+        try:
+            if txn.has_dml:
+                epoch = self.db.cluster.commit_dml(
+                    txn.pending_inserts,
+                    [(d.table, d.predicate) for d in txn.pending_deletes],
+                    snapshot_epoch=txn.snapshot_epoch,
+                    direct_to_ros=txn.direct_to_ros,
+                )
+            else:
+                epoch = txn.snapshot_epoch
+            txn.status = TxnStatus.COMMITTED
+            return epoch
+        finally:
+            self.db.cluster.locks.release_all(txn.txn_id)
+            self.txn = None
+
+    def rollback(self) -> None:
+        """Abort: discard buffered changes, release locks."""
+        txn = self.begin()
+        txn.status = TxnStatus.ABORTED
+        self.db.cluster.locks.release_all(txn.txn_id)
+        self.txn = None
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert(
+        self, table: str, rows: list[dict], direct_to_ros: bool = False
+    ) -> None:
+        """Buffer rows for insert (Insert lock; multiple loaders can
+        hold it concurrently)."""
+        txn = self._active()
+        self.db.cluster.catalog.table(table)  # must exist
+        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.I)
+        txn.buffer_insert(table, rows)
+        if direct_to_ros:
+            txn.direct_to_ros = True
+
+    def delete(self, table: str, predicate) -> None:
+        """Buffer a delete (Exclusive lock).  ``predicate`` is a
+        callable over row dicts or an :class:`Expr`."""
+        txn = self._active()
+        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.X)
+        txn.buffer_delete(table, _as_callable(predicate))
+
+    def update(self, table: str, assignments: dict[str, object], predicate) -> int:
+        """SQL UPDATE: delete matching rows and insert updated copies
+        (section 3.7.1).  Returns the number of rows updated."""
+        txn = self._active()
+        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.X)
+        matcher = _as_callable(predicate)
+        current = self.db.cluster.read_table(table, txn.snapshot_epoch)
+        updated = []
+        for row in current:
+            if matcher(row):
+                new_row = dict(row)
+                for column, value in assignments.items():
+                    new_row[column] = (
+                        value.evaluate_row(row) if isinstance(value, Expr) else value
+                    )
+                updated.append(new_row)
+        if updated:
+            txn.buffer_delete(table, matcher)
+            txn.buffer_insert(table, updated)
+        return len(updated)
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(
+        self,
+        logical: LogicalNode,
+        optimizer: str | None = None,
+        at_epoch: int | None = None,
+    ) -> list[dict]:
+        """Plan and execute a query at the session's snapshot.
+
+        Historical queries pass ``at_epoch`` ("a query executing in the
+        recent past needs no locks and is assured of a consistent
+        snapshot").
+        """
+        txn = self._active()
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            for table in {
+                scan.table
+                for scan in logical.walk()
+                if type(scan).__name__ == "ScanNode"
+            }:
+                self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.S)
+        epoch = at_epoch if at_epoch is not None else txn.snapshot_epoch
+        planner = self.db.planner(optimizer)
+        plan = planner.plan(logical)
+        pool = ResourcePool(self.db.workload_policy)
+        executor = DistributedExecutor(
+            self.db.cluster,
+            epoch,
+            pool=pool,
+            pending_inserts=txn.pending_inserts if at_epoch is None else {},
+        )
+        rows = executor.run(plan)
+        self.last_stats = executor.stats
+        self.last_pool = pool
+        return rows
+
+    def explain(self, logical: LogicalNode, optimizer: str | None = None) -> str:
+        """Physical plan for a query under this session's database."""
+        return self.db.explain(logical, optimizer=optimizer)
+
+    def sql(self, text: str, copy_rows=None):
+        """Execute one SQL statement inside this session's transaction."""
+        from ..sql import execute_sql
+
+        return execute_sql(self, text, copy_rows=copy_rows)
+
+
+def _as_callable(predicate):
+    if isinstance(predicate, Expr):
+        compiled = predicate
+
+        def run(row: dict) -> bool:
+            return compiled.evaluate_row(row) is True
+
+        return run
+    return predicate

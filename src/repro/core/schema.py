@@ -1,0 +1,91 @@
+"""Logical schema objects: column definitions and tables.
+
+Vertica models user data as tables of columns, "though the data is not
+physically arranged in this manner" (section 3) — physical layout
+belongs to projections (:mod:`repro.projections`).  A table owns its
+column definitions and, optionally, a table-level partition expression
+(section 3.5: partitioning is specified at the table level, not the
+projection level, so bulk deletion stays fast on every projection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SqlAnalysisError
+from ..types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A named, typed table column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self):
+        if not self.name:
+            raise SqlAnalysisError("column name cannot be empty")
+
+
+@dataclass
+class TableDefinition:
+    """A logical table: name, columns and optional partition expression.
+
+    ``partition_by`` maps a row (dict of column name -> value) to its
+    partition key; it models ``CREATE TABLE ... PARTITION BY <expr>``.
+    Most real partition expressions are date-derived (month/year); any
+    deterministic callable is accepted here.
+    """
+
+    name: str
+    columns: list[ColumnDef]
+    partition_by: Callable[[dict], object] | None = None
+    #: Source text of the partition expression, for catalog display.
+    partition_by_text: str | None = None
+    #: Primary-key column names (used for constraint-aware planning).
+    primary_key: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SqlAnalysisError(f"duplicate column names in table {self.name!r}")
+        for key in self.primary_key:
+            if key not in names:
+                raise SqlAnalysisError(f"primary key column {key!r} not in table")
+
+    @property
+    def column_names(self) -> list[str]:
+        """Ordered column names."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> ColumnDef:
+        """Look up a column definition by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SqlAnalysisError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines a column called ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def partition_key(self, row: dict):
+        """Partition key of ``row`` (None when the table is unpartitioned)."""
+        if self.partition_by is None:
+            return None
+        return self.partition_by(row)
+
+    def validate_row(self, row: dict) -> dict:
+        """Type-check one row dict against the schema; returns the row
+        with values normalized (e.g. int -> float for FLOAT columns)."""
+        if set(row) != set(self.column_names):
+            raise SqlAnalysisError(
+                f"row columns {sorted(row)} do not match table "
+                f"{self.name!r} columns {sorted(self.column_names)}"
+            )
+        return {
+            column.name: column.dtype.validate(row[column.name])
+            for column in self.columns
+        }

@@ -1,0 +1,6 @@
+"""The C-Store-2005-style baseline engine used by Table 3 (section 8.1)."""
+
+from .engine import CStoreEngine, QuerySpec
+from .storage import CStoreDatabase, CStoreTable
+
+__all__ = ["CStoreEngine", "QuerySpec", "CStoreDatabase", "CStoreTable"]

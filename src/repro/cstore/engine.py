@@ -1,0 +1,136 @@
+"""C-Store-2005-style execution engine: single-threaded, row-at-a-time.
+
+The paper attributes Vertica's 2x win (Table 3) to vectorized
+execution and better compression; this engine is the other side of
+that comparison: tuples flow one dict at a time through Python
+generators, predicates are evaluated per row, the "optimizer" takes
+projections in declaration order and joins in query order (section
+6.2: C-Store's minimal optimizer picked "the projections it reaches
+first" with a random join order), and no SIP, prepass aggregation,
+container pruning or runtime algorithm switching exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .storage import CStoreDatabase
+
+
+@dataclass
+class QuerySpec:
+    """Declarative description of one benchmark query, interpretable by
+    both engines.  ``filters`` map table -> row predicate; ``group_by``
+    and ``aggregate`` describe an optional single-level aggregation;
+    ``join`` is an optional (left_table, left_key, right_table,
+    right_key) equi-join."""
+
+    name: str
+    table: str
+    columns: list[str]
+    filters: dict[str, Callable[[dict], bool]] = field(default_factory=dict)
+    #: table -> columns the filter callables read (scans must fetch them).
+    filter_columns: dict[str, list[str]] = field(default_factory=dict)
+    join: tuple[str, str, str, str] | None = None
+    group_by: list[str] = field(default_factory=list)
+    #: (func, column_or_None) — func in COUNT/SUM/MIN/MAX/AVG
+    aggregate: tuple[str, str | None] = ("COUNT", None)
+    #: equivalent SQL text (for the Vertica side of the bench)
+    sql: str = ""
+
+
+class CStoreEngine:
+    """Row-at-a-time interpreter over :class:`CStoreDatabase`."""
+
+    def __init__(self, db: CStoreDatabase):
+        self.db = db
+
+    # -- operators (all row-at-a-time generators) ----------------------------
+
+    def _scan(self, table_name: str, columns: list[str], predicate=None):
+        """Full scan; no block pruning (the prototype read everything)."""
+        for row in self.db.table(table_name).iter_rows(columns):
+            if predicate is None or predicate(row):
+                yield row
+
+    def _hash_join(self, left_rows, right_rows, left_key: str, right_key: str):
+        """Row-at-a-time hash join, inner always built from the right
+        input in query order (no side choice, no size estimation)."""
+        table: dict = {}
+        for row in right_rows:
+            table.setdefault(row[right_key], []).append(row)
+        for left_row in left_rows:
+            for right_row in table.get(left_row[left_key], ()):
+                merged = dict(left_row)
+                merged.update(right_row)
+                yield merged
+
+    def _aggregate(self, rows, group_by: list[str], func: str, column):
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(row[name] for name in group_by)
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = [0, None, None, None]  # n, sum, min, max
+            state[0] += 1
+            if column is not None:
+                value = row[column]
+                if value is not None:
+                    state[1] = value if state[1] is None else state[1] + value
+                    if state[2] is None or value < state[2]:
+                        state[2] = value
+                    if state[3] is None or value > state[3]:
+                        state[3] = value
+        if not groups and not group_by:
+            # SQL: a global aggregate over no rows still yields one row
+            groups[()] = [0, None, None, None]
+        out = []
+        for key, (n, total, minimum, maximum) in groups.items():
+            if func == "COUNT":
+                value = n
+            elif func == "SUM":
+                value = total
+            elif func == "MIN":
+                value = minimum
+            elif func == "MAX":
+                value = maximum
+            else:  # AVG
+                value = None if not n else total / n
+            out.append(dict(zip(group_by, key), agg=value))
+        return out
+
+    # -- query interpreter -------------------------------------------------------
+
+    def run(self, spec: QuerySpec) -> list[dict]:
+        """Execute a benchmark query spec."""
+        needed = set(spec.columns) | set(spec.group_by)
+        if spec.aggregate[1] is not None:
+            needed.add(spec.aggregate[1])
+        if spec.join is not None:
+            left_table, left_key, right_table, right_key = spec.join
+            left_columns = sorted(
+                (needed | {left_key} | set(spec.filter_columns.get(left_table, ())))
+                & set(self.db.table(left_table).table.column_names)
+            )
+            right_columns = sorted(
+                (needed | {right_key} | set(spec.filter_columns.get(right_table, ())))
+                & set(self.db.table(right_table).table.column_names)
+            )
+            rows = self._hash_join(
+                self._scan(left_table, left_columns, spec.filters.get(left_table)),
+                self._scan(right_table, right_columns, spec.filters.get(right_table)),
+                left_key,
+                right_key,
+            )
+        else:
+            columns = sorted(
+                (needed | set(spec.filter_columns.get(spec.table, ())))
+                & set(self.db.table(spec.table).table.column_names)
+            )
+            rows = self._scan(spec.table, columns, spec.filters.get(spec.table))
+        if spec.group_by or spec.aggregate:
+            return self._aggregate(
+                rows, spec.group_by, spec.aggregate[0], spec.aggregate[1]
+            )
+        return list(rows)

@@ -1,0 +1,23 @@
+"""The Database Designer: automatic physical design (section 6.3)."""
+
+from .dbd import (
+    BALANCED,
+    LOAD_OPTIMIZED,
+    POLICIES,
+    QUERY_OPTIMIZED,
+    CandidateProjection,
+    DatabaseDesigner,
+    DesignPolicy,
+    DesignProposal,
+)
+
+__all__ = [
+    "BALANCED",
+    "LOAD_OPTIMIZED",
+    "POLICIES",
+    "QUERY_OPTIMIZED",
+    "CandidateProjection",
+    "DatabaseDesigner",
+    "DesignPolicy",
+    "DesignProposal",
+]

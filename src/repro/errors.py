@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro analytic database.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch a single base class.  Subclasses mirror the major
+subsystems of the paper: storage, transactions/locking, cluster
+membership, SQL compilation and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro database."""
+
+
+class StorageError(ReproError):
+    """Raised for errors in the storage layer (ROS/WOS, encodings)."""
+
+
+class EncodingError(StorageError):
+    """Raised when a column encoding cannot encode or decode data."""
+
+
+class CatalogError(ReproError):
+    """Raised for metadata catalog violations (unknown/duplicate objects)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """Raised when creating a table/projection that already exists."""
+
+
+class UnknownObjectError(CatalogError):
+    """Raised when referencing a table/projection/column that does not exist."""
+
+
+class TransactionError(ReproError):
+    """Raised for transaction protocol violations."""
+
+
+class LockTimeoutError(TransactionError):
+    """Raised when a lock request cannot be granted."""
+
+
+class SerializationError(TransactionError):
+    """Raised when a transaction must abort to preserve isolation."""
+
+
+class ClusterError(ReproError):
+    """Raised for cluster membership and distribution errors."""
+
+
+class QuorumLossError(ClusterError):
+    """Raised when fewer than N/2+1 nodes remain up (split-brain guard)."""
+
+
+class KSafetyError(ClusterError):
+    """Raised when a physical design does not satisfy the requested K-safety."""
+
+
+class DataUnavailableError(ClusterError):
+    """Raised when node failures make some segment of data unreachable."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """Raised by the lexer/parser on malformed SQL text."""
+
+
+class SqlAnalysisError(SqlError):
+    """Raised by the semantic analyzer (unknown columns, type errors...)."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution engine at query runtime."""
+
+
+class ResourceExceededError(ExecutionError):
+    """Raised when an operator cannot fit its budget even after spilling."""
+
+
+class LoadError(ReproError):
+    """Raised by the bulk loader; carries rejected-record context."""
+
+    def __init__(self, message: str, rejected_rows: list | None = None):
+        super().__init__(message)
+        self.rejected_rows = rejected_rows or []
+
+
+class DesignError(ReproError):
+    """Raised by the Database Designer when no valid design exists."""

@@ -1,0 +1,52 @@
+"""The Vertica-style vectorized, pull-model execution engine (section 6)."""
+
+from .aggregates import AggregateSpec
+from .expressions import (
+    And,
+    Arithmetic,
+    Between,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    column_range_from_predicate,
+)
+from .operators import *  # noqa: F401,F403 - re-export operator set
+from .operators import __all__ as _operators_all
+from .resource import ResourcePool, SpillFile, WorkloadPolicy
+from .row_block import VECTOR_SIZE, RowBlock, blocks_to_rows
+from .sip import SipFilter
+
+__all__ = [
+    "AggregateSpec",
+    "And",
+    "Arithmetic",
+    "Between",
+    "CaseWhen",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "FunctionCall",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "column_range_from_predicate",
+    "ResourcePool",
+    "SpillFile",
+    "WorkloadPolicy",
+    "VECTOR_SIZE",
+    "RowBlock",
+    "blocks_to_rows",
+    "SipFilter",
+    *_operators_all,
+]

@@ -1,0 +1,153 @@
+"""Aggregate functions and their accumulators.
+
+Accumulators support the two-phase (prepass + final) aggregation the
+paper describes for parallel group-by: *mergeable* aggregates can emit
+a partial value from a prepass operator which a downstream group-by
+folds in with a merge function (COUNT partials merge by SUM, SUM by
+SUM, MIN by MIN, MAX by MAX).  AVG and DISTINCT aggregates are not
+merged by value, so plans containing them skip the prepass stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from .expressions import Expr
+
+SUPPORTED = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate in a GROUP BY's select list."""
+
+    func: str
+    #: Argument expression; None means COUNT(*).
+    arg: Expr | None
+    #: Output column name.
+    output_name: str
+    distinct: bool = False
+
+    def __post_init__(self):
+        self.func = self.func.upper()
+        if self.func not in SUPPORTED and not self._user_factory():
+            raise ExecutionError(f"unsupported aggregate {self.func!r}")
+        if self.func != "COUNT" and self.arg is None:
+            raise ExecutionError(f"{self.func} requires an argument")
+
+    def _user_factory(self):
+        from ..sdk import user_aggregate_factory
+
+        return user_aggregate_factory(self.func)
+
+    @property
+    def is_user_defined(self) -> bool:
+        """Whether this aggregate came from the SDK registry."""
+        return self.func not in SUPPORTED
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether a prepass partial can be folded in downstream.
+
+        User-defined aggregates are never prepassed (their partial
+        representation is opaque), like AVG and DISTINCT aggregates.
+        """
+        return not self.distinct and self.func in ("COUNT", "SUM", "MIN", "MAX")
+
+    @property
+    def merge_func(self) -> str:
+        """Aggregate applied to partials in the final stage."""
+        return "SUM" if self.func == "COUNT" else self.func
+
+    def referenced_columns(self) -> set[str]:
+        """Input columns the aggregate reads."""
+        return self.arg.referenced_columns() if self.arg is not None else set()
+
+    def describe(self) -> str:
+        """SQL-ish rendering for plan display."""
+        inner = "*" if self.arg is None else repr(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+class Accumulator:
+    """Mutable state for one (group, aggregate) pair."""
+
+    __slots__ = ("func", "distinct", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = None
+        self.minimum = None
+        self.maximum = None
+        self.seen = set() if distinct else None
+
+    def add(self, value) -> None:
+        """Fold one input value in (NULLs are ignored per SQL)."""
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "MIN":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "MAX":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def add_count_star(self, count: int = 1) -> None:
+        """COUNT(*) path: count rows regardless of values."""
+        self.count += count
+
+    def final(self):
+        """The aggregate's SQL result."""
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        if self.func == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+class _UserAccumulatorAdapter:
+    """Wraps a user accumulator with NULL/DISTINCT handling."""
+
+    __slots__ = ("inner", "seen")
+
+    def __init__(self, inner, distinct: bool):
+        self.inner = inner
+        self.seen = set() if distinct else None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.inner.add(value)
+
+    def add_count_star(self, count: int = 1) -> None:
+        for _ in range(count):
+            self.inner.add(1)
+
+    def final(self):
+        return self.inner.final()
+
+
+def make_accumulator(spec: AggregateSpec):
+    """Fresh accumulator for one group (built-in or SDK-registered)."""
+    if spec.is_user_defined:
+        return _UserAccumulatorAdapter(spec._user_factory()(), spec.distinct)
+    return Accumulator(spec.func, spec.distinct)

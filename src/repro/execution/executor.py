@@ -1,0 +1,481 @@
+"""The distributed executor: physical plan -> operators on a cluster.
+
+Interprets a :class:`repro.optimizer.physical.PhysicalNode` tree against
+the simulated cluster.  Per-node plan fragments run against each node's
+storage manager (choosing buddy copies for down nodes), joined/merged
+per the plan's distribution strategy:
+
+* **co-located** joins and **local-complete** group-bys run entirely
+  inside each node's fragment (the segmentation payoff of section 3.6);
+* **broadcast inner** materializes the build side once and feeds a copy
+  to every probe fragment;
+* **resegment** pushes both sides through Send/Recv exchanges hashed on
+  the join keys (V2Opt's on-the-fly data transfer, section 6.2);
+* everything after the last distributed operator runs at the
+  coordinator, fed by a fragment union.
+
+SIP filters are wired here: a hash join with ``sip`` set installs its
+filter into the probe-side scan of every fragment (section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError, PlanningError
+from .aggregates import AggregateSpec
+from .expressions import ColumnRef, substitute_columns
+from .operators import (
+    AnalyticOperator,
+    DistinctOperator,
+    Exchange,
+    ExprEvalOperator,
+    FilterOperator,
+    GroupByHashOperator,
+    GroupByPipelinedOperator,
+    HashJoinOperator,
+    LimitOperator,
+    MergeJoinOperator,
+    Operator,
+    PrepassGroupByOperator,
+    RecvOperator,
+    ScanOperator,
+    SendOperator,
+    SortKey,
+    SortOperator,
+    SourceBlocks,
+    UnionAllOperator,
+)
+from .resource import ResourcePool
+
+
+@dataclass
+class ExecutorStats:
+    """Observability counters for one query execution."""
+
+    rows_scanned: int = 0
+    rows_broadcast: int = 0
+    sip_filters: int = 0
+    _scans: list[ScanOperator] = field(default_factory=list)
+    _exchanges: list[Exchange] = field(default_factory=list)
+    _sips: list = field(default_factory=list)
+
+    @property
+    def rows_resegmented(self) -> int:
+        return sum(ex.rows_sent for ex in self._exchanges)
+
+    @property
+    def network_bytes(self) -> int:
+        return sum(ex.bytes_sent for ex in self._exchanges)
+
+    @property
+    def rows_sip_filtered(self) -> int:
+        return sum(sip.rows_filtered for sip in self._sips)
+
+    def finalize(self) -> None:
+        """Fold per-operator counters after execution."""
+        self.rows_scanned = sum(scan.rows_scanned for scan in self._scans)
+
+
+class _Fragments:
+    """Per-ring-segment operators, or a factory for replicated data."""
+
+    def __init__(self, by_base: dict[int, Operator] | None, factory=None):
+        self.by_base = by_base
+        self.factory = factory  # base -> Operator (replicated sources)
+
+    @property
+    def replicated(self) -> bool:
+        return self.factory is not None
+
+    def bases(self) -> list[int]:
+        return sorted(self.by_base) if self.by_base is not None else []
+
+    def op_for(self, base: int) -> Operator:
+        if self.by_base is not None:
+            return self.by_base[base]
+        return self.factory(base)
+
+    def map(self, transform) -> "_Fragments":
+        if self.by_base is not None:
+            return _Fragments(
+                {base: transform(op) for base, op in self.by_base.items()}
+            )
+        factory = self.factory
+        return _Fragments(None, factory=lambda base: transform(factory(base)))
+
+
+class DistributedExecutor:
+    """Runs physical plans against a cluster at a snapshot epoch."""
+
+    def __init__(
+        self,
+        cluster,
+        epoch: int,
+        pool: ResourcePool | None = None,
+        pending_inserts: dict[str, list[dict]] | None = None,
+    ):
+        self.cluster = cluster
+        self.epoch = epoch
+        self.pool = pool
+        #: table -> uncommitted rows of the running transaction, which
+        #: must be visible to its own queries.
+        self.pending_inserts = pending_inserts or {}
+        self.stats = ExecutorStats()
+
+    # -- public API -----------------------------------------------------
+
+    def operator(self, plan) -> Operator:
+        """Build the coordinator-side operator for a plan."""
+        built = self._build(plan)
+        return self._collect(built)
+
+    def run(self, plan) -> list[dict]:
+        """Execute and materialize the result rows."""
+        operator = self.operator(plan)
+        rows = operator.rows()
+        self.stats.finalize()
+        return rows
+
+    # -- helpers ----------------------------------------------------------
+
+    def _collect(self, built) -> Operator:
+        if isinstance(built, Operator):
+            return built
+        if built.replicated:
+            return built.op_for(0)
+        ops = [built.op_for(base) for base in built.bases()]
+        if len(ops) == 1:
+            return ops[0]
+        return UnionAllOperator(ops)
+
+    def _build(self, node):
+        from ..optimizer import physical as P
+
+        if isinstance(node, P.PhysScan):
+            return self._build_scan(node)
+        if isinstance(node, P.PhysFilter):
+            return self._map_or_single(
+                node.child, lambda op: FilterOperator(op, node.predicate)
+            )
+        if isinstance(node, P.PhysProject):
+            return self._map_or_single(
+                node.child, lambda op: ExprEvalOperator(op, node.outputs)
+            )
+        if isinstance(node, P.PhysJoin):
+            return self._build_join(node)
+        if isinstance(node, P.PhysGroupBy):
+            return self._build_groupby(node)
+        if isinstance(node, P.PhysSort):
+            child = self._collect(self._build(node.child))
+            return SortOperator(
+                child,
+                [SortKey(expr, asc) for expr, asc in node.keys],
+                pool=self.pool,
+                limit_hint=node.limit_hint,
+            )
+        if isinstance(node, P.PhysLimit):
+            child = self._collect(self._build(node.child))
+            return LimitOperator(child, node.limit, node.offset)
+        if isinstance(node, P.PhysDistinct):
+            child = self._collect(self._build(node.child))
+            return DistinctOperator(child)
+        if isinstance(node, P.PhysAnalytic):
+            child = self._collect(self._build(node.child))
+            for spec in node.specs:
+                child = AnalyticOperator(child, spec)
+            return child
+        raise PlanningError(f"executor cannot build {type(node).__name__}")
+
+    def _map_or_single(self, child_plan, transform):
+        built = self._build(child_plan)
+        if isinstance(built, Operator):
+            return transform(built)
+        return built.map(transform)
+
+    # -- scans -------------------------------------------------------------
+
+    def _build_scan(self, node):
+        family = self.cluster.catalog.family(node.family_name)
+        table = self.cluster.catalog.table(node.table)
+        # node.columns are output names; translate back to stored names.
+        inverse = {out: raw for raw, out in node.rename.items()}
+        raw_columns = [inverse.get(name, name) for name in node.columns]
+        # scan predicates are written in stored column names already.
+        raw_predicate = node.predicate
+        rename = {raw: out for raw, out in node.rename.items() if raw != out}
+        pending = self.pending_inserts.get(node.table, [])
+
+        def make_scan(host: int, projection_name: str, base: int | None):
+            copy = next(
+                c for c in family.all_copies if c.name == projection_name
+            )
+            extra = self._pending_for(copy, table, pending, base)
+            scan = ScanOperator(
+                self.cluster.nodes[host].manager,
+                projection_name,
+                self.epoch,
+                raw_columns,
+                predicate=raw_predicate,
+                extra_rows=extra,
+            )
+            self.stats._scans.append(scan)
+            out: Operator = scan
+            if rename:
+                out = ExprEvalOperator(
+                    out,
+                    {
+                        rename.get(raw, raw): ColumnRef(raw)
+                        for raw in raw_columns
+                    },
+                )
+            return out
+
+        if family.primary.segmentation.replicated:
+            up = self.cluster.membership.up_nodes()
+            if not up:
+                raise ExecutionError("no up node for replicated scan")
+
+            def factory(base: int):
+                host = base if base in up else up[0]
+                return make_scan(host, family.primary.name, None)
+
+            return _Fragments(None, factory=factory)
+        sources = self.cluster.scan_sources(family)
+        return _Fragments(
+            {
+                base: make_scan(host, projection_name, base)
+                for base, (host, projection_name) in enumerate(sources)
+            }
+        )
+
+    def _pending_for(self, copy, table, pending_rows, base):
+        """The transaction's own uncommitted rows, shaped for this
+        projection copy and restricted to this ring segment."""
+        if not pending_rows:
+            return []
+        shaped = self.cluster.projection_rows(copy, pending_rows, self.epoch)
+        if copy.segmentation.replicated or base is None:
+            return shaped
+        primary_seg = copy.segmentation
+        return [
+            row
+            for row in shaped
+            if (
+                primary_seg.node_for_row(row, self.cluster.node_count)
+                - getattr(primary_seg, "offset", 0)
+            )
+            % self.cluster.node_count
+            == base
+        ]
+
+    # -- joins --------------------------------------------------------------
+
+    def _find_scan(self, op: Operator) -> ScanOperator | None:
+        current = op
+        while current is not None:
+            if isinstance(current, ScanOperator):
+                return current
+            if isinstance(current, (RecvOperator, SendOperator)):
+                # never push a SIP filter across an exchange: the scan
+                # below it feeds *every* destination, not just this join
+                return None
+            current = current.children[0] if current.children else None
+        return None
+
+    def _attach_sip(self, join: HashJoinOperator, probe_op, node):
+        if not node.sip:
+            return
+        scan = self._find_scan(probe_op)
+        if scan is None:
+            return
+        inverse = {}
+        plan_scan = self._scan_plan_of(node.left)
+        if plan_scan is not None:
+            inverse = {out: raw for raw, out in plan_scan.rename.items()}
+        keys = [substitute_columns(key, inverse) for key in node.left_keys]
+        sip = join.make_sip_filter(keys)
+        scan.sip_filters.append(sip)
+        self.stats._sips.append(sip)
+        self.stats.sip_filters += 1
+
+    @staticmethod
+    def _scan_plan_of(plan_node):
+        from ..optimizer import physical as P
+
+        current = plan_node
+        while current is not None:
+            if isinstance(current, P.PhysScan):
+                return current
+            current = current.children[0] if current.children else None
+        return None
+
+    def _make_join_op(self, node, left_op, right_op):
+        if node.algorithm == "merge":
+            left_sorted = SortOperator(
+                left_op, [SortKey(key) for key in node.left_keys], pool=self.pool
+            )
+            right_sorted = SortOperator(
+                right_op, [SortKey(key) for key in node.right_keys], pool=self.pool
+            )
+            join: Operator = MergeJoinOperator(
+                left_sorted,
+                right_sorted,
+                node.left_keys,
+                node.right_keys,
+                node.join_type,
+                node.left_columns,
+                node.right_columns,
+            )
+        else:
+            join = HashJoinOperator(
+                left_op,
+                right_op,
+                node.left_keys,
+                node.right_keys,
+                node.join_type,
+                node.left_columns,
+                node.right_columns,
+                pool=self.pool,
+            )
+            self._attach_sip(join, left_op, node)
+        if node.residual is not None:
+            join = FilterOperator(join, node.residual)
+        return join
+
+    def _build_join(self, node):
+        from ..optimizer import physical as P
+
+        left = self._build(node.left)
+        right = self._build(node.right)
+        if node.strategy == P.COLOCATED:
+            return self._join_colocated(node, left, right)
+        if node.strategy == P.BROADCAST_INNER:
+            return self._join_broadcast(node, left, right)
+        return self._join_resegment(node, left, right)
+
+    def _join_colocated(self, node, left, right):
+        if isinstance(left, Operator) or isinstance(right, Operator):
+            left_op = left if isinstance(left, Operator) else self._collect(left)
+            right_op = right if isinstance(right, Operator) else self._collect(right)
+            return self._make_join_op(node, left_op, right_op)
+        if left.replicated and right.replicated:
+            return _Fragments(
+                None,
+                factory=lambda base: self._make_join_op(
+                    node, left.op_for(base), right.op_for(base)
+                ),
+            )
+        bases = left.bases() if not left.replicated else right.bases()
+        return _Fragments(
+            {
+                base: self._make_join_op(
+                    node, left.op_for(base), right.op_for(base)
+                )
+                for base in bases
+            }
+        )
+
+    def _join_broadcast(self, node, left, right):
+        inner = self._collect(right)
+        blocks = list(inner.blocks())
+        inner_rows = sum(block.row_count for block in blocks)
+        if isinstance(left, Operator):
+            return self._make_join_op(node, left, SourceBlocks(iter(blocks)))
+        bases = left.bases() if not left.replicated else [0]
+        copies = max(len(bases) - 1, 0)
+        self.stats.rows_broadcast += inner_rows * copies
+
+        def make(base):
+            return self._make_join_op(node, left.op_for(base), SourceBlocks(list(blocks)))
+
+        if left.replicated:
+            return _Fragments(None, factory=make)
+        return _Fragments({base: make(base) for base in bases})
+
+    def _join_resegment(self, node, left, right):
+        destinations = max(len(self.cluster.membership.up_nodes()), 1)
+        left_exchange = Exchange(destinations)
+        right_exchange = Exchange(destinations)
+        self.stats._exchanges.extend([left_exchange, right_exchange])
+        left_frag = (
+            left if not isinstance(left, Operator) else _Fragments({0: left})
+        )
+        right_frag = (
+            right if not isinstance(right, Operator) else _Fragments({0: right})
+        )
+        left_senders = [
+            SendOperator(
+                left_frag.op_for(base), left_exchange, segment_exprs=node.left_keys
+            )
+            for base in (left_frag.bases() or [0])
+        ]
+        right_senders = [
+            SendOperator(
+                right_frag.op_for(base),
+                right_exchange,
+                segment_exprs=node.right_keys,
+            )
+            for base in (right_frag.bases() or [0])
+        ]
+        return _Fragments(
+            {
+                destination: self._make_join_op(
+                    node,
+                    RecvOperator(left_exchange, destination, left_senders),
+                    RecvOperator(right_exchange, destination, right_senders),
+                )
+                for destination in range(destinations)
+            }
+        )
+
+    # -- group by --------------------------------------------------------------
+
+    def _build_groupby(self, node):
+        built = self._build(node.child)
+        key_exprs = [expr for _, expr in node.keys]
+        key_names = [name for name, _ in node.keys]
+
+        def local_group(op):
+            if node.algorithm == "pipelined":
+                ordered = SortOperator(
+                    op, [SortKey(expr) for expr in key_exprs], pool=self.pool
+                )
+                return GroupByPipelinedOperator(
+                    ordered, key_exprs, key_names, node.aggregates
+                )
+            return GroupByHashOperator(
+                op, key_exprs, key_names, node.aggregates, pool=self.pool
+            )
+
+        if isinstance(built, Operator):
+            result: Operator = local_group(built)
+        elif node.local_complete:
+            result_frags = built.map(local_group)
+            result = self._collect(result_frags)
+        else:
+            mergeable = all(spec.mergeable for spec in node.aggregates)
+            if not mergeable:
+                result = local_group(self._collect(built))
+            else:
+                def partial(op):
+                    if node.prepass:
+                        return PrepassGroupByOperator(
+                            op, key_exprs, key_names, node.aggregates
+                        )
+                    return GroupByHashOperator(
+                        op, key_exprs, key_names, node.aggregates, pool=self.pool
+                    )
+
+                partials = built.map(partial)
+                result = GroupByHashOperator(
+                    self._collect(partials),
+                    key_exprs,
+                    key_names,
+                    node.aggregates,
+                    merge_partials=True,
+                    pool=self.pool,
+                )
+        if node.having is not None:
+            result = FilterOperator(result, node.having)
+        return result

@@ -1,0 +1,50 @@
+"""Execution engine operators (section 6.1)."""
+
+from .analytic import AnalyticOperator, WindowSpec
+from .base import Operator, RowSource, SourceBlocks
+from .exchange import Exchange, RecvOperator, SendOperator
+from .groupby import (
+    GroupByHashOperator,
+    GroupByPipelinedOperator,
+    PrepassGroupByOperator,
+    merge_specs,
+)
+from .join import HashJoinOperator, JoinType, MergeJoinOperator
+from .scan import ScanOperator
+from .simple import (
+    DistinctOperator,
+    ExprEvalOperator,
+    FilterOperator,
+    LimitOperator,
+    UnionAllOperator,
+)
+from .sort import SortKey, SortOperator
+from .union import ParallelUnionOperator, StorageUnionOperator
+
+__all__ = [
+    "AnalyticOperator",
+    "WindowSpec",
+    "Operator",
+    "RowSource",
+    "SourceBlocks",
+    "Exchange",
+    "RecvOperator",
+    "SendOperator",
+    "GroupByHashOperator",
+    "GroupByPipelinedOperator",
+    "PrepassGroupByOperator",
+    "merge_specs",
+    "HashJoinOperator",
+    "JoinType",
+    "MergeJoinOperator",
+    "ScanOperator",
+    "DistinctOperator",
+    "ExprEvalOperator",
+    "FilterOperator",
+    "LimitOperator",
+    "UnionAllOperator",
+    "SortKey",
+    "SortOperator",
+    "ParallelUnionOperator",
+    "StorageUnionOperator",
+]

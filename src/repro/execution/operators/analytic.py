@@ -1,0 +1,183 @@
+"""Analytic (windowed aggregate) operator.
+
+    Analytic: Computes SQL-99 Analytics style windowed aggregates.
+    (section 6.1)
+
+Supported functions: ROW_NUMBER, RANK, DENSE_RANK, and the aggregate
+functions COUNT/SUM/AVG/MIN/MAX over a window.  With an ORDER BY the
+aggregates are *running* (rows from partition start to the current row,
+peers included); without one they cover the whole partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ExecutionError
+from ...types import sort_key
+from ..expressions import Expr
+from ..row_block import VECTOR_SIZE, RowBlock
+from .base import Operator
+
+_RANKING = ("ROW_NUMBER", "RANK", "DENSE_RANK")
+_AGGREGATE = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass
+class WindowSpec:
+    """One window function in the select list."""
+
+    func: str
+    #: Argument expression; None for ROW_NUMBER/RANK/DENSE_RANK/COUNT(*).
+    arg: Expr | None
+    output_name: str
+    partition_by: list[Expr] = field(default_factory=list)
+    order_by: list[tuple[Expr, bool]] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.func = self.func.upper()
+        if self.func not in _RANKING + _AGGREGATE:
+            raise ExecutionError(f"unsupported window function {self.func!r}")
+        if self.func in _RANKING and not self.order_by:
+            raise ExecutionError(f"{self.func} requires ORDER BY")
+
+    def describe(self) -> str:
+        inner = "" if self.arg is None else repr(self.arg)
+        over = []
+        if self.partition_by:
+            over.append(
+                "PARTITION BY " + ", ".join(repr(e) for e in self.partition_by)
+            )
+        if self.order_by:
+            over.append(
+                "ORDER BY "
+                + ", ".join(
+                    f"{expr!r} {'ASC' if asc else 'DESC'}"
+                    for expr, asc in self.order_by
+                )
+            )
+        return f"{self.func}({inner}) OVER ({' '.join(over)})"
+
+
+class _Desc:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+class AnalyticOperator(Operator):
+    """Computes one window function, appending its output column.
+
+    Materializes the input (window semantics require it), partitions,
+    orders within partitions, computes, and re-emits rows in the
+    computed order.  Chain several AnalyticOperators for several
+    window functions.
+    """
+
+    op_name = "Analytic"
+
+    def __init__(self, child: Operator, spec: WindowSpec):
+        super().__init__([child])
+        self.spec = spec
+
+    def _produce(self):
+        rows: list[dict] = []
+        for block in self.children[0].blocks():
+            rows.extend(block.to_rows())
+        if not rows:
+            return
+        partitions: dict[tuple, list[dict]] = {}
+        for row in rows:
+            key = tuple(
+                sort_key(expr.evaluate_row(row)) for expr in self.spec.partition_by
+            )
+            partitions.setdefault(key, []).append(row)
+        out_rows: list[dict] = []
+        for key in sorted(partitions, key=repr):
+            out_rows.extend(self._compute_partition(partitions[key]))
+        column_names = list(out_rows[0])
+        for start in range(0, len(out_rows), VECTOR_SIZE):
+            yield RowBlock.from_rows(
+                out_rows[start : start + VECTOR_SIZE], column_names
+            )
+
+    def _order_key(self, row: dict):
+        parts = []
+        for expr, ascending in self.spec.order_by:
+            value = sort_key(expr.evaluate_row(row))
+            parts.append(value if ascending else _Desc(value))
+        return tuple(parts)
+
+    def _compute_partition(self, rows: list[dict]) -> list[dict]:
+        spec = self.spec
+        if spec.order_by:
+            rows = sorted(rows, key=self._order_key)
+        name = spec.output_name
+        if spec.func == "ROW_NUMBER":
+            return [{**row, name: index + 1} for index, row in enumerate(rows)]
+        if spec.func in ("RANK", "DENSE_RANK"):
+            out = []
+            rank = 0
+            dense = 0
+            previous_key = object()
+            for index, row in enumerate(rows):
+                key = self._order_key(row)
+                if key != previous_key:
+                    rank = index + 1
+                    dense += 1
+                    previous_key = key
+                out.append({**row, name: rank if spec.func == "RANK" else dense})
+            return out
+        return self._compute_window_aggregate(rows)
+
+    def _compute_window_aggregate(self, rows: list[dict]) -> list[dict]:
+        spec = self.spec
+        values = [
+            None if spec.arg is None else spec.arg.evaluate_row(row) for row in rows
+        ]
+        if not spec.order_by:
+            total = self._aggregate(values, count_star=spec.arg is None)
+            return [{**row, spec.output_name: total} for row in rows]
+        # running aggregate with peer rows included (RANGE UNBOUNDED
+        # PRECEDING .. CURRENT ROW, the SQL default)
+        out: list[dict] = []
+        keys = [self._order_key(row) for row in rows]
+        index = 0
+        while index < len(rows):
+            peer_end = index + 1
+            while peer_end < len(rows) and keys[peer_end] == keys[index]:
+                peer_end += 1
+            running = self._aggregate(
+                values[:peer_end], count_star=spec.arg is None
+            )
+            for position in range(index, peer_end):
+                out.append({**rows[position], spec.output_name: running})
+            index = peer_end
+        return out
+
+    def _aggregate(self, values: list, count_star: bool):
+        func = self.spec.func
+        if func == "COUNT":
+            if count_star:
+                return len(values)
+            return sum(1 for value in values if value is not None)
+        concrete = [value for value in values if value is not None]
+        if not concrete:
+            return None
+        if func == "SUM":
+            return sum(concrete)
+        if func == "AVG":
+            return sum(concrete) / len(concrete)
+        if func == "MIN":
+            return min(concrete)
+        return max(concrete)
+
+    def label(self) -> str:
+        return f"Analytic({self.spec.describe()})"

@@ -1,0 +1,107 @@
+"""Operator base class: the pull-model, vectorized plan node.
+
+    Vertica's operators use a pull processing model: the most
+    downstream operator requests rows from the next operator upstream
+    in the processing pipeline.  (section 6.1)
+
+Operators are Python iterators of :class:`RowBlock` s.  Each tracks the
+rows it produced, which the benches use to show effects like SIP and
+prepass aggregation reducing pipeline volume.
+"""
+
+from __future__ import annotations
+
+from ..row_block import RowBlock
+
+
+class Operator:
+    """A node in the physical plan tree."""
+
+    #: Short name used in EXPLAIN output ("Scan", "GroupByHash", ...).
+    op_name = "Operator"
+
+    def __init__(self, children: list["Operator"] | None = None):
+        self.children = list(children or [])
+        self.rows_produced = 0
+        self.blocks_produced = 0
+
+    # -- data flow -------------------------------------------------------
+
+    def blocks(self):
+        """Generator of output RowBlocks; subclasses implement
+        :meth:`_produce` and get accounting for free."""
+        for block in self._produce():
+            self.rows_produced += block.row_count
+            self.blocks_produced += 1
+            yield block
+
+    def _produce(self):
+        raise NotImplementedError
+
+    def __iter__(self):
+        return self.blocks()
+
+    def rows(self):
+        """Materialize the operator's full output as row dicts."""
+        out: list[dict] = []
+        for block in self.blocks():
+            out.extend(block.to_rows())
+        return out
+
+    # -- plan display ------------------------------------------------------
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN trees."""
+        return self.op_name
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree (Figure 3 bench uses this)."""
+        lines = [" " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 2))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Yield every operator in the subtree, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SourceBlocks(Operator):
+    """Adapter feeding a precomputed list/iterator of blocks into a
+    plan (tests, Send/Recv endpoints, subquery results)."""
+
+    op_name = "Source"
+
+    def __init__(self, blocks_iterable, column_names: list[str] | None = None):
+        super().__init__()
+        self._blocks = blocks_iterable
+        self._columns = column_names
+
+    def _produce(self):
+        for block in self._blocks:
+            yield block
+
+    def label(self) -> str:
+        return "Source"
+
+
+class RowSource(Operator):
+    """Adapter feeding row dicts into a plan as vector-sized blocks."""
+
+    op_name = "RowSource"
+
+    def __init__(self, rows: list[dict], column_names: list[str], block_rows: int = 4096):
+        super().__init__()
+        self._rows = rows
+        self._column_names = column_names
+        self._block_rows = block_rows
+
+    def _produce(self):
+        for start in range(0, len(self._rows), self._block_rows):
+            chunk = self._rows[start : start + self._block_rows]
+            yield RowBlock.from_rows(chunk, self._column_names)
+
+    def label(self) -> str:
+        return f"RowSource({len(self._rows)} rows)"

@@ -1,0 +1,419 @@
+"""GroupBy operators: hash, pipelined (one-pass), and prepass.
+
+    GroupBy: Groups and aggregates data.  We have several different
+    hash based algorithms [...] Vertica also implements classic
+    pipelined (one-pass) aggregates.  (section 6.1)
+
+Three physical algorithms:
+
+* :class:`GroupByHashOperator` — general hash aggregation, with
+  partition-and-spill externalization when the group count exceeds the
+  operator's memory budget;
+* :class:`GroupByPipelinedOperator` — one-pass aggregation requiring
+  input sorted on the group keys (the payoff of sorted projections:
+  constant memory, streaming output);
+* :class:`PrepassGroupByOperator` — the paper's L1-cache-sized
+  pre-aggregation: bounded hash table flushed when full, merged by a
+  downstream GroupBy, with the runtime shutoff that stops prepassing
+  when it is not actually reducing row counts.
+
+Partials everywhere share one schema: the group key columns plus one
+column per aggregate (COUNT partials are counts, merged downstream by
+SUM).  That uniformity is what lets hash aggregation externalize and
+prepass outputs flow into an ordinary merge-mode GroupBy.
+"""
+
+from __future__ import annotations
+
+from ...errors import ExecutionError
+from ..aggregates import AggregateSpec, make_accumulator
+from ..expressions import ColumnRef, Expr
+from ..resource import ResourcePool, SpillFile
+from ..row_block import VECTOR_SIZE, RowBlock
+from .base import Operator
+
+
+def _group_output_block(
+    items: list[tuple[tuple, list]],
+    key_names: list[str],
+    specs: list[AggregateSpec],
+) -> RowBlock:
+    """Build an output block from (key, accumulators) pairs."""
+    columns: dict[str, list] = {name: [] for name in key_names}
+    for spec in specs:
+        columns[spec.output_name] = []
+    for key, accumulators in items:
+        for name, value in zip(key_names, key):
+            columns[name].append(value)
+        for spec, accumulator in zip(specs, accumulators):
+            columns[spec.output_name].append(accumulator.final())
+    return RowBlock(columns=columns, row_count=len(items))
+
+
+def merge_specs(specs: list[AggregateSpec]) -> list[AggregateSpec]:
+    """Specs for the merge stage: fold partials by their merge function,
+    reading from the partial column of the same output name."""
+    merged = []
+    for spec in specs:
+        if not spec.mergeable:
+            raise ExecutionError(f"{spec.describe()} has no mergeable partial")
+        merged.append(
+            AggregateSpec(spec.merge_func, ColumnRef(spec.output_name), spec.output_name)
+        )
+    return merged
+
+
+class _AggregationCore:
+    """Shared accumulate-into-hash-table logic."""
+
+    def __init__(
+        self,
+        key_exprs: list[Expr],
+        key_names: list[str],
+        specs: list[AggregateSpec],
+    ):
+        if len(key_exprs) != len(key_names):
+            raise ExecutionError("group key exprs and names must align")
+        self.key_exprs = key_exprs
+        self.key_names = key_names
+        self.specs = specs
+        self._key_runs = [expr.compiled() for expr in key_exprs]
+        self._arg_runs = [
+            spec.arg.compiled() if spec.arg is not None else None for spec in specs
+        ]
+
+    def new_accumulators(self):
+        return [make_accumulator(spec) for spec in self.specs]
+
+    def key_columns(self, block: RowBlock) -> list[list]:
+        return [run(block) for run in self._key_runs]
+
+    def absorb_block(self, groups: dict, block: RowBlock) -> None:
+        """Fold one block into the group hash table."""
+        key_columns = self.key_columns(block)
+        arg_columns = [
+            run(block) if run is not None else None for run in self._arg_runs
+        ]
+        count = block.row_count
+        if not self.key_exprs:
+            accumulators = groups.get(())
+            if accumulators is None:
+                accumulators = groups[()] = self.new_accumulators()
+            self._fold_range(accumulators, arg_columns, count)
+            return
+        for index in range(count):
+            key = tuple(column[index] for column in key_columns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = groups[key] = self.new_accumulators()
+            self._fold_one(accumulators, arg_columns, index)
+
+    def _fold_one(self, accumulators, arg_columns, index: int) -> None:
+        for accumulator, args in zip(accumulators, arg_columns):
+            if args is None:
+                accumulator.add_count_star()
+            else:
+                accumulator.add(args[index])
+
+    def _fold_range(self, accumulators, arg_columns, count: int) -> None:
+        for accumulator, args in zip(accumulators, arg_columns):
+            if args is None:
+                accumulator.add_count_star(count)
+            else:
+                for index in range(count):
+                    accumulator.add(args[index])
+
+    def to_partial_block(self, block: RowBlock) -> RowBlock:
+        """Map raw rows 1:1 into the partial schema (no aggregation)."""
+        key_columns = self.key_columns(block)
+        arg_columns = [
+            run(block) if run is not None else None for run in self._arg_runs
+        ]
+        columns: dict[str, list] = {}
+        for name, values in zip(self.key_names, key_columns):
+            columns[name] = values
+        for spec, args in zip(self.specs, arg_columns):
+            if spec.func == "COUNT" and args is None:
+                columns[spec.output_name] = [1] * block.row_count
+            elif spec.func == "COUNT":
+                columns[spec.output_name] = [
+                    0 if value is None else 1 for value in args
+                ]
+            else:
+                columns[spec.output_name] = list(args)
+        return RowBlock(columns=columns, row_count=block.row_count)
+
+
+class GroupByHashOperator(Operator):
+    """Hash aggregation with partitioned spill externalization.
+
+    ``merge_partials`` makes the operator consume partial rows (from a
+    prepass or a Send/Recv of partials) instead of raw rows.
+    """
+
+    op_name = "GroupByHash"
+
+    #: Number of spill partitions when externalizing.
+    SPILL_PARTITIONS = 8
+
+    def __init__(
+        self,
+        child: Operator,
+        key_exprs: list[Expr],
+        key_names: list[str],
+        aggregates: list[AggregateSpec],
+        pool: ResourcePool | None = None,
+        max_groups: int | None = None,
+        merge_partials: bool = False,
+    ):
+        super().__init__([child])
+        self.merge_partials = merge_partials
+        self.output_specs = aggregates
+        if merge_partials:
+            core_specs = merge_specs(aggregates)
+            core_keys = [ColumnRef(name) for name in key_names]
+        else:
+            core_specs = aggregates
+            core_keys = key_exprs
+        self.core = _AggregationCore(core_keys, key_names, core_specs)
+        self.pool = pool
+        self.max_groups = max_groups
+        self.spilled = False
+
+    def _budget(self) -> int | None:
+        if self.max_groups is not None:
+            return self.max_groups
+        if self.pool is not None:
+            return self.pool.operator_budget()
+        return None
+
+    def _produce(self):
+        budget = self._budget()
+        groups: dict = {}
+        spill_files: list[SpillFile] | None = None
+        partial_core: _AggregationCore | None = None
+        for block in self.children[0].blocks():
+            if spill_files is None:
+                self.core.absorb_block(groups, block)
+                if budget is not None and len(groups) > budget:
+                    if not all(spec.mergeable for spec in self.core.specs):
+                        raise ExecutionError(
+                            "group-by spill requires mergeable aggregates; "
+                            "raise the memory budget for AVG/DISTINCT queries"
+                        )
+                    self.spilled = True
+                    if self.pool is not None:
+                        self.pool.note_spill()
+                    spill_files = [SpillFile() for _ in range(self.SPILL_PARTITIONS)]
+                    partial_core = _AggregationCore(
+                        [ColumnRef(name) for name in self.core.key_names],
+                        self.core.key_names,
+                        merge_specs(self.core.specs)
+                        if not self.merge_partials
+                        else self.core.specs,
+                    )
+                    flushed = _group_output_block(
+                        list(groups.items()), self.core.key_names, self.core.specs
+                    )
+                    groups = {}
+                    self._spill_partials(flushed, partial_core, spill_files)
+            else:
+                partial = (
+                    block
+                    if self.merge_partials
+                    else self.core.to_partial_block(block)
+                )
+                self._spill_partials(partial, partial_core, spill_files)
+        if spill_files is None:
+            yield from self._emit(groups, self.core)
+        else:
+            for spill in spill_files:
+                partition_groups: dict = {}
+                schema = partial_core.key_names + [
+                    spec.output_name for spec in partial_core.specs
+                ]
+                for rows in spill.read_batches():
+                    partial_block = RowBlock.from_rows(rows, schema)
+                    partial_core.absorb_block(partition_groups, partial_block)
+                spill.close()
+                yield from self._emit(partition_groups, partial_core)
+
+    def _spill_partials(
+        self, block: RowBlock, partial_core: _AggregationCore, spill_files
+    ) -> None:
+        key_columns = partial_core.key_columns(block)
+        rows = block.to_rows()
+        buckets: list[list] = [[] for _ in spill_files]
+        for index, row in enumerate(rows):
+            key = tuple(column[index] for column in key_columns)
+            buckets[hash(key) % len(spill_files)].append(row)
+        for spill, bucket in zip(spill_files, buckets):
+            if bucket:
+                spill.write_batch(bucket)
+
+    def _emit(self, groups: dict, core: _AggregationCore):
+        items = list(groups.items())
+        for start in range(0, len(items), VECTOR_SIZE):
+            yield _group_output_block(
+                items[start : start + VECTOR_SIZE], core.key_names, core.specs
+            )
+        if not items and not core.key_exprs and not self.spilled:
+            # a global aggregate over empty input still yields one row
+            yield _group_output_block(
+                [((), core.new_accumulators())], core.key_names, core.specs
+            )
+
+    def label(self) -> str:
+        keys = ", ".join(self.core.key_names) or "<global>"
+        aggs = ", ".join(spec.describe() for spec in self.output_specs)
+        mode = " merge" if self.merge_partials else ""
+        return f"GroupByHash(keys=[{keys}] aggs=[{aggs}]{mode})"
+
+
+class GroupByPipelinedOperator(Operator):
+    """One-pass aggregation over input sorted by the group keys.
+
+    Emits each group as soon as the key changes; constant memory and
+    preserves sortedness — this is the algorithm sorted projections
+    unlock ("stream aggregation" in section 6.2's technique list).
+    """
+
+    op_name = "GroupByPipelined"
+
+    def __init__(
+        self,
+        child: Operator,
+        key_exprs: list[Expr],
+        key_names: list[str],
+        aggregates: list[AggregateSpec],
+        merge_partials: bool = False,
+    ):
+        super().__init__([child])
+        self.merge_partials = merge_partials
+        self.output_specs = aggregates
+        if merge_partials:
+            self.core = _AggregationCore(
+                [ColumnRef(name) for name in key_names],
+                key_names,
+                merge_specs(aggregates),
+            )
+        else:
+            self.core = _AggregationCore(key_exprs, key_names, aggregates)
+
+    def _produce(self):
+        current_key = None
+        accumulators = None
+        pending: list[tuple[tuple, list]] = []
+        for block in self.children[0].blocks():
+            key_columns = self.core.key_columns(block)
+            arg_columns = [
+                run(block) if run is not None else None
+                for run in self.core._arg_runs
+            ]
+            for index in range(block.row_count):
+                key = tuple(column[index] for column in key_columns)
+                if key != current_key or accumulators is None:
+                    if accumulators is not None:
+                        pending.append((current_key, accumulators))
+                        if len(pending) >= VECTOR_SIZE:
+                            yield _group_output_block(
+                                pending, self.core.key_names, self.core.specs
+                            )
+                            pending = []
+                    current_key = key
+                    accumulators = self.core.new_accumulators()
+                self.core._fold_one(accumulators, arg_columns, index)
+        if accumulators is not None:
+            pending.append((current_key, accumulators))
+        if pending:
+            yield _group_output_block(pending, self.core.key_names, self.core.specs)
+        elif not self.core.key_exprs:
+            yield _group_output_block(
+                [((), self.core.new_accumulators())],
+                self.core.key_names,
+                self.core.specs,
+            )
+
+    def label(self) -> str:
+        keys = ", ".join(self.core.key_names) or "<global>"
+        aggs = ", ".join(spec.describe() for spec in self.output_specs)
+        return f"GroupByPipelined(keys=[{keys}] aggs=[{aggs}])"
+
+
+class PrepassGroupByOperator(Operator):
+    """L1-sized partial aggregation with adaptive shutoff.
+
+    Output rows are *partials*; a downstream GroupBy with
+    ``merge_partials=True`` folds them together.  Only mergeable
+    aggregates may be prepassed — the planner checks before placing one.
+    """
+
+    op_name = "PrepassGroupBy"
+
+    #: Default bound on the in-flight table ("L1 cache sized").
+    DEFAULT_TABLE_SIZE = 1024
+    #: After this many input rows, evaluate whether to shut off.
+    SHUTOFF_CHECK_ROWS = 8192
+    #: Shut off when output/input exceeds this ratio.
+    SHUTOFF_RATIO = 0.9
+
+    def __init__(
+        self,
+        child: Operator,
+        key_exprs: list[Expr],
+        key_names: list[str],
+        aggregates: list[AggregateSpec],
+        table_size: int | None = None,
+    ):
+        super().__init__([child])
+        for spec in aggregates:
+            if not spec.mergeable:
+                raise ExecutionError(
+                    f"aggregate {spec.describe()} cannot be prepassed"
+                )
+        self.core = _AggregationCore(key_exprs, key_names, aggregates)
+        self.table_size = table_size or self.DEFAULT_TABLE_SIZE
+        self.shut_off = False
+        self.rows_in = 0
+        self.rows_out_partial = 0
+
+    def _produce(self):
+        groups: dict = {}
+        for block in self.children[0].blocks():
+            self.rows_in += block.row_count
+            if self.shut_off:
+                partial = self.core.to_partial_block(block)
+                self.rows_out_partial += partial.row_count
+                yield partial
+                continue
+            self.core.absorb_block(groups, block)
+            if len(groups) >= self.table_size:
+                yield from self._flush(groups)
+                groups = {}
+            if (
+                self.rows_in >= self.SHUTOFF_CHECK_ROWS
+                and self.rows_out_partial > self.SHUTOFF_RATIO * self.rows_in
+            ):
+                # Not reducing: emit the current table and become a
+                # passthrough (the paper's runtime decision to stop).
+                if groups:
+                    yield from self._flush(groups)
+                    groups = {}
+                self.shut_off = True
+        if groups:
+            yield from self._flush(groups)
+
+    def _flush(self, groups: dict):
+        items = list(groups.items())
+        self.rows_out_partial += len(items)
+        for start in range(0, len(items), VECTOR_SIZE):
+            yield _group_output_block(
+                items[start : start + VECTOR_SIZE],
+                self.core.key_names,
+                self.core.specs,
+            )
+
+    def label(self) -> str:
+        keys = ", ".join(self.core.key_names) or "<global>"
+        state = " [shutoff]" if self.shut_off else ""
+        return f"PrepassGroupBy(keys=[{keys}] table={self.table_size}{state})"

@@ -1,0 +1,100 @@
+"""Scan operator: projection-aware, pruning, predicate-pushing.
+
+    Scan: Reads data from a particular projection's ROS containers,
+    and applies predicates in the most advantageous manner possible.
+    (section 6.1)
+
+The scan derives per-column (low, high) bounds from its predicate and
+hands them to the storage manager so whole ROS containers are pruned
+from min/max metadata; the residual predicate is evaluated vectorized
+on the surviving blocks; SIP filters from downstream hash joins run
+last (section 6.1).
+"""
+
+from __future__ import annotations
+
+from ...storage.manager import StorageManager
+from ..expressions import Expr, column_range_from_predicate
+from ..row_block import RowBlock
+from ..sip import SipFilter
+from .base import Operator
+
+
+class ScanOperator(Operator):
+    """Scan one projection on one node at one snapshot epoch."""
+
+    op_name = "Scan"
+
+    def __init__(
+        self,
+        manager: StorageManager,
+        projection_name: str,
+        epoch: int,
+        columns: list[str],
+        predicate: Expr | None = None,
+        sip_filters: list[SipFilter] | None = None,
+        extra_rows: list[dict] | None = None,
+    ):
+        super().__init__()
+        self.manager = manager
+        self.projection_name = projection_name
+        self.epoch = epoch
+        self.columns = list(columns)
+        self.predicate = predicate
+        self.sip_filters = sip_filters or []
+        #: Rows visible only to the scanning transaction (its own
+        #: uncommitted inserts), appended after storage rows.
+        self.extra_rows = extra_rows or []
+        self.rows_scanned = 0
+        self.rows_after_predicate = 0
+
+    def _needed_columns(self) -> list[str]:
+        needed = set(self.columns)
+        if self.predicate is not None:
+            needed |= self.predicate.referenced_columns()
+        for sip in self.sip_filters:
+            for expr in sip.key_exprs:
+                needed |= expr.referenced_columns()
+        return sorted(needed)
+
+    def _produce(self):
+        prune = column_range_from_predicate(self.predicate)
+        needed = self._needed_columns()
+        predicate = self.predicate.compiled() if self.predicate is not None else None
+
+        def emit(block: RowBlock):
+            self.rows_scanned += block.row_count
+            if predicate is not None:
+                block = block.filter(predicate(block))
+            self.rows_after_predicate += block.row_count
+            for sip in self.sip_filters:
+                block = sip.apply(block)
+            if block.row_count:
+                return block.project(self.columns)
+            return None
+
+        for batch in self.manager.scan(
+            self.projection_name, self.epoch, columns=needed, prune=prune or None
+        ):
+            block = RowBlock(columns=batch.columns, row_count=batch.row_count)
+            out = emit(block)
+            if out is not None:
+                yield out
+        if self.extra_rows:
+            block = RowBlock(
+                columns={
+                    name: [row[name] for row in self.extra_rows] for name in needed
+                },
+                row_count=len(self.extra_rows),
+            )
+            out = emit(block)
+            if out is not None:
+                yield out
+
+    def label(self) -> str:
+        parts = [f"Scan({self.projection_name} @e{self.epoch})"]
+        if self.predicate is not None:
+            parts.append(f"filter={self.predicate!r}")
+        for sip in self.sip_filters:
+            parts.append(sip.describe())
+        return " ".join(parts)

@@ -1,0 +1,129 @@
+"""Simple streaming operators: Filter, ExprEval, Limit, Distinct, UnionAll."""
+
+from __future__ import annotations
+
+from ...errors import ExecutionError
+from ..expressions import Expr
+from ..row_block import RowBlock
+from .base import Operator
+
+
+class FilterOperator(Operator):
+    """Keeps rows whose predicate evaluates to TRUE (not NULL)."""
+
+    op_name = "Filter"
+
+    def __init__(self, child: Operator, predicate: Expr):
+        super().__init__([child])
+        self.predicate = predicate
+
+    def _produce(self):
+        predicate = self.predicate.compiled()
+        for block in self.children[0].blocks():
+            filtered = block.filter(predicate(block))
+            if filtered.row_count:
+                yield filtered
+
+    def label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class ExprEvalOperator(Operator):
+    """Computes output columns from expressions over the input.
+
+    ``outputs`` is an ordered mapping of output name -> expression;
+    this is both the projection and computed-column operator (the
+    paper's ExprEval).
+    """
+
+    op_name = "ExprEval"
+
+    def __init__(self, child: Operator, outputs: dict[str, Expr]):
+        super().__init__([child])
+        if not outputs:
+            raise ExecutionError("ExprEval needs at least one output")
+        self.outputs = dict(outputs)
+
+    def _produce(self):
+        compiled = {name: expr.compiled() for name, expr in self.outputs.items()}
+        for block in self.children[0].blocks():
+            yield RowBlock(
+                columns={name: run(block) for name, run in compiled.items()},
+                row_count=block.row_count,
+            )
+
+    def label(self) -> str:
+        body = ", ".join(f"{name}={expr!r}" for name, expr in self.outputs.items())
+        return f"ExprEval({body})"
+
+
+class LimitOperator(Operator):
+    """LIMIT/OFFSET over the child's stream; stops pulling early."""
+
+    op_name = "Limit"
+
+    def __init__(self, child: Operator, limit: int, offset: int = 0):
+        super().__init__([child])
+        self.limit = limit
+        self.offset = offset
+
+    def _produce(self):
+        to_skip = self.offset
+        remaining = self.limit
+        for block in self.children[0].blocks():
+            if to_skip >= block.row_count:
+                to_skip -= block.row_count
+                continue
+            if to_skip:
+                block = block.select_rows(list(range(to_skip, block.row_count)))
+                to_skip = 0
+            if block.row_count >= remaining:
+                yield block.select_rows(list(range(remaining)))
+                return
+            remaining -= block.row_count
+            yield block
+
+    def label(self) -> str:
+        suffix = f" OFFSET {self.offset}" if self.offset else ""
+        return f"Limit({self.limit}{suffix})"
+
+
+class DistinctOperator(Operator):
+    """Removes duplicate rows (hash-based)."""
+
+    op_name = "Distinct"
+
+    def __init__(self, child: Operator):
+        super().__init__([child])
+
+    def _produce(self):
+        seen: set = set()
+        for block in self.children[0].blocks():
+            names = block.column_names
+            keep = []
+            for index in range(block.row_count):
+                key = tuple(block.columns[name][index] for name in names)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(index)
+            if keep:
+                yield block.select_rows(keep)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+class UnionAllOperator(Operator):
+    """Concatenates children's streams (bag union)."""
+
+    op_name = "UnionAll"
+
+    def __init__(self, children: list[Operator]):
+        super().__init__(children)
+
+    def _produce(self):
+        for child in self.children:
+            yield from child.blocks()
+
+    def label(self) -> str:
+        return f"UnionAll({len(self.children)} inputs)"

@@ -1,0 +1,165 @@
+"""Sort operator with disk externalization.
+
+    Sort: Sorts incoming data, externalizing if needed.  (section 6.1)
+
+When buffered rows exceed the operator's memory budget, sorted runs are
+spilled to temp files and merged with a k-way heap merge at the end —
+the classic external merge sort.  NULLs order first, matching the
+storage sort order convention.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ...types import sort_key
+from ..expressions import Expr
+from ..resource import ResourcePool, SpillFile
+from ..row_block import VECTOR_SIZE, RowBlock
+from .base import Operator
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY term."""
+
+    expr: Expr
+    ascending: bool = True
+
+    def describe(self) -> str:
+        return f"{self.expr!r} {'ASC' if self.ascending else 'DESC'}"
+
+
+class _Reversed:
+    """Key wrapper inverting comparison order for DESC terms."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def make_row_key(keys: list[SortKey], column_names_hint=None):
+    """Build a key function row-dict -> ordering tuple."""
+
+    def row_key(row: dict):
+        parts = []
+        for key in keys:
+            value = sort_key(key.expr.evaluate_row(row))
+            parts.append(value if key.ascending else _Reversed(value))
+        return tuple(parts)
+
+    return row_key
+
+
+class SortOperator(Operator):
+    """Full sort (optionally top-K when a limit hint is supplied)."""
+
+    op_name = "Sort"
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: list[SortKey],
+        pool: ResourcePool | None = None,
+        max_buffered_rows: int | None = None,
+        limit_hint: int | None = None,
+    ):
+        super().__init__([child])
+        self.keys = keys
+        self.pool = pool
+        self.max_buffered_rows = max_buffered_rows
+        self.limit_hint = limit_hint
+        self.spilled_runs = 0
+
+    def _budget(self) -> int | None:
+        if self.max_buffered_rows is not None:
+            return self.max_buffered_rows
+        if self.pool is not None:
+            return self.pool.operator_budget()
+        return None
+
+    def _key_columns(self, block: RowBlock) -> list[list]:
+        out = []
+        for key in self.keys:
+            values = [sort_key(v) for v in key.expr.evaluate(block)]
+            if not key.ascending:
+                values = [_Reversed(v) for v in values]
+            out.append(values)
+        return out
+
+    def _produce(self):
+        budget = self._budget()
+        buffered: list[tuple[tuple, dict]] = []
+        runs: list[SpillFile] = []
+        column_names: list[str] | None = None
+        for block in self.children[0].blocks():
+            if column_names is None:
+                column_names = block.column_names
+            key_columns = self._key_columns(block)
+            rows = block.to_rows()
+            for index, row in enumerate(rows):
+                buffered.append(
+                    (tuple(column[index] for column in key_columns), row)
+                )
+            if budget is not None and len(buffered) > budget:
+                runs.append(self._spill_run(buffered))
+                buffered = []
+        if not runs:
+            buffered.sort(key=lambda item: item[0])
+            if self.limit_hint is not None:
+                buffered = buffered[: self.limit_hint]
+            yield from self._emit([row for _, row in buffered], column_names)
+            return
+        if buffered:
+            runs.append(self._spill_run(buffered))
+
+        def run_stream(spill: SpillFile):
+            for batch in spill.read_batches():
+                yield from batch
+
+        merged = heapq.merge(
+            *(run_stream(run) for run in runs), key=lambda item: item[0]
+        )
+        emitted = 0
+        pending: list[dict] = []
+        for _, row in merged:
+            pending.append(row)
+            emitted += 1
+            if len(pending) >= VECTOR_SIZE:
+                yield RowBlock.from_rows(pending, column_names)
+                pending = []
+            if self.limit_hint is not None and emitted >= self.limit_hint:
+                break
+        if pending:
+            yield RowBlock.from_rows(pending, column_names)
+        for run in runs:
+            run.close()
+
+    def _spill_run(self, buffered) -> SpillFile:
+        buffered.sort(key=lambda item: item[0])
+        spill = SpillFile()
+        for start in range(0, len(buffered), VECTOR_SIZE):
+            spill.write_batch(buffered[start : start + VECTOR_SIZE])
+        self.spilled_runs += 1
+        if self.pool is not None:
+            self.pool.note_spill()
+        return spill
+
+    def _emit(self, rows: list[dict], column_names):
+        if column_names is None:
+            return
+        for start in range(0, len(rows), VECTOR_SIZE):
+            yield RowBlock.from_rows(rows[start : start + VECTOR_SIZE], column_names)
+
+    def label(self) -> str:
+        keys = ", ".join(key.describe() for key in self.keys)
+        spill = f" runs={self.spilled_runs}" if self.spilled_runs else ""
+        return f"Sort({keys}{spill})"

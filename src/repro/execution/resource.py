@@ -1,0 +1,111 @@
+"""Execution resource management (section 6.1).
+
+    During query compile time, each operator is given a memory budget
+    based on the resources available given a user defined workload
+    policy and what each operator is going to do.  All operators are
+    capable of handling arbitrary sized inputs, regardless of the
+    memory allocated, by externalizing their buffers to disk.
+
+Budgets are expressed in *rows* (a proxy for bytes that keeps the
+simulation deterministic).  The resource pool also implements the
+paper's zone idea: operators separated by a pipeline breaker (Sort,
+hash build) can reuse each other's memory, so the pool hands memory
+back when an operator finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+
+from ..errors import ResourceExceededError
+
+
+@dataclass
+class WorkloadPolicy:
+    """User-facing resource knobs for a session's queries."""
+
+    #: Total rows' worth of working memory a query may pin at once.
+    query_memory_rows: int = 1_000_000
+    #: Fraction of the query budget any single operator may take.
+    per_operator_fraction: float = 0.5
+
+
+@dataclass
+class ResourcePool:
+    """Tracks grants against one query's memory budget."""
+
+    policy: WorkloadPolicy = field(default_factory=WorkloadPolicy)
+    granted: dict[int, int] = field(default_factory=dict)
+    _next_grant: int = 1
+    #: Count of spill events (observability for tests/benches).
+    spills: int = 0
+
+    @property
+    def in_use(self) -> int:
+        """Rows of memory currently granted."""
+        return sum(self.granted.values())
+
+    @property
+    def available(self) -> int:
+        """Rows of memory still grantable."""
+        return max(self.policy.query_memory_rows - self.in_use, 0)
+
+    def operator_budget(self) -> int:
+        """Default per-operator grant size."""
+        return max(
+            int(self.policy.query_memory_rows * self.policy.per_operator_fraction),
+            1,
+        )
+
+    def grant(self, rows: int) -> int:
+        """Reserve ``rows`` of memory; returns a grant id."""
+        if rows > self.available:
+            raise ResourceExceededError(
+                f"requested {rows} rows, only {self.available} available"
+            )
+        grant_id = self._next_grant
+        self._next_grant += 1
+        self.granted[grant_id] = rows
+        return grant_id
+
+    def release(self, grant_id: int) -> None:
+        """Return a grant to the pool (zone hand-back)."""
+        self.granted.pop(grant_id, None)
+
+    def note_spill(self) -> None:
+        """Record that an operator externalized to disk."""
+        self.spills += 1
+
+
+class SpillFile:
+    """A temp file of pickled row batches, for externalizing operators."""
+
+    def __init__(self):
+        self._handle = tempfile.NamedTemporaryFile(
+            mode="w+b", suffix=".spill", delete=False
+        )
+        self.batches = 0
+
+    def write_batch(self, rows: list) -> None:
+        """Append one batch of rows."""
+        pickle.dump(rows, self._handle)
+        self.batches += 1
+
+    def read_batches(self):
+        """Yield batches back in write order."""
+        self._handle.flush()
+        self._handle.seek(0)
+        for _ in range(self.batches):
+            yield pickle.load(self._handle)
+
+    def close(self) -> None:
+        """Close and remove the backing file."""
+        name = self._handle.name
+        self._handle.close()
+        try:
+            os.unlink(name)
+        except OSError:  # pragma: no cover - best effort cleanup
+            pass

@@ -1,0 +1,156 @@
+"""Vectorized row blocks: the unit of data flow between operators.
+
+    As in C-store, the EE is fully vectorized and makes requests for
+    blocks of rows at a time instead of requesting single rows at a
+    time.  (section 6.1)
+
+A :class:`RowBlock` is a small columnar batch: a dict of column name to
+equal-length value lists.  Operators pull blocks from their children,
+transform them column-at-a-time, and push nothing — the most
+downstream operator drives the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+
+#: Default number of rows per block flowing between operators.
+VECTOR_SIZE = 4096
+
+
+@dataclass
+class RowBlock:
+    """A columnar batch of rows."""
+
+    columns: dict[str, list]
+    row_count: int
+
+    def __post_init__(self):
+        for name, values in self.columns.items():
+            if len(values) != self.row_count:
+                raise ExecutionError(
+                    f"column {name!r} has {len(values)} values, "
+                    f"expected {self.row_count}"
+                )
+
+    @classmethod
+    def from_rows(cls, rows: list[dict], column_names: list[str]) -> "RowBlock":
+        """Build a block from row dicts (test/load convenience)."""
+        return cls(
+            columns={
+                name: [row[name] for row in rows] for name in column_names
+            },
+            row_count=len(rows),
+        )
+
+    @classmethod
+    def empty(cls, column_names: list[str]) -> "RowBlock":
+        """A zero-row block with the given shape."""
+        return cls(columns={name: [] for name in column_names}, row_count=0)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the block's columns."""
+        return list(self.columns)
+
+    def column(self, name: str) -> list:
+        """Values of one column."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(
+                f"block has no column {name!r}; has {self.column_names}"
+            ) from None
+
+    def to_rows(self) -> list[dict]:
+        """Materialize as row dicts (sinks and tests)."""
+        names = self.column_names
+        return [
+            {name: self.columns[name][index] for name in names}
+            for index in range(self.row_count)
+        ]
+
+    def row(self, index: int) -> tuple:
+        """One row as a tuple in column order."""
+        return tuple(self.columns[name][index] for name in self.column_names)
+
+    def select_rows(self, keep: list[int]) -> "RowBlock":
+        """A new block containing only the rows at the given indexes."""
+        return RowBlock(
+            columns={
+                name: [values[index] for index in keep]
+                for name, values in self.columns.items()
+            },
+            row_count=len(keep),
+        )
+
+    def filter(self, mask: list) -> "RowBlock":
+        """A new block keeping rows where ``mask`` is truthy (SQL
+        three-valued logic: NULL does not pass)."""
+        keep = [index for index, flag in enumerate(mask) if flag]
+        if len(keep) == self.row_count:
+            return self
+        return self.select_rows(keep)
+
+    def project(self, names: list[str]) -> "RowBlock":
+        """A new block with only the named columns."""
+        return RowBlock(
+            columns={name: self.column(name) for name in names},
+            row_count=self.row_count,
+        )
+
+    def with_column(self, name: str, values: list) -> "RowBlock":
+        """A new block with an extra (or replaced) column."""
+        columns = dict(self.columns)
+        columns[name] = values
+        return RowBlock(columns=columns, row_count=self.row_count)
+
+    def rename(self, mapping: dict[str, str]) -> "RowBlock":
+        """A new block with columns renamed per ``mapping``."""
+        return RowBlock(
+            columns={
+                mapping.get(name, name): values
+                for name, values in self.columns.items()
+            },
+            row_count=self.row_count,
+        )
+
+    @staticmethod
+    def concat(blocks: list["RowBlock"]) -> "RowBlock":
+        """Concatenate blocks with identical column sets."""
+        if not blocks:
+            raise ExecutionError("cannot concat zero blocks")
+        names = blocks[0].column_names
+        columns: dict[str, list] = {name: [] for name in names}
+        total = 0
+        for block in blocks:
+            if set(block.column_names) != set(names):
+                raise ExecutionError("concat requires identical columns")
+            for name in names:
+                columns[name].extend(block.columns[name])
+            total += block.row_count
+        return RowBlock(columns=columns, row_count=total)
+
+    def slices(self, size: int):
+        """Yield sub-blocks of at most ``size`` rows."""
+        if self.row_count <= size:
+            yield self
+            return
+        for start in range(0, self.row_count, size):
+            yield RowBlock(
+                columns={
+                    name: values[start : start + size]
+                    for name, values in self.columns.items()
+                },
+                row_count=min(size, self.row_count - start),
+            )
+
+
+def blocks_to_rows(blocks) -> list[dict]:
+    """Drain an iterator of blocks into row dicts."""
+    rows: list[dict] = []
+    for block in blocks:
+        rows.extend(block.to_rows())
+    return rows

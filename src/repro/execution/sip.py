@@ -1,0 +1,67 @@
+"""Sideways Information Passing (section 6.1).
+
+    Special SIP filters are built during optimizer planning and placed
+    in the Scan operator.  At run time, the Scan has access to the
+    Join's hash table and the SIP filters are used to evaluate whether
+    the outer key values exist in the hash table.  Rows that do not
+    pass these filters are not output by the Scan.
+
+A :class:`SipFilter` is created at plan time pointing at a hash join;
+the join publishes its build-side key set once the hash table is built
+(which, in a pull pipeline, always happens before the probe-side scan
+produces its first block).  The scan then drops rows whose join keys
+cannot match, so they never travel up the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .expressions import Expr
+from .row_block import RowBlock
+
+
+@dataclass
+class SipFilter:
+    """A scan-side membership filter fed by a join's hash table."""
+
+    #: Expressions over the scan's output that produce the join key.
+    key_exprs: list[Expr]
+    #: Set by the owning HashJoin once its build side is hashed.
+    build_keys: set | None = None
+    #: Rows eliminated by this filter (observability for the bench).
+    rows_filtered: int = 0
+    #: Human-readable origin, e.g. the join's label.
+    origin: str = ""
+
+    @property
+    def ready(self) -> bool:
+        """Whether the hash table has been published yet."""
+        return self.build_keys is not None
+
+    def publish(self, build_keys: set) -> None:
+        """Called by the join after building its hash table."""
+        self.build_keys = build_keys
+
+    def apply(self, block: RowBlock) -> RowBlock:
+        """Filter a scan output block; a no-op until published."""
+        if not self.ready or block.row_count == 0:
+            return block
+        key_columns = [expr.evaluate(block) for expr in self.key_exprs]
+        build_keys = self.build_keys
+        keep = [
+            index
+            for index in range(block.row_count)
+            if (key := tuple(col[index] for col in key_columns)) is not None
+            and None not in key
+            and key in build_keys
+        ]
+        self.rows_filtered += block.row_count - len(keep)
+        if len(keep) == block.row_count:
+            return block
+        return block.select_rows(keep)
+
+    def describe(self) -> str:
+        """Plan-display rendering."""
+        keys = ", ".join(repr(expr) for expr in self.key_exprs)
+        return f"SIP[{keys}] from {self.origin or 'join'}"

@@ -1,0 +1,189 @@
+"""Logical query plans.
+
+The SQL analyzer (or the programmatic query builder) produces a tree of
+these nodes; the three optimizer generations (section 6.2) turn them
+into physical plans.  Logical nodes carry no algorithm or distribution
+choices — only *what* to compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..execution.aggregates import AggregateSpec
+from ..execution.expressions import Expr
+from ..execution.operators.analytic import WindowSpec
+from ..execution.operators.join import JoinType
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    children: list["LogicalNode"]
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable tree rendering."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 2))
+        return "\n".join(lines)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ScanNode(LogicalNode):
+    """Read a table (projection choice is the optimizer's job).
+
+    ``columns`` are the *output* names this scan must produce; when an
+    alias is in play the analyzer provides ``rename`` mapping stored
+    column name -> output name.
+    """
+
+    table: str
+    columns: list[str]
+    predicate: Expr | None = None
+    rename: dict[str, str] = field(default_factory=dict)
+    alias: str = ""
+
+    def __post_init__(self):
+        self.children = []
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias else ""
+        predicate = f" WHERE {self.predicate!r}" if self.predicate is not None else ""
+        return f"Scan {self.table}{alias}{predicate}"
+
+
+@dataclass
+class JoinNode(LogicalNode):
+    """Equi-join of two subtrees, with optional residual predicate."""
+
+    left: LogicalNode
+    right: LogicalNode
+    join_type: JoinType
+    left_keys: list[Expr]
+    right_keys: list[Expr]
+    residual: Expr | None = None
+
+    def __post_init__(self):
+        self.children = [self.left, self.right]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l!r}={r!r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"Join {self.join_type.value} ON {keys}"
+
+
+@dataclass
+class FilterNode(LogicalNode):
+    """Row filter."""
+
+    child: LogicalNode
+    predicate: Expr
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate!r}"
+
+
+@dataclass
+class ProjectNode(LogicalNode):
+    """Compute/select output columns (ordered)."""
+
+    child: LogicalNode
+    outputs: dict[str, Expr]
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        body = ", ".join(f"{name}={expr!r}" for name, expr in self.outputs.items())
+        return f"Project {body}"
+
+
+@dataclass
+class GroupByNode(LogicalNode):
+    """Grouped (or global) aggregation, with optional HAVING."""
+
+    child: LogicalNode
+    keys: list[tuple[str, Expr]]
+    aggregates: list[AggregateSpec]
+    having: Expr | None = None
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(name for name, _ in self.keys) or "<global>"
+        aggs = ", ".join(spec.describe() for spec in self.aggregates)
+        having = f" HAVING {self.having!r}" if self.having is not None else ""
+        return f"GroupBy [{keys}] [{aggs}]{having}"
+
+
+@dataclass
+class DistinctNode(LogicalNode):
+    """Duplicate elimination."""
+
+    child: LogicalNode
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class SortNode(LogicalNode):
+    """ORDER BY."""
+
+    child: LogicalNode
+    keys: list[tuple[Expr, bool]]  # (expr, ascending)
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{expr!r} {'ASC' if asc else 'DESC'}" for expr, asc in self.keys
+        )
+        return f"Sort {keys}"
+
+
+@dataclass
+class LimitNode(LogicalNode):
+    """LIMIT / OFFSET."""
+
+    child: LogicalNode
+    limit: int
+    offset: int = 0
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        return f"Limit {self.limit} OFFSET {self.offset}"
+
+
+@dataclass
+class AnalyticNode(LogicalNode):
+    """Window function computation."""
+
+    child: LogicalNode
+    specs: list[WindowSpec]
+
+    def __post_init__(self):
+        self.children = [self.child]
+
+    def describe(self) -> str:
+        return "Analytic " + "; ".join(spec.describe() for spec in self.specs)

@@ -1,0 +1,554 @@
+"""Shared physical planning machinery for all optimizer generations.
+
+The three optimizers (StarOpt, StarifiedOpt, V2Opt — section 6.2)
+differ in join ordering and in which distribution strategies they may
+use; everything else — projection choice, predicate-derived scan
+costing, group-by phasing, prepass placement, SIP wiring — is shared
+and lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanningError
+from ..execution.expressions import ColumnRef, Expr
+from ..execution.operators.join import JoinType
+from ..projections import HashSegmentation, ProjectionDefinition
+from . import physical as P
+from .cost import (
+    CostBreakdown,
+    average_row_bytes,
+    estimate_selectivity,
+    groupby_cost,
+    join_cost,
+    network_cost,
+    scan_cost,
+    sort_cost,
+)
+from .logical import (
+    AnalyticNode,
+    DistinctNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    LogicalNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from .rewrite import rewrite
+from .stats import StatsCatalog
+
+
+def output_columns(node: P.PhysicalNode) -> list[str]:
+    """Output column names of a physical node."""
+    if isinstance(node, P.PhysScan):
+        return list(node.columns)
+    if isinstance(node, P.PhysProject):
+        return list(node.outputs)
+    if isinstance(node, P.PhysJoin):
+        if node.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return list(node.left_columns)
+        return list(node.left_columns) + list(node.right_columns)
+    if isinstance(node, P.PhysGroupBy):
+        return [name for name, _ in node.keys] + [
+            spec.output_name for spec in node.aggregates
+        ]
+    return output_columns(node.children[0])
+
+
+def _key_names(keys: list[Expr]) -> list[str] | None:
+    """Column names when every key is a bare column reference."""
+    names = []
+    for key in keys:
+        if not isinstance(key, ColumnRef):
+            return None
+        names.append(key.name)
+    return names
+
+
+@dataclass
+class PlannedJoinSide:
+    """A physical subtree plus its planning metadata."""
+
+    plan: P.PhysicalNode
+    est_rows: float
+
+
+class PlannerBase:
+    """Common planning logic; generations override join policy hooks."""
+
+    name = "base"
+    #: Strategies this generation may use for non-colocated joins.
+    allowed_strategies: tuple[str, ...] = (
+        P.COLOCATED,
+        P.BROADCAST_INNER,
+        P.RESEGMENT,
+    )
+    #: Whether this generation reorders inner-join chains.
+    reorders_joins = True
+
+    def __init__(self, cluster, stats: StatsCatalog):
+        self.cluster = cluster
+        self.stats = stats
+
+    # -- entry point ------------------------------------------------------
+
+    def plan(self, logical: LogicalNode) -> P.PhysicalNode:
+        """Produce a physical plan for a logical query tree.
+
+        The tree is deep-copied first: rewrites mutate in place, and
+        callers (tests, the Database Designer) plan the same logical
+        tree repeatedly.
+        """
+        import copy
+
+        logical = rewrite(copy.deepcopy(logical))
+        return self._plan_node(logical)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _plan_node(self, node: LogicalNode) -> P.PhysicalNode:
+        if isinstance(node, ScanNode):
+            return self.plan_scan(node)
+        if isinstance(node, FilterNode):
+            child = self._plan_node(node.child)
+            phys = P.PhysFilter(child, node.predicate, child.distribution)
+            phys.est_rows = child.est_rows * 0.5
+            phys.est_cost = child.est_cost
+            return phys
+        if isinstance(node, JoinNode):
+            return self.plan_join_tree(node)
+        if isinstance(node, GroupByNode):
+            return self.plan_groupby(node)
+        if isinstance(node, ProjectNode):
+            child = self._plan_node(node.child)
+            phys = P.PhysProject(child, node.outputs, child.distribution)
+            phys.est_rows = child.est_rows
+            phys.est_cost = child.est_cost
+            return phys
+        if isinstance(node, SortNode):
+            child = self._plan_node(node.child)
+            limit_hint = None
+            phys = P.PhysSort(
+                child,
+                node.keys,
+                P.Distribution(P.COORDINATOR),
+                limit_hint=limit_hint,
+            )
+            phys.est_rows = child.est_rows
+            phys.est_cost = child.est_cost + sort_cost(child.est_rows)
+            return phys
+        if isinstance(node, LimitNode):
+            child = self._plan_node(node.child)
+            if isinstance(child, P.PhysSort):
+                child.limit_hint = node.limit + node.offset
+            phys = P.PhysLimit(
+                child, node.limit, node.offset, P.Distribution(P.COORDINATOR)
+            )
+            phys.est_rows = min(child.est_rows, node.limit)
+            phys.est_cost = child.est_cost
+            return phys
+        if isinstance(node, DistinctNode):
+            child = self._plan_node(node.child)
+            phys = P.PhysDistinct(child, P.Distribution(P.COORDINATOR))
+            phys.est_rows = child.est_rows * 0.5
+            phys.est_cost = child.est_cost + groupby_cost(
+                child.est_rows, phys.est_rows
+            )
+            return phys
+        if isinstance(node, AnalyticNode):
+            child = self._plan_node(node.child)
+            phys = P.PhysAnalytic(child, node.specs, P.Distribution(P.COORDINATOR))
+            phys.est_rows = child.est_rows
+            phys.est_cost = child.est_cost + sort_cost(child.est_rows)
+            return phys
+        raise PlanningError(f"cannot plan {type(node).__name__}")
+
+    # -- scans -------------------------------------------------------------------
+
+    def plan_scan(self, node: ScanNode) -> P.PhysScan:
+        """Choose the cheapest covering projection for a scan.
+
+        The choice is cost-based over *measured* encoded sizes, and
+        prefers projections whose leading sort column carries a
+        predicate (container pruning + faster restriction), exactly the
+        properties the Database Designer optimizes for.
+        """
+        # Convention: node.columns and node.predicate use the table's
+        # stored (raw) column names; node.rename maps raw -> output.
+        table_stats = self.stats.get(node.table)
+        predicate_raw_columns = (
+            node.predicate.referenced_columns()
+            if node.predicate is not None
+            else set()
+        )
+        needed_raw = set(node.columns) | predicate_raw_columns
+        selectivity = estimate_selectivity(node.predicate, table_stats)
+        best = None
+        best_cost = None
+        for family in self.cluster.catalog.families_for_table(node.table):
+            projection = family.primary
+            if projection.prejoin is not None:
+                continue  # prejoins are picked by join planning, not scans
+            if not projection.covers(needed_raw):
+                continue
+            io_bytes = sum(
+                self.stats.bytes_for(family.primary.name, raw)
+                or table_stats.column(raw).avg_encoded_bytes
+                for raw in needed_raw
+            )
+            cost = table_stats.row_count * io_bytes
+            # sorted-on-predicate bonus: leading sort column restricted
+            # -> container pruning shrinks the read dramatically.
+            if projection.sort_order and projection.sort_order[0] in predicate_raw_columns:
+                cost *= max(selectivity, 0.05)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = family, cost
+        if best is None:
+            raise PlanningError(
+                f"no projection of {node.table!r} covers {sorted(needed_raw)}"
+            )
+        projection = best.primary
+        # keep declared order for requested raw columns, append extras
+        ordered_raw = list(node.columns)
+        for name in sorted(needed_raw - set(node.columns)):
+            ordered_raw.append(name)
+        out_names = [node.rename.get(raw, raw) for raw in ordered_raw]
+        distribution = self._scan_distribution(projection, node.rename, out_names)
+        sort_order = tuple(
+            node.rename.get(name, name)
+            for name in projection.sort_order
+            if node.rename.get(name, name) in out_names
+        )
+        phys = P.PhysScan(
+            table=node.table,
+            family_name=best.primary.name,
+            columns=out_names,
+            rename=dict(node.rename),
+            predicate=node.predicate,
+            distribution=distribution,
+            sort_order=sort_order,
+        )
+        phys.est_rows = max(table_stats.row_count * selectivity, 1.0)
+        phys.est_cost = scan_cost(
+            table_stats, sorted(needed_raw), selectivity
+        )
+        return phys
+
+    def _scan_distribution(
+        self,
+        projection: ProjectionDefinition,
+        rename: dict[str, str],
+        out_columns: list[str],
+    ) -> P.Distribution:
+        if projection.segmentation.replicated:
+            return P.Distribution(P.REPLICATED)
+        if isinstance(projection.segmentation, HashSegmentation):
+            keys = tuple(
+                rename.get(name, name) for name in projection.segmentation.columns
+            )
+            if set(keys) <= set(out_columns):
+                return P.Distribution(P.SEGMENTED, keys)
+        return P.Distribution(P.SEGMENTED, ())
+
+    # -- joins --------------------------------------------------------------------
+
+    def plan_join_tree(self, node: JoinNode) -> P.PhysicalNode:
+        """Plan a join subtree, reordering inner-join chains when the
+        generation allows it."""
+        relations, conditions, reorderable = self._flatten_inner_joins(node)
+        if reorderable and self.reorders_joins and len(relations) > 1:
+            return self.order_joins(relations, conditions)
+        left = self._plan_node(node.left)
+        right = self._plan_node(node.right)
+        return self.make_join(
+            left, right, node.join_type, node.left_keys, node.right_keys,
+            node.residual,
+        )
+
+    def _flatten_inner_joins(self, node: JoinNode):
+        """Collect the leaves and equi-conditions of a pure inner-join
+        tree; returns (leaf logical nodes, conditions, flattenable)."""
+        relations: list[LogicalNode] = []
+        conditions: list[tuple[Expr, Expr, Expr | None]] = []
+        flattenable = True
+
+        def visit(current: LogicalNode):
+            nonlocal flattenable
+            if isinstance(current, JoinNode) and current.join_type is JoinType.INNER:
+                visit(current.left)
+                visit(current.right)
+                for left_key, right_key in zip(
+                    current.left_keys, current.right_keys
+                ):
+                    conditions.append((left_key, right_key, None))
+                if current.residual is not None:
+                    conditions.append((None, None, current.residual))
+            else:
+                relations.append(current)
+                if isinstance(current, JoinNode):
+                    flattenable = False
+
+        visit(node)
+        return relations, conditions, flattenable
+
+    def order_joins(self, relations, conditions) -> P.PhysicalNode:
+        """Generation-specific join ordering; must be overridden."""
+        raise NotImplementedError
+
+    # -- join construction ----------------------------------------------------------
+
+    def colocated_possible(
+        self, left: P.PhysicalNode, right: P.PhysicalNode,
+        left_keys: list[Expr], right_keys: list[Expr],
+    ) -> bool:
+        """Whether the two sides can join without moving data."""
+        ld, rd = left.distribution, right.distribution
+        if rd.kind == P.REPLICATED:
+            return ld.kind in (P.SEGMENTED, P.REPLICATED)
+        if ld.kind == P.REPLICATED:
+            return False  # outer replicated, inner segmented: wrong shape
+        left_names = _key_names(left_keys)
+        right_names = _key_names(right_keys)
+        if left_names is None or right_names is None:
+            return False
+        if not ld.keys or not rd.keys:
+            return False
+        if len(ld.keys) != len(rd.keys):
+            return False
+        # the i-th segmentation column must be joined to its peer
+        pairing = dict(zip(left_names, right_names))
+        try:
+            mapped = tuple(pairing[name] for name in ld.keys)
+        except KeyError:
+            return False
+        return mapped == rd.keys
+
+    def strategy_cost(
+        self, strategy: str, left_rows: float, right_rows: float,
+        left_bytes: float, right_bytes: float,
+    ) -> CostBreakdown:
+        """Network cost of a join distribution strategy."""
+        nodes = max(self.cluster.node_count, 1)
+        if strategy == P.COLOCATED:
+            return CostBreakdown()
+        if strategy == P.BROADCAST_INNER:
+            return network_cost(right_rows, right_bytes, copies=max(nodes - 1, 1))
+        return network_cost(left_rows, left_bytes) + network_cost(
+            right_rows, right_bytes
+        )
+
+    def choose_strategy(
+        self, left: P.PhysicalNode, right: P.PhysicalNode,
+        left_keys, right_keys,
+    ) -> tuple[str, CostBreakdown]:
+        """Cheapest allowed distribution strategy for a join."""
+        left_bytes = 16.0
+        right_bytes = 16.0
+        options: list[tuple[float, str, CostBreakdown]] = []
+        if self.colocated_possible(left, right, left_keys, right_keys):
+            options.append((0.0, P.COLOCATED, CostBreakdown()))
+        for strategy in (P.BROADCAST_INNER, P.RESEGMENT):
+            if strategy not in self.allowed_strategies:
+                continue
+            cost = self.strategy_cost(
+                strategy, left.est_rows, right.est_rows, left_bytes, right_bytes
+            )
+            options.append((cost.total, strategy, cost))
+        if not options:
+            raise PlanningError(
+                f"{self.name} cannot place this join: no co-located layout "
+                "and data movement is not permitted"
+            )
+        options.sort(key=lambda item: item[0])
+        _, strategy, cost = options[0]
+        return strategy, cost
+
+    def choose_algorithm(
+        self, left: P.PhysicalNode, right: P.PhysicalNode,
+        left_keys, right_keys, strategy: str,
+    ) -> str:
+        """Hash join unless both inputs arrive sorted on the join keys
+        (then merge join wins, sorted projections paying off)."""
+        left_names = _key_names(left_keys)
+        right_names = _key_names(right_keys)
+        if (
+            strategy == P.COLOCATED
+            and left_names is not None
+            and right_names is not None
+            and isinstance(left, P.PhysScan)
+            and isinstance(right, P.PhysScan)
+            and tuple(left_names) == left.sort_order[: len(left_names)]
+            and tuple(right_names) == right.sort_order[: len(right_names)]
+        ):
+            return "merge"
+        return "hash"
+
+    def join_output_rows(
+        self, left: P.PhysicalNode, right: P.PhysicalNode,
+        left_keys, right_keys, join_type: JoinType,
+    ) -> float:
+        """Classic |L||R|/max(ndv) estimate."""
+        if join_type in (JoinType.SEMI, JoinType.ANTI):
+            return max(left.est_rows * 0.5, 1.0)
+        ndv = 1.0
+        left_names = _key_names(left_keys) or []
+        for scan in [n for n in left.walk() if isinstance(n, P.PhysScan)]:
+            table_stats = self.stats.get(scan.table)
+            for name in left_names:
+                raw = {out: raw for raw, out in scan.rename.items()}.get(name, name)
+                column = table_stats.column(raw)
+                if column.ndv > ndv:
+                    ndv = column.ndv
+        result = left.est_rows * right.est_rows / max(ndv, 1.0)
+        if join_type in (JoinType.LEFT, JoinType.FULL):
+            result = max(result, left.est_rows)
+        if join_type in (JoinType.RIGHT, JoinType.FULL):
+            result = max(result, right.est_rows)
+        return max(result, 1.0)
+
+    def make_join(
+        self, left: P.PhysicalNode, right: P.PhysicalNode,
+        join_type: JoinType, left_keys, right_keys, residual=None,
+    ) -> P.PhysJoin:
+        """Assemble a physical join with strategy, algorithm, SIP and
+        output distribution."""
+        # hash joins build from the right (inner) side: for INNER joins
+        # put the smaller estimated input there.
+        if join_type is JoinType.INNER and left.est_rows < right.est_rows:
+            left, right = right, left
+            left_keys, right_keys = right_keys, left_keys
+        strategy, move_cost = self.choose_strategy(
+            left, right, left_keys, right_keys
+        )
+        algorithm = self.choose_algorithm(
+            left, right, left_keys, right_keys, strategy
+        )
+        if strategy == P.RESEGMENT:
+            names = _key_names(left_keys) or ()
+            distribution = P.Distribution(P.SEGMENTED, tuple(names))
+        elif left.distribution.kind == P.REPLICATED and strategy == P.COLOCATED:
+            distribution = right.distribution
+        else:
+            distribution = left.distribution
+        # SIP needs the probe scan to see the *complete* build key set;
+        # under RESEGMENT each destination join holds only a slice of
+        # the build side, so the filter cannot be pushed to the scan
+        # (the paper: "we are not always able to push the SIP filter to
+        # the Scan").
+        sip = (
+            algorithm == "hash"
+            and strategy != P.RESEGMENT
+            and join_type in (JoinType.INNER, JoinType.SEMI)
+            and self._scan_plan_reachable(left)
+        )
+        join = P.PhysJoin(
+            left=left,
+            right=right,
+            join_type=join_type,
+            algorithm=algorithm,
+            left_keys=left_keys,
+            right_keys=right_keys,
+            strategy=strategy,
+            left_columns=output_columns(left),
+            right_columns=output_columns(right),
+            distribution=distribution,
+            residual=residual,
+            sip=sip,
+        )
+        join.est_rows = self.join_output_rows(
+            left, right, left_keys, right_keys, join_type
+        )
+        join.est_cost = (
+            left.est_cost
+            + right.est_cost
+            + move_cost
+            + join_cost(left.est_rows, right.est_rows, algorithm)
+        )
+        if sip:
+            scan_plan = self._scan_plan_of(left)
+            if scan_plan is not None:
+                scan_plan.sip_requests.append(list(left_keys))
+        return join
+
+    @staticmethod
+    def _scan_plan_of(node: P.PhysicalNode):
+        current = node
+        while current is not None:
+            if isinstance(current, P.PhysScan):
+                return current
+            current = current.children[0] if current.children else None
+        return None
+
+    def _scan_plan_reachable(self, node: P.PhysicalNode) -> bool:
+        return self._scan_plan_of(node) is not None
+
+    # -- group by ----------------------------------------------------------------------
+
+    def plan_groupby(self, node: GroupByNode) -> P.PhysGroupBy:
+        child = self._plan_node(node.child)
+        key_names = [name for name, _ in node.keys]
+        local_complete = bool(node.keys) and child.distribution.is_segmented_on(
+            key_names
+        )
+        mergeable = all(spec.mergeable for spec in node.aggregates)
+        prepass = (
+            not local_complete
+            and mergeable
+            and bool(node.keys)
+        )
+        algorithm = self._groupby_algorithm(child, node)
+        distribution = (
+            child.distribution if local_complete else P.Distribution(P.COORDINATOR)
+        )
+        phys = P.PhysGroupBy(
+            child=child,
+            keys=node.keys,
+            aggregates=node.aggregates,
+            algorithm=algorithm,
+            local_complete=local_complete,
+            prepass=prepass,
+            distribution=distribution,
+            having=node.having,
+        )
+        groups = self._estimate_groups(node, child)
+        phys.est_rows = groups
+        phys.est_cost = child.est_cost + groupby_cost(child.est_rows, groups)
+        return phys
+
+    def _groupby_algorithm(self, child: P.PhysicalNode, node: GroupByNode) -> str:
+        """Pipelined (one-pass) aggregation when the input is sorted on
+        a prefix matching the group keys; hash otherwise."""
+        key_names = _key_names([expr for _, expr in node.keys])
+        if (
+            key_names
+            and isinstance(child, P.PhysScan)
+            and tuple(key_names) == child.sort_order[: len(key_names)]
+        ):
+            return "pipelined"
+        return "hash"
+
+    def _estimate_groups(self, node: GroupByNode, child: P.PhysicalNode) -> float:
+        if not node.keys:
+            return 1.0
+        ndv = 1.0
+        for _, expr in node.keys:
+            if isinstance(expr, ColumnRef):
+                for scan in [
+                    n for n in child.walk() if isinstance(n, P.PhysScan)
+                ]:
+                    raw = {o: r for r, o in scan.rename.items()}.get(
+                        expr.name, expr.name
+                    )
+                    column_ndv = self.stats.get(scan.table).column(raw).ndv
+                    if column_ndv:
+                        ndv *= max(column_ndv, 1.0)
+                        break
+                else:
+                    ndv *= 10.0
+            else:
+                ndv *= 10.0
+        return min(max(ndv, 1.0), max(child.est_rows, 1.0))

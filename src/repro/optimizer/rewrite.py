@@ -1,0 +1,251 @@
+"""Logical rewrites shared by all optimizer generations.
+
+Section 6.2 lists the classic rewrites Vertica adopted: introducing
+transitive predicates based on join keys, converting outer joins to
+inner joins, predicate push-down, and pruning unneeded columns.  These
+run before physical planning and are generation-independent.
+"""
+
+from __future__ import annotations
+
+from ..execution.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    substitute_columns,
+)
+from ..execution.operators.join import JoinType
+from .logical import (
+    FilterNode,
+    JoinNode,
+    LogicalNode,
+    ScanNode,
+)
+
+
+def split_conjuncts(predicate: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        out: list[Expr] = []
+        for operand in predicate.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [predicate]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild a predicate from conjuncts (None when empty)."""
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(*conjuncts)
+
+
+def _output_columns_of(node: LogicalNode) -> set[str]:
+    if isinstance(node, ScanNode):
+        return {node.rename.get(name, name) for name in node.columns}
+    if isinstance(node, JoinNode):
+        if node.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return _output_columns_of(node.left)
+        return _output_columns_of(node.left) | _output_columns_of(node.right)
+    if isinstance(node, FilterNode):
+        return _output_columns_of(node.child)
+    return set()
+
+
+def push_down_filters(node: LogicalNode) -> LogicalNode:
+    """Push filter predicates as close to the scans as possible.
+
+    Conjuncts referencing one side of a join move below it (respecting
+    outer-join null-extension: predicates cannot be pushed to the
+    preserved side's opposite); scan-level conjuncts merge into the
+    scan's predicate.
+    """
+    if isinstance(node, FilterNode):
+        child = push_down_filters(node.child)
+        remaining: list[Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            if not _try_push(child, conjunct):
+                remaining.append(conjunct)
+        if not remaining:
+            return child
+        return FilterNode(child, conjoin(remaining))
+    for index, child in enumerate(list(node.children)):
+        node.children[index] = push_down_filters(child)
+    _resync_child_fields(node)
+    return node
+
+
+def _resync_child_fields(node: LogicalNode) -> None:
+    if isinstance(node, JoinNode):
+        node.left, node.right = node.children
+    elif hasattr(node, "child") and node.children:
+        node.child = node.children[0]
+
+
+def _try_push(node: LogicalNode, conjunct: Expr) -> bool:
+    """Attempt to absorb a conjunct below ``node``; True on success."""
+    referenced = conjunct.referenced_columns()
+    if isinstance(node, ScanNode):
+        outputs = {node.rename.get(name, name) for name in node.columns}
+        if referenced <= outputs:
+            # scan predicates live in stored-name space
+            inverse = {out: raw for raw, out in node.rename.items()}
+            translated = substitute_columns(conjunct, inverse)
+            existing = split_conjuncts(node.predicate)
+            node.predicate = conjoin(existing + [translated])
+            return True
+        return False
+    if isinstance(node, FilterNode):
+        if _try_push(node.child, conjunct):
+            return True
+        if referenced <= _output_columns_of(node):
+            node.predicate = conjoin(
+                split_conjuncts(node.predicate) + [conjunct]
+            )
+            return True
+        return False
+    if isinstance(node, JoinNode):
+        # outer joins: a predicate on the NULL-extended side cannot be
+        # pushed below the join (it would change which rows survive).
+        left_ok = node.join_type in (
+            JoinType.INNER,
+            JoinType.LEFT,
+            JoinType.SEMI,
+            JoinType.ANTI,
+        )
+        right_ok = node.join_type in (JoinType.INNER, JoinType.RIGHT)
+        if left_ok and referenced <= _output_columns_of(node.left):
+            if _try_push(node.left, conjunct):
+                return True
+            node.left = FilterNode(node.left, conjunct)
+            node.children[0] = node.left
+            return True
+        if right_ok and referenced <= _output_columns_of(node.right):
+            if _try_push(node.right, conjunct):
+                return True
+            node.right = FilterNode(node.right, conjunct)
+            node.children[1] = node.right
+            return True
+        return False
+    return False
+
+
+def add_transitive_predicates(node: LogicalNode) -> LogicalNode:
+    """Copy single-column constant predicates across join-key equality.
+
+    If ``fact.k = dim.k`` and the dim scan filters ``dim.k = 5``, the
+    fact scan gains ``fact.k = 5`` (section 6.2: "introducing
+    transitive predicates based on join keys").
+    """
+    for join in [n for n in node.walk() if isinstance(n, JoinNode)]:
+        if join.join_type is not JoinType.INNER:
+            continue
+        for left_key, right_key in zip(join.left_keys, join.right_keys):
+            if not (
+                isinstance(left_key, ColumnRef) and isinstance(right_key, ColumnRef)
+            ):
+                continue
+            _copy_constant_predicates(join.left, left_key.name, join.right, right_key.name)
+            _copy_constant_predicates(join.right, right_key.name, join.left, left_key.name)
+    return node
+
+
+def _constant_conjuncts_on(node: LogicalNode, column: str) -> list[Expr]:
+    """Constant comparisons on ``column`` (an *output* name) found in
+    scan predicates below ``node``, expressed in output-name space."""
+    out = []
+    for scan in (n for n in node.walk() if isinstance(n, ScanNode)):
+        for conjunct in split_conjuncts(scan.predicate):
+            rendered = substitute_columns(conjunct, scan.rename)
+            if rendered.referenced_columns() == {column} and isinstance(
+                rendered, Comparison
+            ):
+                if isinstance(rendered.left, Literal) or isinstance(
+                    rendered.right, Literal
+                ):
+                    out.append(rendered)
+    return out
+
+
+def _copy_constant_predicates(
+    source: LogicalNode, source_column: str, target: LogicalNode, target_column: str
+) -> None:
+    conjuncts = _constant_conjuncts_on(source, source_column)
+    if not conjuncts:
+        return
+    for scan in (n for n in target.walk() if isinstance(n, ScanNode)):
+        outputs = {scan.rename.get(name, name) for name in scan.columns}
+        if target_column not in outputs:
+            continue
+        inverse = {out: raw for raw, out in scan.rename.items()}
+        existing = {repr(c) for c in split_conjuncts(scan.predicate)}
+        for conjunct in conjuncts:
+            translated = substitute_columns(
+                substitute_columns(conjunct, {source_column: target_column}),
+                inverse,
+            )
+            if repr(translated) not in existing:
+                scan.predicate = conjoin(
+                    split_conjuncts(scan.predicate) + [translated]
+                )
+
+
+def _rejects_nulls(predicate: Expr, columns: set[str]) -> bool:
+    """Whether the predicate is FALSE/NULL whenever all ``columns`` are
+    NULL — the condition letting an outer join convert to inner."""
+    if isinstance(predicate, Comparison):
+        return bool(predicate.referenced_columns() & columns)
+    if isinstance(predicate, IsNull):
+        return predicate.negated and bool(
+            predicate.referenced_columns() & columns
+        )
+    if isinstance(predicate, And):
+        return any(_rejects_nulls(op, columns) for op in predicate.operands)
+    if isinstance(predicate, Or):
+        return all(_rejects_nulls(op, columns) for op in predicate.operands)
+    if isinstance(predicate, Not):
+        return False
+    return False
+
+
+def convert_outer_to_inner(node: LogicalNode) -> LogicalNode:
+    """Downgrade outer joins to inner when a filter above them rejects
+    NULLs of the null-extended side (section 6.2)."""
+    if isinstance(node, FilterNode):
+        node.child = convert_outer_to_inner(node.child)
+        node.children[0] = node.child
+        child = node.child
+        if isinstance(child, JoinNode):
+            for conjunct in split_conjuncts(node.predicate):
+                if child.join_type is JoinType.LEFT and _rejects_nulls(
+                    conjunct, _output_columns_of(child.right)
+                ):
+                    child.join_type = JoinType.INNER
+                elif child.join_type is JoinType.RIGHT and _rejects_nulls(
+                    conjunct, _output_columns_of(child.left)
+                ):
+                    child.join_type = JoinType.INNER
+        return node
+    for index, child in enumerate(list(node.children)):
+        node.children[index] = convert_outer_to_inner(child)
+    _resync_child_fields(node)
+    return node
+
+
+def rewrite(node: LogicalNode) -> LogicalNode:
+    """The standard rewrite pipeline: outer->inner, push-down,
+    transitive predicates, then a second push-down pass."""
+    node = convert_outer_to_inner(node)
+    node = push_down_filters(node)
+    node = add_transitive_predicates(node)
+    node = push_down_filters(node)
+    return node

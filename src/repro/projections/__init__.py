@@ -1,0 +1,29 @@
+"""Projections: Vertica's only physical data structure (section 3)."""
+
+from .projection import (
+    PrejoinSpec,
+    ProjectionColumn,
+    ProjectionDefinition,
+    ProjectionFamily,
+    make_buddy,
+    super_projection,
+)
+from .segmentation import (
+    HashSegmentation,
+    Replicated,
+    SegmentationScheme,
+    buddy_of,
+)
+
+__all__ = [
+    "PrejoinSpec",
+    "ProjectionColumn",
+    "ProjectionDefinition",
+    "ProjectionFamily",
+    "make_buddy",
+    "super_projection",
+    "HashSegmentation",
+    "Replicated",
+    "SegmentationScheme",
+    "buddy_of",
+]

@@ -1,0 +1,84 @@
+"""User-defined extension SDK (section 6).
+
+    Rather than continuing to add more proprietary extensions, Vertica
+    has chosen to add an SDK with hooks for users to extend various
+    parts of the execution engine.
+
+Two hook points are exposed:
+
+* **scalar functions** — ``register_scalar_function(name, fn)`` makes
+  ``fn`` usable from expression trees (:class:`FunctionCall`) and from
+  SQL (``SELECT myfunc(x) ...``).  NULL handling is automatic (NULL in
+  -> NULL out), matching built-in scalar functions.
+* **aggregate functions** — ``register_aggregate(name, factory)``
+  plugs a user accumulator class into GROUP BY.  The factory returns
+  objects with ``add(value)`` / ``final()``; ``merge`` support is
+  optional (without it the aggregate is excluded from prepass/two-phase
+  plans, like AVG).
+
+Registrations are process-global, mirroring how a loaded UDx library
+becomes visible to every session.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .errors import SqlAnalysisError
+from .execution import aggregates as _aggregates
+from .execution import expressions as _expressions
+
+
+def register_scalar_function(name: str, fn: Callable) -> None:
+    """Register a one-argument scalar function under ``name``.
+
+    The function receives non-NULL values only; NULL rows pass through
+    as NULL.  Overwrites any same-named registration.
+    """
+    key = name.upper()
+    if not key.isidentifier():
+        raise SqlAnalysisError(f"invalid function name {name!r}")
+    _expressions._SCALAR_FUNCTIONS[key] = fn
+
+
+def unregister_scalar_function(name: str) -> None:
+    """Remove a user scalar function (built-ins cannot be removed)."""
+    key = name.upper()
+    if key in _BUILTIN_SCALARS:
+        raise SqlAnalysisError(f"cannot unregister built-in {name!r}")
+    _expressions._SCALAR_FUNCTIONS.pop(key, None)
+
+
+_BUILTIN_SCALARS = frozenset(_expressions._SCALAR_FUNCTIONS)
+
+
+class UserAggregate:
+    """Base class (optional) for user-defined aggregates."""
+
+    def add(self, value) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def final(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+#: name -> accumulator factory for user aggregates.
+_USER_AGGREGATES: dict[str, Callable[[], object]] = {}
+
+
+def register_aggregate(name: str, factory: Callable[[], object]) -> None:
+    """Register a user aggregate; usable via AggregateSpec(name, ...)."""
+    key = name.upper()
+    if key in _aggregates.SUPPORTED:
+        raise SqlAnalysisError(f"{name!r} is a built-in aggregate")
+    _USER_AGGREGATES[key] = factory
+
+
+def unregister_aggregate(name: str) -> None:
+    """Remove a user aggregate registration."""
+    _USER_AGGREGATES.pop(name.upper(), None)
+
+
+def user_aggregate_factory(name: str):
+    """Factory for a registered user aggregate, or None."""
+    return _USER_AGGREGATES.get(name.upper())

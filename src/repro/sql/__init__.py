@@ -1,0 +1,16 @@
+"""SQL front end: lexer, parser, analyzer and statement execution."""
+
+from .analyzer import Analyzer
+from .interface import CopyResult, execute_sql
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "Analyzer",
+    "CopyResult",
+    "execute_sql",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,209 @@
+"""SQL statement execution: parse, analyze, run.
+
+Routes each statement kind to the right subsystem: SELECTs to the
+optimizer + executor, DML to the session's transactional buffers, DDL
+to the catalog/cluster, COPY to the bulk loader (with the rejected-
+record handling of section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.schema import ColumnDef, TableDefinition
+from ..errors import LoadError, SqlAnalysisError
+from ..projections import HashSegmentation, ProjectionColumn, ProjectionDefinition, Replicated
+from ..types import type_from_name
+from . import ast
+from .analyzer import Analyzer, Scope, _FromItem
+from .parser import parse
+
+
+@dataclass
+class CopyResult:
+    """Outcome of a COPY: loaded row count and rejected records."""
+
+    loaded: int
+    rejected: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+def _single_table_scope(catalog, table_name: str) -> Scope:
+    table = catalog.table(table_name)
+    return Scope([_FromItem(ast.TableRef(table_name), table.column_names)])
+
+
+def execute_sql(session, text: str, copy_rows=None):
+    """Execute one SQL statement in ``session``.
+
+    Returns rows for SELECT, a plan string for EXPLAIN, a
+    :class:`CopyResult` for COPY, and ``None`` / counts for other
+    statements.
+    """
+    db = session.db
+    statement = parse(text)
+    analyzer = Analyzer(db.cluster.catalog)
+
+    if isinstance(statement, ast.SelectStatement):
+        plan = analyzer.analyze_select(statement)
+        return session.query(plan, at_epoch=statement.at_epoch)
+
+    if isinstance(statement, ast.ExplainStatement):
+        plan = analyzer.analyze_select(statement.select)
+        return db.explain(plan)
+
+    if isinstance(statement, ast.InsertStatement):
+        table = db.cluster.catalog.table(statement.table)
+        columns = statement.columns or table.column_names
+        rows = []
+        for values in statement.rows:
+            if len(values) != len(columns):
+                raise SqlAnalysisError(
+                    f"INSERT has {len(values)} values for {len(columns)} columns"
+                )
+            row = {name: None for name in table.column_names}
+            for name, value in zip(columns, values):
+                if not isinstance(value, ast.Constant):
+                    raise SqlAnalysisError("INSERT values must be constants")
+                row[name] = value.value
+            rows.append(row)
+        session.insert(statement.table, rows)
+        return len(rows)
+
+    if isinstance(statement, ast.UpdateStatement):
+        scope = _single_table_scope(db.cluster.catalog, statement.table)
+        assignments = {
+            column: analyzer.convert(expr, scope)
+            for column, expr in statement.assignments.items()
+        }
+        predicate = (
+            analyzer.convert(statement.where, scope)
+            if statement.where is not None
+            else _always_true()
+        )
+        return session.update(statement.table, assignments, predicate)
+
+    if isinstance(statement, ast.DeleteStatement):
+        scope = _single_table_scope(db.cluster.catalog, statement.table)
+        predicate = (
+            analyzer.convert(statement.where, scope)
+            if statement.where is not None
+            else _always_true()
+        )
+        session.delete(statement.table, predicate)
+        return None
+
+    if isinstance(statement, ast.CreateTableStatement):
+        return _create_table(db, analyzer, statement)
+
+    if isinstance(statement, ast.CreateProjectionStatement):
+        return _create_projection(db, statement)
+
+    if isinstance(statement, ast.DropTableStatement):
+        db.drop_table(statement.name)
+        return None
+
+    if isinstance(statement, ast.CopyStatement):
+        return _copy(session, statement, copy_rows)
+
+    raise SqlAnalysisError(f"unsupported statement {type(statement).__name__}")
+
+
+def _always_true():
+    from ..execution.expressions import Literal
+
+    return Literal(True)
+
+
+def _create_table(db, analyzer, statement: ast.CreateTableStatement):
+    columns = [
+        ColumnDef(spec.name, type_from_name(spec.type_name))
+        for spec in statement.columns
+    ]
+    partition_fn = None
+    if statement.partition_by is not None:
+        names = [spec.name for spec in statement.columns]
+        scope = Scope([_FromItem(ast.TableRef(statement.name), names)])
+        expr = analyzer.convert(statement.partition_by, scope)
+
+        def partition_fn(row, _expr=expr):
+            return _expr.evaluate_row(row)
+
+    table = TableDefinition(
+        statement.name,
+        columns,
+        partition_by=partition_fn,
+        partition_by_text=statement.partition_by_text,
+        primary_key=tuple(statement.primary_key),
+    )
+    encodings = {
+        spec.name: spec.encoding
+        for spec in statement.columns
+        if spec.encoding is not None
+    }
+    db.create_table(table, encodings=encodings or None)
+    return None
+
+
+def _create_projection(db, statement: ast.CreateProjectionStatement):
+    table = db.cluster.catalog.table(statement.table)
+    select_columns = statement.select_columns or [
+        spec.name for spec in statement.columns
+    ]
+    if len(select_columns) != len(statement.columns):
+        raise SqlAnalysisError(
+            "projection column list and SELECT list differ in length"
+        )
+    columns = []
+    for spec, source in zip(statement.columns, select_columns):
+        dtype = table.column(source).dtype
+        columns.append(
+            ProjectionColumn(spec.name, dtype, spec.encoding or "AUTO")
+        )
+    if statement.segmented_by is None:
+        segmentation = Replicated()
+    else:
+        segmentation = HashSegmentation(tuple(statement.segmented_by))
+    projection = ProjectionDefinition(
+        name=statement.name,
+        anchor_table=statement.table,
+        columns=columns,
+        sort_order=statement.order_by or [columns[0].name],
+        segmentation=segmentation,
+    )
+    db.add_projection(projection)
+    return None
+
+
+def _copy(session, statement: ast.CopyStatement, copy_rows) -> CopyResult:
+    """Bulk load with rejected-record collection (section 7)."""
+    if copy_rows is None:
+        raise LoadError("COPY requires data (pass copy_rows=...)")
+    db = session.db
+    table = db.cluster.catalog.table(statement.table)
+    columns = statement.columns or table.column_names
+    good: list[dict] = []
+    rejected: list[tuple[int, str, str]] = []
+    for line_number, record in enumerate(copy_rows, start=1):
+        try:
+            if isinstance(record, dict):
+                row = {name: None for name in table.column_names}
+                row.update(record)
+                row = table.validate_row(row)
+            else:
+                fields = (
+                    record.split("|") if isinstance(record, str) else list(record)
+                )
+                if len(fields) != len(columns):
+                    raise LoadError(
+                        f"expected {len(columns)} fields, got {len(fields)}"
+                    )
+                row = {name: None for name in table.column_names}
+                for name, field_text in zip(columns, fields):
+                    row[name] = table.column(name).dtype.parse_text(
+                        str(field_text)
+                    )
+            good.append(row)
+        except Exception as exc:  # rejected record, keep loading
+            rejected.append((line_number, str(record)[:80], str(exc)))
+    session.insert(statement.table, good, direct_to_ros=len(good) > 10000)
+    return CopyResult(loaded=len(good), rejected=rejected)

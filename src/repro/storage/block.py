@@ -1,0 +1,168 @@
+"""Data blocks: the unit of encoding, metadata and pruning.
+
+A column file is a sequence of blocks of up to :data:`BLOCK_ROWS`
+values.  Each block carries a :class:`BlockInfo` record in the
+column's *position index* (section 3.7): start position, row count,
+minimum and maximum value — the metadata the execution engine uses to
+skip blocks (and the planner uses to skip whole ROS containers [22]).
+
+NULLs are handled here, not in the encodings: a block with NULLs
+stores a presence bitmap before the encoded payload and the encoding
+only sees the non-NULL values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import DataType
+from .encodings import ENCODINGS, Encoding, choose_encoding
+from .serde import (
+    read_uvarint,
+    read_value,
+    write_uvarint,
+    write_value,
+)
+
+#: Default number of rows per block.
+BLOCK_ROWS = 8192
+
+
+@dataclass
+class BlockInfo:
+    """Position-index entry for one block of one column."""
+
+    #: Ordinal position (within the container) of the block's first row.
+    start_position: int
+    #: Number of rows in the block (including NULLs).
+    row_count: int
+    #: Number of NULL rows; a presence bitmap is stored iff > 0.
+    null_count: int
+    #: Name of the concrete encoding used for the payload.
+    encoding: str
+    #: Byte offset of the block within the column data file.
+    offset: int
+    #: Byte length of the block within the column data file.
+    length: int
+    #: Minimum non-NULL value in the block (None if all NULL).
+    min_value: object
+    #: Maximum non-NULL value in the block (None if all NULL).
+    max_value: object
+
+    @property
+    def end_position(self) -> int:
+        """One past the ordinal position of the block's last row."""
+        return self.start_position + self.row_count
+
+    def may_contain(self, low, high) -> bool:
+        """Whether the block can hold values in the closed range [low, high].
+
+        ``None`` bounds are open.  Blocks that are all-NULL never match
+        a value range.  This is the pruning primitive for both block
+        skipping and ROS container elimination.
+        """
+        if self.min_value is None and self.max_value is None:
+            return False
+        if low is not None and self.max_value is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value is not None and self.min_value > high:
+            return False
+        return True
+
+    def serialize(self, out: bytearray) -> None:
+        """Append this entry to a position-index byte stream."""
+        write_uvarint(out, self.start_position)
+        write_uvarint(out, self.row_count)
+        write_uvarint(out, self.null_count)
+        encoded_name = self.encoding.encode("ascii")
+        write_uvarint(out, len(encoded_name))
+        out += encoded_name
+        write_uvarint(out, self.offset)
+        write_uvarint(out, self.length)
+        write_value(out, self.min_value)
+        write_value(out, self.max_value)
+
+    @classmethod
+    def deserialize(cls, data: bytes, offset: int) -> tuple["BlockInfo", int]:
+        """Read one entry from a position-index byte stream."""
+        start, offset = read_uvarint(data, offset)
+        rows, offset = read_uvarint(data, offset)
+        nulls, offset = read_uvarint(data, offset)
+        name_len, offset = read_uvarint(data, offset)
+        name = data[offset : offset + name_len].decode("ascii")
+        offset += name_len
+        byte_offset, offset = read_uvarint(data, offset)
+        length, offset = read_uvarint(data, offset)
+        min_value, offset = read_value(data, offset)
+        max_value, offset = read_value(data, offset)
+        info = cls(start, rows, nulls, name, byte_offset, length, min_value, max_value)
+        return info, offset
+
+
+def _presence_bitmap(values: list) -> bytes:
+    """Bitmap with bit i set when values[i] is non-NULL."""
+    bitmap = bytearray((len(values) + 7) // 8)
+    for index, value in enumerate(values):
+        if value is not None:
+            bitmap[index >> 3] |= 1 << (index & 7)
+    return bytes(bitmap)
+
+
+def _apply_bitmap(bitmap: bytes, non_nulls: list, count: int) -> list:
+    """Rebuild a value list of length ``count`` from bitmap + non-NULLs."""
+    values = [None] * count
+    cursor = iter(non_nulls)
+    for index in range(count):
+        if bitmap[index >> 3] & (1 << (index & 7)):
+            values[index] = next(cursor)
+    return values
+
+
+def encode_block(
+    values: list,
+    dtype: DataType,
+    encoding: Encoding | None,
+    start_position: int,
+    file_offset: int,
+) -> tuple[bytes, BlockInfo]:
+    """Encode one block; return ``(payload_bytes, BlockInfo)``.
+
+    ``encoding=None`` means AUTO: pick empirically per block.  A block
+    containing NULLs prepends a presence bitmap to the payload.
+    """
+    non_nulls = [value for value in values if value is not None]
+    null_count = len(values) - len(non_nulls)
+    if encoding is None:
+        encoding = choose_encoding(dtype, non_nulls)
+    payload = encoding.encode(non_nulls)
+    if null_count:
+        payload = _presence_bitmap(values) + payload
+    if non_nulls:
+        min_value = min(non_nulls)
+        max_value = max(non_nulls)
+    else:
+        min_value = max_value = None
+    info = BlockInfo(
+        start_position=start_position,
+        row_count=len(values),
+        null_count=null_count,
+        encoding=encoding.name,
+        offset=file_offset,
+        length=len(payload),
+        min_value=min_value,
+        max_value=max_value,
+    )
+    return payload, info
+
+
+def decode_block(payload: bytes, info: BlockInfo) -> list:
+    """Decode a block payload back into its value list (NULLs included)."""
+    encoding = ENCODINGS[info.encoding]
+    if info.null_count:
+        bitmap_len = (info.row_count + 7) // 8
+        bitmap = payload[:bitmap_len]
+        non_nulls = encoding.decode(
+            payload[bitmap_len:], info.row_count - info.null_count
+        )
+        return _apply_bitmap(bitmap, non_nulls, info.row_count)
+    return encoding.decode(payload, info.row_count)

@@ -1,0 +1,122 @@
+"""Delete vectors.
+
+    Data in Vertica is never modified in place.  When a tuple is
+    deleted or updated from either the WOS or ROS, Vertica creates a
+    delete vector [...] a list of positions of rows that have been
+    deleted.  Delete vectors are stored in the same format as user
+    data: they are first written to a DVWOS in memory, then moved to
+    DVROS containers on disk by the tuple mover and stored using
+    efficient compression mechanisms.  (section 3.7.1)
+
+A :class:`DeleteVector` pairs each deleted position with the epoch the
+delete committed in (section 5: "each delete marker is paired with the
+logical time the row was deleted"), which is what makes historical
+snapshot queries and AHM-based purging possible.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..types import INTEGER
+from .column_file import ColumnReader, ColumnWriter
+
+
+@dataclass
+class DeleteVector:
+    """Deleted (position, epoch) pairs for one target store.
+
+    ``target_container`` is a ROS container id, or ``None`` when the
+    vector applies to the WOS.  Positions are kept sorted; merging two
+    vectors for the same target is a sorted merge.
+    """
+
+    target_container: int | None
+    positions: list[int] = field(default_factory=list)
+    epochs: list[int] = field(default_factory=list)
+
+    def add(self, position: int, epoch: int) -> None:
+        """Record the deletion of ``position`` at ``epoch``."""
+        self.positions.append(position)
+        self.epochs.append(epoch)
+
+    def sort(self) -> None:
+        """Normalize to position order."""
+        if self.positions != sorted(self.positions):
+            pairs = sorted(zip(self.positions, self.epochs))
+            self.positions = [p for p, _ in pairs]
+            self.epochs = [e for _, e in pairs]
+
+    @property
+    def count(self) -> int:
+        """Number of deleted positions recorded."""
+        return len(self.positions)
+
+    def as_dict(self) -> dict[int, int]:
+        """position -> delete epoch mapping."""
+        return dict(zip(self.positions, self.epochs))
+
+    def merged_with(self, other: "DeleteVector") -> "DeleteVector":
+        """Union of two vectors for the same target."""
+        merged = DeleteVector(
+            self.target_container,
+            self.positions + other.positions,
+            self.epochs + other.epochs,
+        )
+        merged.sort()
+        return merged
+
+    # -- persistence (DVROS) -------------------------------------------
+
+    def write(self, path: str) -> None:
+        """Persist as a DVROS: the same column-file format as user data.
+
+        Positions are ascending integers (delta-friendly) and epochs
+        are near-constant (RLE-friendly) — the "efficient compression
+        mechanisms" of section 3.7.1 fall out of reusing the encodings.
+        """
+        self.sort()
+        os.makedirs(path, exist_ok=True)
+        position_writer = ColumnWriter(INTEGER, "COMMONDELTA_COMP")
+        position_writer.extend(self.positions)
+        epoch_writer = ColumnWriter(INTEGER, "RLE")
+        epoch_writer.extend(self.epochs)
+        for name, writer in (("positions", position_writer), ("epochs", epoch_writer)):
+            data, index = writer.finish()
+            with open(os.path.join(path, f"{name}.dat"), "wb") as handle:
+                handle.write(data)
+            with open(os.path.join(path, f"{name}.pidx"), "wb") as handle:
+                handle.write(index)
+        with open(os.path.join(path, "target.txt"), "w") as handle:
+            handle.write("wos" if self.target_container is None else str(self.target_container))
+
+    @classmethod
+    def load(cls, path: str) -> "DeleteVector":
+        """Load a persisted DVROS."""
+        columns = {}
+        for name in ("positions", "epochs"):
+            with open(os.path.join(path, f"{name}.dat"), "rb") as handle:
+                data = handle.read()
+            with open(os.path.join(path, f"{name}.pidx"), "rb") as handle:
+                index = handle.read()
+            columns[name] = ColumnReader(data, index).read_all()
+        with open(os.path.join(path, "target.txt")) as handle:
+            raw = handle.read().strip()
+        target = None if raw == "wos" else int(raw)
+        return cls(target, columns["positions"], columns["epochs"])
+
+
+def combined_deletes(vectors: list[DeleteVector]) -> dict[int, int]:
+    """Fold several delete vectors into one position -> epoch map.
+
+    When the same position appears twice (possible after recovery
+    replays), the earliest delete epoch wins.
+    """
+    deletes: dict[int, int] = {}
+    for vector in vectors:
+        for position, epoch in zip(vector.positions, vector.epochs):
+            current = deletes.get(position)
+            if current is None or epoch < current:
+                deletes[position] = epoch
+    return deletes

@@ -1,0 +1,93 @@
+"""AUTO encoding selection.
+
+    Auto: The system automatically picks the most advantageous encoding
+    type based on properties of the data itself.  This type is the
+    default and is used when insufficient usage examples are known.
+    (section 3.4.1)
+
+Selection is *empirical*: every applicable concrete encoding is trial-
+run on (a sample of) the block and the smallest output wins.  The
+paper credits exactly this empirical approach for users essentially
+never overriding the Database Designer's encoding choices
+(section 6.3).
+"""
+
+from __future__ import annotations
+
+from ...types import DataType
+from .base import ENCODINGS, Encoding
+from .plain import COMPRESSED_PLAIN, PLAIN
+
+#: Concrete encodings AUTO chooses among, in tie-break preference order
+#: (structured encodings first: they keep operate-on-encoded-data
+#: opportunities that an opaque zlib blob does not).
+CANDIDATE_NAMES = (
+    "RLE",
+    "COMMONDELTA_COMP",
+    "DELTARANGE_COMP",
+    "DELTAVAL",
+    "BLOCK_DICT",
+    "COMPRESSED_PLAIN",
+    "PLAIN",
+)
+
+#: Trial-encode at most this many values when choosing.
+SAMPLE_SIZE = 4096
+
+
+def choose_encoding(dtype: DataType, values: list) -> Encoding:
+    """Pick the smallest applicable encoding for ``values`` of ``dtype``.
+
+    Returns a concrete encoding (never AUTO itself).  An empty block
+    gets PLAIN.
+    """
+    sample = [v for v in values[:SAMPLE_SIZE] if v is not None]
+    if not sample:
+        return PLAIN
+    best = PLAIN
+    best_size = None
+    for name in CANDIDATE_NAMES:
+        encoding = ENCODINGS[name]
+        if not encoding.supports(dtype, sample):
+            continue
+        size = len(encoding.encode(sample))
+        if best_size is None or size < best_size:
+            best = encoding
+            best_size = size
+    return best
+
+
+class AutoEncoding(Encoding):
+    """Per-block empirical chooser.
+
+    Encodes with the best concrete encoding and prefixes a tag byte so
+    decode knows which one was used.  The tag is the index into
+    :data:`CANDIDATE_NAMES`.
+    """
+
+    name = "AUTO"
+
+    def encode(self, values: list) -> bytes:
+        # Type is inferred from the values themselves here; the block
+        # writer passes the declared type when it calls choose_encoding
+        # directly, which is the normal path.
+        from ...types import FLOAT, INTEGER, VARCHAR
+
+        if values and isinstance(values[0], int) and not isinstance(values[0], bool):
+            dtype = INTEGER
+        elif values and isinstance(values[0], float):
+            dtype = FLOAT
+        else:
+            dtype = VARCHAR
+        chosen = choose_encoding(dtype, values)
+        tag = CANDIDATE_NAMES.index(chosen.name)
+        return bytes([tag]) + chosen.encode(values)
+
+    def decode(self, data: bytes, count: int) -> list:
+        chosen = ENCODINGS[CANDIDATE_NAMES[data[0]]]
+        return chosen.decode(data[1:], count)
+
+
+from .base import register  # noqa: E402  (registration after class defs)
+
+AUTO = register(AutoEncoding())

@@ -1,0 +1,48 @@
+"""Delta Value encoding.
+
+    Delta Value: Data is recorded as a difference from the smallest
+    value in a data block.  This type is best used for many-valued,
+    unsorted integer or integer-based columns.  (section 3.4.1)
+
+Each block stores its minimum once, then every value as an unsigned
+varint offset from that minimum.  Works for INTEGER/DATE/TIMESTAMP
+columns (the "integer-based" types).
+"""
+
+from __future__ import annotations
+
+from ...types import DataType
+from ..serde import read_svarint, read_uvarint, write_svarint, write_uvarint
+from .base import Encoding, register, values_are_integral
+
+
+class DeltaValueEncoding(Encoding):
+    """Offset-from-block-minimum varints; integers only."""
+
+    name = "DELTAVAL"
+
+    def encode(self, values: list) -> bytes:
+        out = bytearray()
+        if not values:
+            return bytes(out)
+        minimum = min(values)
+        write_svarint(out, minimum)
+        for value in values:
+            write_uvarint(out, value - minimum)
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> list:
+        if count == 0:
+            return []
+        minimum, offset = read_svarint(data, 0)
+        values = []
+        for _ in range(count):
+            delta, offset = read_uvarint(data, offset)
+            values.append(minimum + delta)
+        return values
+
+    def supports(self, dtype: DataType, values: list) -> bool:
+        return dtype.integral and values_are_integral(values)
+
+
+DELTAVAL = register(DeltaValueEncoding())

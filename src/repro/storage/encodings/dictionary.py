@@ -1,0 +1,78 @@
+"""Block Dictionary encoding.
+
+    Block Dictionary: Within a data block, distinct column values are
+    stored in a dictionary and actual values are replaced with
+    references to the dictionary.  This type is best for few-valued,
+    unsorted columns such as stock prices.  (section 3.4.1)
+
+The dictionary is block-local (no global dictionary to maintain, so
+ROS containers remain immutable and self-contained) and references are
+bit-packed to the smallest width that covers the dictionary size.
+"""
+
+from __future__ import annotations
+
+from ...types import DataType
+from ..serde import (
+    bit_width_for,
+    pack_bits,
+    read_uvarint,
+    read_value,
+    unpack_bits,
+    write_uvarint,
+    write_value,
+)
+from .base import Encoding, register
+
+
+class BlockDictionaryEncoding(Encoding):
+    """Block-local dictionary with bit-packed codes; any type."""
+
+    name = "BLOCK_DICT"
+
+    #: Refuse to build dictionaries beyond this many entries; a column
+    #: with more distinct values per block is not "few-valued".
+    max_dictionary_size = 4096
+
+    def encode(self, values: list) -> bytes:
+        codes = []
+        dictionary: dict = {}
+        entries: list = []
+        for value in values:
+            code = dictionary.get(value)
+            if code is None:
+                code = len(entries)
+                dictionary[value] = code
+                entries.append(value)
+            codes.append(code)
+        out = bytearray()
+        write_uvarint(out, len(entries))
+        for entry in entries:
+            write_value(out, entry)
+        width = bit_width_for(max(len(entries) - 1, 0))
+        write_uvarint(out, width)
+        out += pack_bits(codes, width)
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> list:
+        size, offset = read_uvarint(data, 0)
+        entries = []
+        for _ in range(size):
+            entry, offset = read_value(data, offset)
+            entries.append(entry)
+        width, offset = read_uvarint(data, offset)
+        codes = unpack_bits(data[offset:], width, count)
+        return [entries[code] for code in codes]
+
+    def supports(self, dtype: DataType, values: list) -> bool:
+        if not values:
+            return True
+        sample = values[: self.max_dictionary_size + 1]
+        try:
+            distinct = len(set(sample))
+        except TypeError:  # pragma: no cover - defensive
+            return False
+        return distinct <= self.max_dictionary_size
+
+
+BLOCK_DICT = register(BlockDictionaryEncoding())

@@ -1,0 +1,51 @@
+"""Plain (uncompressed) encoding, with an optional zlib variant.
+
+``PLAIN`` stores every value as a self-describing record; it is the
+fallback when no structured encoding applies.  ``COMPRESSED_PLAIN``
+runs the plain bytes through zlib, standing in for the block-level
+LZ-style compression a production column store layers under its
+structured encodings.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..serde import read_value, write_value
+from .base import Encoding, register
+
+
+class PlainEncoding(Encoding):
+    """Self-describing value-at-a-time storage; applies to any type."""
+
+    name = "PLAIN"
+
+    def encode(self, values: list) -> bytes:
+        out = bytearray()
+        for value in values:
+            write_value(out, value)
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> list:
+        values = []
+        offset = 0
+        for _ in range(count):
+            value, offset = read_value(data, offset)
+            values.append(value)
+        return values
+
+
+class CompressedPlainEncoding(PlainEncoding):
+    """Plain encoding with a zlib entropy stage on top."""
+
+    name = "COMPRESSED_PLAIN"
+
+    def encode(self, values: list) -> bytes:
+        return zlib.compress(super().encode(values), level=6)
+
+    def decode(self, data: bytes, count: int) -> list:
+        return super().decode(zlib.decompress(data), count)
+
+
+PLAIN = register(PlainEncoding())
+COMPRESSED_PLAIN = register(CompressedPlainEncoding())

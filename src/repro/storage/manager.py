@@ -1,0 +1,607 @@
+"""Per-node storage manager.
+
+One :class:`StorageManager` owns the physical storage of a single
+(simulated) node: per-projection WOS buffers, ROS containers, delete
+vectors, and the bookkeeping the tuple mover and execution engine sit
+on top of.  It enforces the physical invariants of sections 3.5-3.7:
+
+* every ROS container holds rows of exactly one partition key and one
+  local segment;
+* containers are immutable and totally sorted by their projection's
+  sort order;
+* deletes never touch data files — they only append delete vectors;
+* the WOS routes to ROS directly when it would overflow (and loads can
+  explicitly request direct-to-ROS, section 7).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+
+from ..core.schema import TableDefinition
+from ..errors import StorageError, UnknownObjectError
+from ..projections import HashSegmentation, ProjectionDefinition
+from .delete_vector import DeleteVector, combined_deletes
+from .ros import ROSContainer
+from .wos import DEFAULT_WOS_CAPACITY, WriteOptimizedStore
+
+
+@dataclass
+class ScanBatch:
+    """A vectorized slice of visible rows handed to the Scan operator."""
+
+    columns: dict[str, list]
+    row_count: int
+    #: container id the batch came from, or None for the WOS.
+    source: int | None
+    #: True when rows are in projection sort order within the batch.
+    sorted_run: bool
+
+
+@dataclass
+class ProjectionStorage:
+    """All physical state for one projection on one node."""
+
+    projection: ProjectionDefinition
+    table: TableDefinition
+    wos: WriteOptimizedStore
+    containers: dict[int, ROSContainer] = field(default_factory=dict)
+    #: In-memory (DVWOS-resident) delete vectors, per ROS container id.
+    pending_ros_deletes: dict[int, DeleteVector] = field(default_factory=dict)
+    #: Persisted (DVROS) delete vectors, per ROS container id.
+    persisted_ros_deletes: dict[int, list[DeleteVector]] = field(default_factory=dict)
+    #: WOS position -> delete epoch.
+    wos_deletes: dict[int, int] = field(default_factory=dict)
+
+    def deletes_for(self, container_id: int) -> dict[int, int]:
+        """position -> delete-epoch map for one container."""
+        vectors = list(self.persisted_ros_deletes.get(container_id, ()))
+        pending = self.pending_ros_deletes.get(container_id)
+        if pending is not None:
+            vectors.append(pending)
+        return combined_deletes(vectors)
+
+    def delete_count(self) -> int:
+        """Total delete markers across WOS and all containers."""
+        total = len(self.wos_deletes)
+        for container_id in self.containers:
+            total += len(self.deletes_for(container_id))
+        return total
+
+
+class StorageManager:
+    """Physical storage for one node, rooted at a directory."""
+
+    def __init__(
+        self,
+        root: str,
+        node_count: int = 1,
+        node_index: int = 0,
+        segments_per_node: int = 1,
+        wos_capacity: int = DEFAULT_WOS_CAPACITY,
+    ):
+        self.root = root
+        self.node_count = node_count
+        self.node_index = node_index
+        self.segments_per_node = segments_per_node
+        self.wos_capacity = wos_capacity
+        self._projections: dict[str, ProjectionStorage] = {}
+        self._next_container_id = 1
+        os.makedirs(root, exist_ok=True)
+
+    # -- registration ---------------------------------------------------
+
+    def register_projection(
+        self, projection: ProjectionDefinition, table: TableDefinition
+    ) -> None:
+        """Start managing storage for ``projection`` of ``table``."""
+        if projection.name in self._projections:
+            raise StorageError(f"projection {projection.name!r} already registered")
+        self._projections[projection.name] = ProjectionStorage(
+            projection=projection,
+            table=table,
+            wos=WriteOptimizedStore(capacity=self.wos_capacity),
+        )
+        os.makedirs(self._projection_dir(projection.name), exist_ok=True)
+
+    def drop_projection(self, name: str) -> None:
+        """Remove a projection's storage (files included)."""
+        self._state(name)
+        del self._projections[name]
+        shutil.rmtree(self._projection_dir(name), ignore_errors=True)
+
+    def projection_names(self) -> list[str]:
+        """Names of projections stored on this node."""
+        return sorted(self._projections)
+
+    def _state(self, name: str) -> ProjectionStorage:
+        try:
+            return self._projections[name]
+        except KeyError:
+            raise UnknownObjectError(f"no storage for projection {name!r}") from None
+
+    def _projection_dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def storage(self, name: str) -> ProjectionStorage:
+        """Expose a projection's physical state (tuple mover, tests)."""
+        return self._state(name)
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(
+        self,
+        projection_name: str,
+        rows: list[dict],
+        epoch: int,
+        direct_to_ros: bool = False,
+    ) -> list[int]:
+        """Store committed ``rows`` at ``epoch``.
+
+        Returns ids of any ROS containers created (empty if the rows
+        went to the WOS).  Rows go directly to ROS when requested or
+        when the WOS would overflow (section 4).
+        """
+        state = self._state(projection_name)
+        if not rows:
+            return []
+        if direct_to_ros or state.wos.would_overflow(len(rows)):
+            return self._write_ros_containers(state, rows, [epoch] * len(rows))
+        state.wos.insert(rows, epoch)
+        return []
+
+    def _local_segment_of(self, state: ProjectionStorage, row: dict) -> int:
+        scheme = state.projection.segmentation
+        if self.segments_per_node <= 1 or not isinstance(scheme, HashSegmentation):
+            return 0
+        return scheme.local_segment_for_row(
+            row, self.node_count, self.segments_per_node
+        )
+
+    def _write_ros_containers(
+        self,
+        state: ProjectionStorage,
+        rows: list[dict],
+        epochs: list[int],
+        preserve_groups: bool = True,
+    ) -> list[int]:
+        """Split rows by (partition key, local segment), sort each group
+        and write one ROS container per group."""
+        groups: dict[tuple, list[int]] = {}
+        for index, row in enumerate(rows):
+            key = (
+                state.table.partition_key(row),
+                self._local_segment_of(state, row),
+            )
+            groups.setdefault(key, []).append(index)
+        created = []
+        for (partition_key, local_segment), indexes in sorted(
+            groups.items(), key=lambda item: repr(item[0])
+        ):
+            ordered = sorted(
+                indexes, key=lambda i: state.projection.sort_key_for(rows[i])
+            )
+            group_rows = [rows[i] for i in ordered]
+            group_epochs = [epochs[i] for i in ordered]
+            created.append(
+                self._new_container(state, group_rows, group_epochs, partition_key, local_segment)
+            )
+        return created
+
+    def _new_container(
+        self,
+        state: ProjectionStorage,
+        sorted_rows: list[dict],
+        epochs: list[int],
+        partition_key,
+        local_segment: int,
+    ) -> int:
+        container_id = self._next_container_id
+        self._next_container_id += 1
+        path = os.path.join(
+            self._projection_dir(state.projection.name), f"ros_{container_id:06d}"
+        )
+        container = ROSContainer.write(
+            path,
+            container_id,
+            state.projection,
+            sorted_rows,
+            epochs,
+            partition_key=partition_key,
+            local_segment=local_segment,
+        )
+        state.containers[container_id] = container
+        return container_id
+
+    def add_container_from_rows(
+        self,
+        projection_name: str,
+        sorted_rows: list[dict],
+        epochs: list[int],
+        partition_key=None,
+        local_segment: int = 0,
+    ) -> int:
+        """Create one container from pre-sorted rows (tuple mover,
+        recovery and rebalance use this lower-level entry point)."""
+        state = self._state(projection_name)
+        return self._new_container(
+            state, sorted_rows, epochs, partition_key, local_segment
+        )
+
+    def remove_containers(self, projection_name: str, container_ids) -> None:
+        """Drop containers (mergeout inputs, dropped partitions)."""
+        state = self._state(projection_name)
+        for container_id in container_ids:
+            container = state.containers.pop(container_id, None)
+            if container is None:
+                raise StorageError(f"unknown container {container_id}")
+            state.pending_ros_deletes.pop(container_id, None)
+            state.persisted_ros_deletes.pop(container_id, None)
+            shutil.rmtree(container.path, ignore_errors=True)
+
+    def attach_delete_vector(
+        self, projection_name: str, vector: DeleteVector
+    ) -> None:
+        """Attach an externally built delete vector (recovery path)."""
+        state = self._state(projection_name)
+        if vector.target_container is None:
+            for position, epoch in zip(vector.positions, vector.epochs):
+                state.wos_deletes.setdefault(position, epoch)
+        else:
+            state.persisted_ros_deletes.setdefault(
+                vector.target_container, []
+            ).append(vector)
+
+    # -- deletes ----------------------------------------------------------
+
+    def delete_where(
+        self,
+        projection_name: str,
+        predicate,
+        commit_epoch: int,
+        snapshot_epoch: int,
+    ) -> int:
+        """Mark rows matching ``predicate(row)`` deleted at ``commit_epoch``.
+
+        Rows are located in the snapshot visible at ``snapshot_epoch``
+        (delete never modifies storage; it appends delete vectors).
+        Returns the number of rows marked.
+        """
+        state = self._state(projection_name)
+        deleted = 0
+        for position, row in state.wos.visible(snapshot_epoch, state.wos_deletes):
+            if predicate(row):
+                state.wos_deletes[position] = commit_epoch
+                deleted += 1
+        for container_id, container in state.containers.items():
+            deletes = state.deletes_for(container_id)
+            columns = container.read_columns(container.meta.columns)
+            epochs = container.read_epochs()
+            names = container.meta.columns
+            for position in range(container.row_count):
+                if epochs[position] > snapshot_epoch:
+                    continue
+                delete_epoch = deletes.get(position)
+                if delete_epoch is not None and delete_epoch <= snapshot_epoch:
+                    continue
+                row = {name: columns[name][position] for name in names}
+                if predicate(row):
+                    vector = state.pending_ros_deletes.setdefault(
+                        container_id, DeleteVector(container_id)
+                    )
+                    vector.add(position, commit_epoch)
+                    deleted += 1
+        return deleted
+
+    def persist_delete_vectors(self, projection_name: str) -> int:
+        """Move pending (DVWOS) ROS delete vectors to disk (DVROS).
+
+        Returns how many vectors were persisted.  This is the tuple
+        mover's delete-vector moveout (section 3.7.1).
+        """
+        state = self._state(projection_name)
+        persisted = 0
+        for container_id, vector in sorted(state.pending_ros_deletes.items()):
+            path = os.path.join(
+                self._projection_dir(projection_name),
+                f"dv_{container_id:06d}_{persisted}_{vector.count}",
+            )
+            vector.write(path)
+            state.persisted_ros_deletes.setdefault(container_id, []).append(vector)
+            persisted += 1
+        state.pending_ros_deletes.clear()
+        return persisted
+
+    # -- reads ------------------------------------------------------------
+
+    def scan(
+        self,
+        projection_name: str,
+        epoch: int,
+        columns: list[str] | None = None,
+        prune: dict[str, tuple] | None = None,
+        batch_rows: int = 8192,
+        include_deleted: bool = False,
+    ):
+        """Yield :class:`ScanBatch` es of rows visible at ``epoch``.
+
+        ``prune`` maps column name -> (low, high) and eliminates whole
+        containers via their min/max metadata before any data is read.
+        ``include_deleted`` disables delete-vector filtering (recovery
+        must copy deleted-but-unpurged rows, section 5.2).
+        """
+        state = self._state(projection_name)
+        names = columns or [c.name for c in state.projection.columns]
+        for container_id in sorted(state.containers):
+            container = state.containers[container_id]
+            if prune and not all(
+                container.may_contain(column, low, high)
+                for column, (low, high) in prune.items()
+                if column in container.meta.columns
+            ):
+                continue
+            yield from self._scan_container(
+                state, container, epoch, names, batch_rows, include_deleted,
+                prune,
+            )
+        yield from self._scan_wos(state, epoch, names, batch_rows, include_deleted)
+
+    def _scan_container(
+        self, state, container, epoch, names, batch_rows, include_deleted,
+        prune=None,
+    ):
+        deletes = {} if include_deleted else state.deletes_for(container.container_id)
+        # fast path: fully visible container, no deletes -> block-level
+        # pruning via the position index plus slice-based batching.
+        if not deletes and container.meta.max_epoch <= epoch:
+            yield from self._scan_container_fast(
+                container, names, batch_rows, prune
+            )
+            return
+        epochs = container.read_epochs()
+        keep = [
+            position
+            for position in range(container.row_count)
+            if epochs[position] <= epoch
+            and not (
+                (delete_epoch := deletes.get(position)) is not None
+                and delete_epoch <= epoch
+            )
+        ]
+        if not keep:
+            return
+        data = container.read_columns(names)
+        for start in range(0, len(keep), batch_rows):
+            chunk = keep[start : start + batch_rows]
+            yield ScanBatch(
+                columns={
+                    name: [data[name][position] for position in chunk]
+                    for name in names
+                },
+                row_count=len(chunk),
+                source=container.container_id,
+                sorted_run=True,
+            )
+
+    def _scan_container_fast(self, container, names, batch_rows, prune):
+        """Scan an immutable, fully-visible container: intersect the
+        pruned position ranges of all restricted (ungrouped) columns,
+        then slice every needed column to that range."""
+        start, end = 0, container.row_count
+        if prune:
+            for column, (low, high) in prune.items():
+                if column not in container.meta.columns:
+                    continue
+                if container._group_of(column) is not None:
+                    continue
+                lo, hi = container.column_reader(column).position_range_for(
+                    low, high
+                )
+                start = max(start, lo)
+                end = min(end, hi)
+        if start >= end:
+            return
+        data = {}
+        for name in names:
+            if container._group_of(name) is not None:
+                data[name] = container.read_column(name)[start:end]
+            else:
+                data[name] = container.column_reader(name).read_range(start, end)
+        total = end - start
+        for offset in range(0, total, batch_rows):
+            yield ScanBatch(
+                columns={
+                    name: values[offset : offset + batch_rows]
+                    for name, values in data.items()
+                },
+                row_count=min(batch_rows, total - offset),
+                source=container.container_id,
+                sorted_run=True,
+            )
+
+    def _scan_wos(self, state, epoch, names, batch_rows, include_deleted):
+        deletes = {} if include_deleted else state.wos_deletes
+        visible_rows = [row for _, row in state.wos.visible(epoch, deletes)]
+        if not visible_rows:
+            return
+        visible_rows = state.projection.sorted_rows(visible_rows)
+        for start in range(0, len(visible_rows), batch_rows):
+            chunk = visible_rows[start : start + batch_rows]
+            yield ScanBatch(
+                columns={name: [row[name] for row in chunk] for name in names},
+                row_count=len(chunk),
+                source=None,
+                sorted_run=True,
+            )
+
+    def read_visible_rows(
+        self, projection_name: str, epoch: int, include_deleted: bool = False
+    ) -> list[dict]:
+        """Materialize every visible row (test and recovery helper)."""
+        rows: list[dict] = []
+        for batch in self.scan(
+            projection_name, epoch, include_deleted=include_deleted
+        ):
+            names = list(batch.columns)
+            for index in range(batch.row_count):
+                rows.append({name: batch.columns[name][index] for name in names})
+        return rows
+
+    def dump_rows(self, projection_name: str):
+        """Yield ``(row, insert_epoch, delete_epoch_or_None)`` for every
+        stored row, deleted or not.
+
+        This is the full physical history of the projection on this
+        node — the record recovery, refresh and rebalance replay from
+        (section 5.2: "the data+epoch itself serves as a log of past
+        system activity").
+        """
+        state = self._state(projection_name)
+        for container_id in sorted(state.containers):
+            container = state.containers[container_id]
+            names = container.meta.columns
+            columns = container.read_columns(names)
+            epochs = container.read_epochs()
+            deletes = state.deletes_for(container_id)
+            for position in range(container.row_count):
+                row = {name: columns[name][position] for name in names}
+                yield row, epochs[position], deletes.get(position)
+        for position, (row, epoch) in enumerate(
+            zip(state.wos.rows, state.wos.epochs)
+        ):
+            yield row, epoch, state.wos_deletes.get(position)
+
+    def truncate_after_epoch(self, projection_name: str, epoch: int) -> int:
+        """Discard rows committed after ``epoch`` (and delete markers
+        stamped after it), rebuilding the projection's containers.
+
+        Recovery's first step: "the node truncates all tuples that were
+        inserted after its LGE, ensuring that it starts at a consistent
+        state" (section 5.2).  Returns rows discarded.
+        """
+        state = self._state(projection_name)
+        survivors = []
+        discarded = 0
+        for row, insert_epoch, delete_epoch in self.dump_rows(projection_name):
+            if insert_epoch > epoch:
+                discarded += 1
+                continue
+            if delete_epoch is not None and delete_epoch > epoch:
+                delete_epoch = None
+            survivors.append((row, insert_epoch, delete_epoch))
+        self.remove_containers(projection_name, list(state.containers))
+        state.wos.drain()
+        state.wos_deletes.clear()
+        state.pending_ros_deletes.clear()
+        state.persisted_ros_deletes.clear()
+        self.load_history(projection_name, survivors)
+        return discarded
+
+    def load_history(
+        self,
+        projection_name: str,
+        records: list[tuple[dict, int, int | None]],
+    ) -> list[int]:
+        """Write (row, insert_epoch, delete_epoch) records straight to
+        ROS containers, preserving epochs and delete markers.  Used by
+        truncate, recovery, refresh and rebalance."""
+        state = self._state(projection_name)
+        if not records:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for index, (row, _, _) in enumerate(records):
+            key = (
+                state.table.partition_key(row),
+                self._local_segment_of(state, row),
+            )
+            groups.setdefault(key, []).append(index)
+        created = []
+        for (partition_key, local_segment), indexes in sorted(
+            groups.items(), key=lambda item: repr(item[0])
+        ):
+            ordered = sorted(
+                indexes,
+                key=lambda i: state.projection.sort_key_for(records[i][0]),
+            )
+            rows = [records[i][0] for i in ordered]
+            epochs = [records[i][1] for i in ordered]
+            container_id = self._new_container(
+                state, rows, epochs, partition_key, local_segment
+            )
+            created.append(container_id)
+            vector = DeleteVector(container_id)
+            for position, original in enumerate(ordered):
+                delete_epoch = records[original][2]
+                if delete_epoch is not None:
+                    vector.add(position, delete_epoch)
+            if vector.count:
+                state.persisted_ros_deletes.setdefault(container_id, []).append(
+                    vector
+                )
+        return created
+
+    # -- partitions --------------------------------------------------------
+
+    def drop_partition(self, projection_name: str, partition_key) -> int:
+        """Fast bulk delete: remove every container of one partition key
+        (section 3.5).  Returns the number of rows reclaimed."""
+        state = self._state(projection_name)
+        victims = [
+            container_id
+            for container_id, container in state.containers.items()
+            if container.meta.partition_key == partition_key
+        ]
+        reclaimed = sum(
+            state.containers[container_id].row_count for container_id in victims
+        )
+        self.remove_containers(projection_name, victims)
+        # WOS rows of that partition are dropped too (rare path: data
+        # normally reaches ROS before partition drops happen).
+        keep = [
+            (row, epoch)
+            for row, epoch in zip(state.wos.rows, state.wos.epochs)
+            if state.table.partition_key(row) != partition_key
+        ]
+        reclaimed += state.wos.row_count - len(keep)
+        state.wos.rows = [row for row, _ in keep]
+        state.wos.epochs = [epoch for _, epoch in keep]
+        state.wos_deletes.clear()
+        return reclaimed
+
+    def partition_keys(self, projection_name: str) -> list:
+        """Distinct partition keys present in the projection's ROS."""
+        state = self._state(projection_name)
+        keys = {
+            container.meta.partition_key for container in state.containers.values()
+        }
+        return sorted(keys, key=repr)
+
+    # -- introspection -------------------------------------------------------
+
+    def container_count(self, projection_name: str) -> int:
+        """Number of live ROS containers for a projection."""
+        return len(self._state(projection_name).containers)
+
+    def total_data_bytes(self, projection_name: str | None = None) -> int:
+        """Encoded user-data bytes on disk (Table 3/4 measurements)."""
+        names = [projection_name] if projection_name else self.projection_names()
+        total = 0
+        for name in names:
+            for container in self._state(name).containers.values():
+                total += container.data_size_bytes()
+        return total
+
+    def total_bytes(self, projection_name: str | None = None) -> int:
+        """All storage bytes including position indexes and epochs."""
+        names = [projection_name] if projection_name else self.projection_names()
+        total = 0
+        for name in names:
+            for container in self._state(name).containers.values():
+                total += container.size_bytes()
+        return total
+
+    def wos_row_count(self, projection_name: str) -> int:
+        """Rows currently buffered in the projection's WOS."""
+        return self._state(projection_name).wos.row_count

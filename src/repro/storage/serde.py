@@ -1,0 +1,175 @@
+"""Low-level byte serialization shared by all column encodings.
+
+Encodings (section 3.4) are defined in terms of a handful of
+primitives: unsigned varints, zigzag-coded signed varints, IEEE
+doubles, and length-prefixed strings.  Keeping these in one module
+makes every encoding short and makes byte-level sizes — the quantity
+Table 4 measures — easy to reason about.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodingError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as a LEB128 unsigned varint."""
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned varint; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise EncodingError("truncated varint") from None
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one with small absolute values
+    mapping to small codes (0->0, -1->1, 1->2, -2->3, ...)."""
+    return (value << 1) ^ (value >> 127) if value < 0 else value << 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Append a signed integer as a zigzag varint."""
+    write_uvarint(out, zigzag(value))
+
+
+def read_svarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read a zigzag varint; return ``(value, new_offset)``."""
+    raw, offset = read_uvarint(data, offset)
+    return unzigzag(raw), offset
+
+
+def write_double(out: bytearray, value: float) -> None:
+    """Append an IEEE-754 little-endian double."""
+    out += struct.pack("<d", value)
+
+
+def read_double(data: bytes, offset: int) -> tuple[float, int]:
+    """Read an IEEE-754 little-endian double."""
+    return struct.unpack_from("<d", data, offset)[0], offset + 8
+
+
+def write_string(out: bytearray, value: str) -> None:
+    """Append a length-prefixed UTF-8 string."""
+    encoded = value.encode("utf-8")
+    write_uvarint(out, len(encoded))
+    out += encoded
+
+
+def read_string(data: bytes, offset: int) -> tuple[str, int]:
+    """Read a length-prefixed UTF-8 string."""
+    length, offset = read_uvarint(data, offset)
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def write_value(out: bytearray, value) -> None:
+    """Append one SQL value of any supported type (self-describing).
+
+    Used by the plain encoding and by metadata that must store
+    arbitrary min/max values.  Format: 1 tag byte then the payload.
+    """
+    if value is None:
+        out.append(0)
+    elif isinstance(value, bool):
+        out.append(4 if value else 5)
+    elif isinstance(value, int):
+        out.append(1)
+        write_svarint(out, value)
+    elif isinstance(value, float):
+        out.append(2)
+        write_double(out, value)
+    elif isinstance(value, str):
+        out.append(3)
+        write_string(out, value)
+    else:
+        raise EncodingError(f"unsupported SQL value {value!r}")
+
+
+def read_value(data: bytes, offset: int):
+    """Read one self-describing SQL value; return ``(value, new_offset)``."""
+    tag = data[offset]
+    offset += 1
+    if tag == 0:
+        return None, offset
+    if tag == 1:
+        return read_svarint(data, offset)
+    if tag == 2:
+        return read_double(data, offset)
+    if tag == 3:
+        return read_string(data, offset)
+    if tag == 4:
+        return True, offset
+    if tag == 5:
+        return False, offset
+    raise EncodingError(f"unknown value tag {tag}")
+
+
+def pack_bits(values: list[int], bit_width: int) -> bytes:
+    """Bit-pack ``values`` (each < 2**bit_width) into a byte string."""
+    if bit_width == 0:
+        return b""
+    buffer = 0
+    bits = 0
+    out = bytearray()
+    for value in values:
+        buffer |= value << bits
+        bits += bit_width
+        while bits >= 8:
+            out.append(buffer & 0xFF)
+            buffer >>= 8
+            bits -= 8
+    if bits:
+        out.append(buffer & 0xFF)
+    return bytes(out)
+
+
+def unpack_bits(data: bytes, bit_width: int, count: int) -> list[int]:
+    """Inverse of :func:`pack_bits` for ``count`` values."""
+    if bit_width == 0:
+        return [0] * count
+    values = []
+    buffer = 0
+    bits = 0
+    mask = (1 << bit_width) - 1
+    position = 0
+    for _ in range(count):
+        while bits < bit_width:
+            buffer |= data[position] << bits
+            position += 1
+            bits += 8
+        values.append(buffer & mask)
+        buffer >>= bit_width
+        bits -= bit_width
+    return values
+
+
+def bit_width_for(max_value: int) -> int:
+    """Smallest bit width able to represent ``max_value`` distinct codes."""
+    return max(1, (max_value).bit_length()) if max_value > 0 else 0

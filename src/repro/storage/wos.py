@@ -1,0 +1,79 @@
+"""Write Optimized Store.
+
+    Data in the WOS is solely in memory [...] The WOS's primary purpose
+    is to buffer small data inserts, deletes and updates so that writes
+    to physical structures contain a sufficient numbers of rows to
+    amortize the cost of the writing.  (section 3.7)
+
+Data in the WOS is *not* encoded or compressed, but it is segmented by
+the projection's segmentation expression (each simulated node's WOS
+only ever holds that node's rows).  Rows carry their commit epoch so
+snapshot reads work uniformly across WOS and ROS.  A capacity cap
+models WOS saturation: when it is exceeded the storage manager routes
+new loads directly to the ROS (section 4 / section 7, "Direct Loading
+to the ROS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default per-projection WOS capacity, in rows.  Deliberately small so
+#: the moveout/overflow machinery is exercised at test scale.
+DEFAULT_WOS_CAPACITY = 65536
+
+
+@dataclass
+class WriteOptimizedStore:
+    """In-memory row buffer for one projection on one node.
+
+    Positions are ordinals into the current buffer; they are only
+    meaningful until the next moveout (which drains the whole buffer).
+    """
+
+    capacity: int = DEFAULT_WOS_CAPACITY
+    rows: list[dict] = field(default_factory=list)
+    epochs: list[int] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        """Rows currently buffered."""
+        return len(self.rows)
+
+    def would_overflow(self, incoming: int) -> bool:
+        """Whether adding ``incoming`` rows exceeds capacity."""
+        return len(self.rows) + incoming > self.capacity
+
+    def insert(self, rows: list[dict], epoch: int) -> None:
+        """Buffer committed rows stamped with their commit epoch."""
+        self.rows.extend(rows)
+        self.epochs.extend([epoch] * len(rows))
+
+    def drain(self) -> tuple[list[dict], list[int]]:
+        """Remove and return all buffered (rows, epochs) — the moveout
+        primitive.  The WOS is empty afterwards."""
+        rows, epochs = self.rows, self.epochs
+        self.rows, self.epochs = [], []
+        return rows, epochs
+
+    def truncate_after_epoch(self, epoch: int) -> int:
+        """Drop rows committed after ``epoch``; returns how many were
+        dropped.  Used by recovery's initial truncation to the LGE."""
+        keep = [i for i, e in enumerate(self.epochs) if e <= epoch]
+        dropped = len(self.rows) - len(keep)
+        self.rows = [self.rows[i] for i in keep]
+        self.epochs = [self.epochs[i] for i in keep]
+        return dropped
+
+    def visible(self, epoch: int, deleted_positions: dict[int, int]):
+        """Yield ``(position, row)`` pairs visible at snapshot ``epoch``.
+
+        ``deleted_positions`` maps WOS position -> delete epoch.
+        """
+        for position, (row, row_epoch) in enumerate(zip(self.rows, self.epochs)):
+            if row_epoch > epoch:
+                continue
+            delete_epoch = deleted_positions.get(position)
+            if delete_epoch is not None and delete_epoch <= epoch:
+                continue
+            yield position, row

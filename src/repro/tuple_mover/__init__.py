@@ -1,0 +1,12 @@
+"""Tuple mover: moveout, mergeout and strata planning (section 4)."""
+
+from .mover import MergeResult, TupleMover, TupleMoverStats
+from .strata import MergePolicy, plan_merges
+
+__all__ = [
+    "MergeResult",
+    "TupleMover",
+    "TupleMoverStats",
+    "MergePolicy",
+    "plan_merges",
+]

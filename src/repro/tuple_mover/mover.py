@@ -1,0 +1,212 @@
+"""The tuple mover: moveout and mergeout (section 4).
+
+The tuple mover is the background machinery that keeps the physical
+storage healthy: *moveout* drains the in-memory WOS into sorted ROS
+containers, *mergeout* folds many small containers into fewer larger
+ones (stratified so a tuple is merged O(log n) times) and purges rows
+deleted before the Ancient History Mark.
+
+Two properties from the paper are enforced and tested here:
+
+* moveout and mergeout never intermix WOS and ROS data in one
+  operation — "when a tuple is part of a mergeout operation, it is
+  read from disk once and written to disk once";
+* merges never cross partition or local-segment boundaries.
+
+Operations are node-local by design ("not centrally coordinated across
+the cluster"); each node's tuple mover runs independently, which is why
+two nodes holding the same tuples routinely have different container
+layouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..storage.delete_vector import DeleteVector
+from ..storage.manager import StorageManager
+from .strata import MergePolicy, plan_merges
+
+
+@dataclass
+class TupleMoverStats:
+    """Counters for observing tuple mover work (ablation benches)."""
+
+    moveouts: int = 0
+    rows_moved_out: int = 0
+    mergeouts: int = 0
+    rows_read: int = 0
+    rows_written: int = 0
+    rows_purged: int = 0
+    containers_created: int = 0
+    containers_retired: int = 0
+
+
+@dataclass
+class MergeResult:
+    """Outcome of one mergeout pass over one projection."""
+
+    merged_groups: int = 0
+    new_containers: list[int] = field(default_factory=list)
+    purged_rows: int = 0
+
+
+class TupleMover:
+    """Moveout/mergeout engine bound to one node's storage manager."""
+
+    def __init__(self, manager: StorageManager, policy: MergePolicy | None = None):
+        self.manager = manager
+        self.policy = policy or MergePolicy()
+        self.stats = TupleMoverStats()
+
+    # -- moveout -----------------------------------------------------------
+
+    def moveout(self, projection_name: str) -> list[int]:
+        """Drain the projection's WOS into new ROS containers.
+
+        Deleted-but-unpurged WOS rows move too; their delete markers are
+        translated from WOS positions into positions in the new
+        containers and persisted as DVROS.  Returns new container ids.
+        """
+        state = self.manager.storage(projection_name)
+        rows, epochs = state.wos.drain()
+        wos_deletes = dict(state.wos_deletes)
+        state.wos_deletes.clear()
+        if not rows:
+            return []
+        groups: dict[tuple, list[int]] = {}
+        for index, row in enumerate(rows):
+            key = (
+                state.table.partition_key(row),
+                self.manager._local_segment_of(state, row),
+            )
+            groups.setdefault(key, []).append(index)
+        created = []
+        for (partition_key, local_segment), indexes in sorted(
+            groups.items(), key=lambda item: repr(item[0])
+        ):
+            ordered = sorted(
+                indexes, key=lambda i: state.projection.sort_key_for(rows[i])
+            )
+            container_id = self.manager.add_container_from_rows(
+                projection_name,
+                [rows[i] for i in ordered],
+                [epochs[i] for i in ordered],
+                partition_key=partition_key,
+                local_segment=local_segment,
+            )
+            created.append(container_id)
+            vector = DeleteVector(container_id)
+            for new_position, original_index in enumerate(ordered):
+                delete_epoch = wos_deletes.get(original_index)
+                if delete_epoch is not None:
+                    vector.add(new_position, delete_epoch)
+            if vector.count:
+                state.pending_ros_deletes[container_id] = vector
+        if any(
+            state.pending_ros_deletes.get(container_id) for container_id in created
+        ):
+            self.manager.persist_delete_vectors(projection_name)
+        self.stats.moveouts += 1
+        self.stats.rows_moved_out += len(rows)
+        self.stats.containers_created += len(created)
+        return created
+
+    # -- mergeout ----------------------------------------------------------
+
+    def mergeout(self, projection_name: str, ahm: int = 0) -> MergeResult:
+        """One mergeout pass: merge per-stratum groups, purge pre-AHM
+        deletes.  ``ahm`` is the Ancient History Mark — rows deleted at
+        or before it are elided from merge output (section 5.1)."""
+        state = self.manager.storage(projection_name)
+        result = MergeResult()
+        groups: dict[tuple, list[tuple[int, int]]] = {}
+        for container_id, container in state.containers.items():
+            key = (
+                repr(container.meta.partition_key),
+                container.meta.local_segment,
+            )
+            groups.setdefault(key, []).append((container_id, container.size_bytes()))
+        for key in sorted(groups):
+            for merge_ids in plan_merges(groups[key], self.policy):
+                new_id = self._merge_containers(
+                    state, projection_name, merge_ids, ahm, result
+                )
+                result.merged_groups += 1
+                result.new_containers.append(new_id)
+        return result
+
+    def _merge_containers(
+        self, state, projection_name: str, merge_ids: list[int], ahm: int, result
+    ) -> int:
+        """K-way merge the input containers into one new container."""
+        projection = state.projection
+
+        def stream(container_id: int):
+            container = state.containers[container_id]
+            names = container.meta.columns
+            columns = container.read_columns(names)
+            epochs = container.read_epochs()
+            deletes = state.deletes_for(container_id)
+            for position in range(container.row_count):
+                row = {name: columns[name][position] for name in names}
+                yield (
+                    projection.sort_key_for(row),
+                    row,
+                    epochs[position],
+                    deletes.get(position),
+                )
+
+        template = state.containers[merge_ids[0]]
+        partition_key = template.meta.partition_key
+        local_segment = template.meta.local_segment
+        merged_rows: list[dict] = []
+        merged_epochs: list[int] = []
+        new_deletes = DeleteVector(None)
+        purged = 0
+        read = 0
+        for _, row, epoch, delete_epoch in heapq.merge(
+            *(stream(container_id) for container_id in merge_ids),
+            key=lambda item: item[0],
+        ):
+            read += 1
+            if delete_epoch is not None and delete_epoch <= ahm:
+                purged += 1
+                continue
+            if delete_epoch is not None:
+                new_deletes.add(len(merged_rows), delete_epoch)
+            merged_rows.append(row)
+            merged_epochs.append(epoch)
+        new_id = self.manager.add_container_from_rows(
+            projection_name,
+            merged_rows,
+            merged_epochs,
+            partition_key=partition_key,
+            local_segment=local_segment,
+        )
+        self.manager.remove_containers(projection_name, merge_ids)
+        if new_deletes.count:
+            new_deletes.target_container = new_id
+            state.pending_ros_deletes[new_id] = new_deletes
+            self.manager.persist_delete_vectors(projection_name)
+        self.stats.mergeouts += 1
+        self.stats.rows_read += read
+        self.stats.rows_written += len(merged_rows)
+        self.stats.rows_purged += purged
+        self.stats.containers_created += 1
+        self.stats.containers_retired += len(merge_ids)
+        result.purged_rows += purged
+        return new_id
+
+    # -- convenience --------------------------------------------------------
+
+    def run_once(self, ahm: int = 0) -> None:
+        """One full maintenance cycle over every projection on the node:
+        moveout everything, then mergeout until no plan remains."""
+        for name in self.manager.projection_names():
+            self.moveout(name)
+            while True:
+                outcome = self.mergeout(name, ahm)
+                if not outcome.merged_groups:
+                    break

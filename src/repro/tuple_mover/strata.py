@@ -1,0 +1,98 @@
+"""Stratum quantization for mergeout planning.
+
+    The tuple mover periodically quantizes the ROS containers into
+    several exponential sized strata based on file size.  The output
+    ROS container from a mergeout operation are planned such that the
+    resulting ROS container is in at least one strata larger than any
+    of the input ROS containers.  (section 4)
+
+Exponential strata bound the number of times a tuple is re-merged to
+O(log(total size)): a tuple's container can only move to a strictly
+larger stratum, and there are only ``log_multiplier(max/base)`` strata
+below the maximum container size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """Tuning knobs for the mergeout planner.
+
+    Defaults are scaled for test workloads; the production-equivalent
+    values from the paper (2 TB cap) are absurd for a simulation but
+    the *ratios* are what matter for behaviour.
+    """
+
+    #: Smallest stratum covers sizes in [0, base_size) bytes.
+    base_size: int = 16 * 1024
+    #: Each stratum covers ``multiplier``x the sizes of the one below.
+    multiplier: int = 4
+    #: Merge a stratum once it holds at least this many containers.
+    #: Keeping this equal to ``multiplier`` guarantees merge output
+    #: lands in a strictly higher stratum, which is what bounds
+    #: per-tuple rewrites logarithmically.
+    min_inputs: int = 4
+    #: Never merge more than this many containers at once.
+    max_inputs: int = 16
+    #: Never produce a container above this size (the paper's 2 TB cap,
+    #: scaled down).
+    max_container_bytes: int = 1 << 40
+
+    def stratum_of(self, size_bytes: int) -> int:
+        """Stratum index for a container of ``size_bytes``."""
+        if size_bytes < self.base_size:
+            return 0
+        return 1 + int(
+            math.log(size_bytes / self.base_size, self.multiplier)
+        )
+
+    def stratum_count(self) -> int:
+        """Number of strata below the maximum container size — the
+        bound on how many times any tuple can be remerged."""
+        return self.stratum_of(self.max_container_bytes) + 1
+
+
+def plan_merges(
+    containers: list[tuple[int, int]], policy: MergePolicy
+) -> list[list[int]]:
+    """Choose sets of containers to merge.
+
+    ``containers`` is a list of ``(container_id, size_bytes)`` pairs,
+    all belonging to the same (partition key, local segment) group —
+    the tuple mover "takes care to preserve partition and local segment
+    boundaries when choosing merge candidates" (section 4), so callers
+    group before planning.
+
+    Returns a list of merge input groups (lists of container ids).
+    Strategy: within each stratum holding at least ``min_inputs``
+    containers, merge the smallest ``max_inputs`` of them, provided the
+    combined size respects ``max_container_bytes``.
+    """
+    by_stratum: dict[int, list[tuple[int, int]]] = {}
+    for container_id, size in containers:
+        by_stratum.setdefault(policy.stratum_of(size), []).append(
+            (size, container_id)
+        )
+    merges = []
+    for stratum in sorted(by_stratum):
+        members = sorted(by_stratum[stratum])
+        while len(members) >= policy.min_inputs:
+            group: list[int] = []
+            total = 0
+            while (
+                members
+                and len(group) < policy.max_inputs
+                and total + members[0][0] <= policy.max_container_bytes
+            ):
+                size, container_id = members.pop(0)
+                group.append(container_id)
+                total += size
+            if len(group) >= policy.min_inputs:
+                merges.append(group)
+            else:
+                break
+    return merges

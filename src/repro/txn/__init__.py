@@ -1,0 +1,24 @@
+"""Transactions, epochs and locking (section 5)."""
+
+from .epochs import INITIAL_EPOCH, AhmPolicy, EpochManager
+from .locks import LockManager, LockMode, compatible, convert
+from .transaction import (
+    IsolationLevel,
+    PendingDelete,
+    Transaction,
+    TxnStatus,
+)
+
+__all__ = [
+    "INITIAL_EPOCH",
+    "AhmPolicy",
+    "EpochManager",
+    "LockManager",
+    "LockMode",
+    "compatible",
+    "convert",
+    "IsolationLevel",
+    "PendingDelete",
+    "Transaction",
+    "TxnStatus",
+]

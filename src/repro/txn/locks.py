@@ -1,0 +1,162 @@
+"""Table locking: the paper's seven-mode analytic lock model.
+
+Tables 1 and 2 of the paper (adapted from Gray & Reuter) define the
+compatibility and conversion matrices for Vertica's lock modes:
+
+* ``S``  (Shared)       — prevents concurrent modification; SERIALIZABLE reads
+* ``I``  (Insert)       — data insertion; compatible with itself so bulk
+  loads run concurrently (critical for ingest rates)
+* ``SI`` (SharedInsert) — read and insert, but not update/delete
+* ``X``  (eXclusive)    — deletes and updates
+* ``T``  (Tuple mover)  — short tuple mover operations on delete vectors
+* ``U``  (Usage)        — parts of moveout/mergeout; compatible with all but O
+* ``O``  (Owner)        — significant DDL; compatible with nothing
+
+Most queries take **no locks at all** (snapshot reads below the current
+epoch, section 5); the lock manager exists for writers, the tuple mover
+and DDL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import LockTimeoutError, TransactionError
+
+
+class LockMode(str, Enum):
+    """The seven lock modes of Table 1/2."""
+
+    S = "S"
+    I = "I"  # noqa: E741 - the paper's name
+    SI = "SI"
+    X = "X"
+    T = "T"
+    U = "U"
+    O = "O"  # noqa: E741 - the paper's name
+
+
+_MODES = [LockMode.S, LockMode.I, LockMode.SI, LockMode.X, LockMode.T, LockMode.U, LockMode.O]
+
+# Table 1: rows = requested mode, columns = granted (held) mode.
+_COMPATIBILITY_ROWS = {
+    LockMode.S: (True, False, False, False, True, True, False),
+    LockMode.I: (False, True, False, False, True, True, False),
+    LockMode.SI: (False, False, False, False, True, True, False),
+    LockMode.X: (False, False, False, False, False, True, False),
+    LockMode.T: (True, True, True, False, True, True, False),
+    LockMode.U: (True, True, True, True, True, True, False),
+    LockMode.O: (False, False, False, False, False, False, False),
+}
+
+# Table 2: rows = requested mode, columns = granted (held) mode; the
+# cell is the mode the lock converts to when one transaction already
+# holding `granted` requests `requested`.
+_CONVERSION_ROWS = {
+    LockMode.S: (LockMode.S, LockMode.SI, LockMode.SI, LockMode.X, LockMode.S, LockMode.S, LockMode.O),
+    LockMode.I: (LockMode.SI, LockMode.I, LockMode.SI, LockMode.X, LockMode.I, LockMode.I, LockMode.O),
+    LockMode.SI: (LockMode.SI, LockMode.SI, LockMode.SI, LockMode.X, LockMode.SI, LockMode.SI, LockMode.O),
+    LockMode.X: (LockMode.X, LockMode.X, LockMode.X, LockMode.X, LockMode.X, LockMode.X, LockMode.O),
+    LockMode.T: (LockMode.S, LockMode.I, LockMode.SI, LockMode.X, LockMode.T, LockMode.T, LockMode.O),
+    LockMode.U: (LockMode.S, LockMode.I, LockMode.SI, LockMode.X, LockMode.T, LockMode.U, LockMode.O),
+    LockMode.O: (LockMode.O, LockMode.O, LockMode.O, LockMode.O, LockMode.O, LockMode.O, LockMode.O),
+}
+
+
+def compatible(requested: LockMode, granted: LockMode) -> bool:
+    """Table 1 lookup: may ``requested`` be granted alongside ``granted``?"""
+    return _COMPATIBILITY_ROWS[requested][_MODES.index(granted)]
+
+
+def convert(requested: LockMode, granted: LockMode) -> LockMode:
+    """Table 2 lookup: mode resulting from requesting ``requested``
+    while already holding ``granted``."""
+    return _CONVERSION_ROWS[requested][_MODES.index(granted)]
+
+
+@dataclass
+class _ObjectLocks:
+    """Lock state for one lockable object (a table)."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+
+
+class LockManager:
+    """Grants, converts and releases table locks for transactions.
+
+    The simulation is single-threaded, so lock acquisition either
+    succeeds immediately or raises :class:`LockTimeoutError` — the
+    effect a blocked-then-timed-out request would have.  That keeps the
+    protocol (and its tests) exact without modelling thread scheduling.
+    """
+
+    def __init__(self):
+        self._objects: dict[str, _ObjectLocks] = {}
+
+    def acquire(self, txn_id: int, obj: str, mode: LockMode) -> LockMode:
+        """Acquire (or convert to) ``mode`` on ``obj`` for ``txn_id``.
+
+        Returns the mode actually held after the call (conversion can
+        strengthen it, e.g. holding I and requesting S yields SI).
+        """
+        state = self._objects.setdefault(obj, _ObjectLocks())
+        current = state.holders.get(txn_id)
+        target = mode if current is None else convert(mode, current)
+        for other_txn, other_mode in state.holders.items():
+            if other_txn == txn_id:
+                continue
+            if not compatible(target, other_mode):
+                raise LockTimeoutError(
+                    f"txn {txn_id} cannot take {target.value} on {obj!r}: "
+                    f"txn {other_txn} holds {other_mode.value}"
+                )
+        state.holders[txn_id] = target
+        return target
+
+    def release(self, txn_id: int, obj: str) -> None:
+        """Release the lock ``txn_id`` holds on ``obj``."""
+        state = self._objects.get(obj)
+        if state is None or txn_id not in state.holders:
+            raise TransactionError(f"txn {txn_id} holds no lock on {obj!r}")
+        del state.holders[txn_id]
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` (commit/rollback)."""
+        for state in self._objects.values():
+            state.holders.pop(txn_id, None)
+
+    def held(self, txn_id: int, obj: str) -> LockMode | None:
+        """Mode ``txn_id`` currently holds on ``obj``, if any."""
+        state = self._objects.get(obj)
+        return state.holders.get(txn_id) if state else None
+
+    def holders_of(self, obj: str) -> dict[int, LockMode]:
+        """All current holders of ``obj`` (for monitoring)."""
+        state = self._objects.get(obj)
+        return dict(state.holders) if state else {}
+
+    # -- matrix rendering (Table 1 / Table 2 benches) -------------------
+
+    @staticmethod
+    def compatibility_matrix() -> dict[tuple[str, str], bool]:
+        """All 49 cells of Table 1, keyed (requested, granted)."""
+        return {
+            (requested.value, granted.value): compatible(requested, granted)
+            for requested in _MODES
+            for granted in _MODES
+        }
+
+    @staticmethod
+    def conversion_matrix() -> dict[tuple[str, str], str]:
+        """All 49 cells of Table 2, keyed (requested, granted)."""
+        return {
+            (requested.value, granted.value): convert(requested, granted).value
+            for requested in _MODES
+            for granted in _MODES
+        }
+
+    @staticmethod
+    def modes() -> list[str]:
+        """Mode names in the paper's row/column order."""
+        return [mode.value for mode in _MODES]

@@ -1,0 +1,82 @@
+"""Transaction state objects.
+
+A transaction buffers its own writes privately (they reach the WOS/ROS
+only at commit, which is what lets rollback "simply entail discarding
+any ROS container or WOS data created by the transaction").  Reads run
+against the snapshot at the transaction's epoch; READ COMMITTED
+refreshes the snapshot each statement, SERIALIZABLE pins it and takes
+table S locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import TransactionError
+
+
+class IsolationLevel(str, Enum):
+    """Supported isolation levels (section 5)."""
+
+    READ_COMMITTED = "READ COMMITTED"
+    SERIALIZABLE = "SERIALIZABLE"
+
+
+class TxnStatus(str, Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PendingDelete:
+    """A buffered DELETE: predicate over rows of one table."""
+
+    table: str
+    predicate: object  # Callable[[dict], bool]
+
+
+@dataclass
+class Transaction:
+    """One client transaction."""
+
+    txn_id: int
+    isolation: IsolationLevel = IsolationLevel.READ_COMMITTED
+    #: Snapshot epoch for reads; refreshed per statement under READ
+    #: COMMITTED, pinned at start under SERIALIZABLE.
+    snapshot_epoch: int = 0
+    status: TxnStatus = TxnStatus.ACTIVE
+    #: table -> list of row dicts buffered for insert.
+    pending_inserts: dict[str, list[dict]] = field(default_factory=dict)
+    pending_deletes: list[PendingDelete] = field(default_factory=list)
+    #: Whether the transaction performed any DML (drives epoch advance).
+    has_dml: bool = False
+    #: Load operations flagged direct-to-ROS (section 7).
+    direct_to_ros: bool = False
+
+    def check_active(self) -> None:
+        """Raise unless the transaction can still execute statements."""
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    def buffer_insert(self, table: str, rows: list[dict]) -> None:
+        """Queue rows for insertion at commit."""
+        self.check_active()
+        self.pending_inserts.setdefault(table, []).extend(rows)
+        self.has_dml = True
+
+    def buffer_delete(self, table: str, predicate) -> None:
+        """Queue a delete-by-predicate for commit."""
+        self.check_active()
+        self.pending_deletes.append(PendingDelete(table, predicate))
+        self.has_dml = True
+
+    def local_inserts_for(self, table: str) -> list[dict]:
+        """This transaction's own uncommitted inserts into ``table``
+        (visible to its own reads)."""
+        return self.pending_inserts.get(table, [])

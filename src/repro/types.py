@@ -1,0 +1,193 @@
+"""SQL type system.
+
+Vertica (like C-Store before it) is a typed relational engine; the paper
+calls out multi-type support (FLOAT, VARCHAR, NULLs, 64-bit integers) as
+one of the features added on the road from prototype to product
+(section 8.1).  This module defines the supported SQL types, their value
+domains, text parsing for the bulk loader, and NULL semantics.
+
+Values are represented with plain Python objects:
+
+* ``INTEGER``   -> ``int`` (64-bit range enforced)
+* ``FLOAT``     -> ``float``
+* ``VARCHAR``   -> ``str``
+* ``BOOLEAN``   -> ``bool``
+* ``DATE``      -> ``int`` days since 2000-01-01 (cheap, orderable)
+* ``TIMESTAMP`` -> ``int`` seconds since 2000-01-01
+
+SQL NULL is represented as Python ``None`` everywhere.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from .errors import LoadError, SqlAnalysisError
+
+#: Minimum / maximum of Vertica's 64-bit integer domain.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+_DATE_ORIGIN = _dt.date(2000, 1, 1)
+_TS_ORIGIN = _dt.datetime(2000, 1, 1)
+
+
+def date_to_days(value: _dt.date) -> int:
+    """Convert a :class:`datetime.date` to the internal day number."""
+    return (value - _DATE_ORIGIN).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert an internal day number back to a :class:`datetime.date`."""
+    return _DATE_ORIGIN + _dt.timedelta(days=days)
+
+
+def timestamp_to_seconds(value: _dt.datetime) -> int:
+    """Convert a :class:`datetime.datetime` to internal epoch seconds."""
+    return int((value - _TS_ORIGIN).total_seconds())
+
+
+def seconds_to_timestamp(seconds: int) -> _dt.datetime:
+    """Convert internal epoch seconds back to a datetime."""
+    return _TS_ORIGIN + _dt.timedelta(seconds=seconds)
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A SQL data type.
+
+    Instances are interned module-level singletons (``INTEGER``,
+    ``FLOAT``, ...); compare them with ``is`` or ``==``.
+    """
+
+    name: str
+    #: Python classes a non-NULL value of this type may have.
+    python_types: tuple
+    #: True for types stored as integers on disk (delta encodings apply).
+    integral: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def validate(self, value):
+        """Check ``value`` is in this type's domain; return it unchanged.
+
+        ``None`` (SQL NULL) is always accepted.  Raises
+        :class:`SqlAnalysisError` otherwise.
+        """
+        if value is None:
+            return None
+        if self is BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            raise SqlAnalysisError(f"expected BOOLEAN, got {value!r}")
+        if self is FLOAT:
+            if isinstance(value, bool):
+                raise SqlAnalysisError(f"expected FLOAT, got {value!r}")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise SqlAnalysisError(f"expected FLOAT, got {value!r}")
+        if not isinstance(value, self.python_types) or isinstance(value, bool):
+            raise SqlAnalysisError(f"expected {self.name}, got {value!r}")
+        if self.integral and not INT64_MIN <= value <= INT64_MAX:
+            raise SqlAnalysisError(f"{value} out of 64-bit range for {self.name}")
+        return value
+
+    def parse_text(self, text: str):
+        """Parse a CSV field into a value of this type (bulk loader path).
+
+        An empty string parses to NULL, matching common CSV conventions.
+        Raises :class:`LoadError` for unparseable fields so the loader
+        can reject the record (section 7, "Bulk Loading and Rejected
+        Records").
+        """
+        if text == "" or text.upper() == "NULL":
+            return None
+        try:
+            if self is INTEGER:
+                return int(text)
+            if self is FLOAT:
+                return float(text)
+            if self is BOOLEAN:
+                lowered = text.strip().lower()
+                if lowered in ("t", "true", "1", "yes"):
+                    return True
+                if lowered in ("f", "false", "0", "no"):
+                    return False
+                raise ValueError(text)
+            if self is DATE:
+                return date_to_days(_dt.date.fromisoformat(text.strip()))
+            if self is TIMESTAMP:
+                return timestamp_to_seconds(_dt.datetime.fromisoformat(text.strip()))
+            return text
+        except ValueError as exc:
+            raise LoadError(f"cannot parse {text!r} as {self.name}") from exc
+
+
+INTEGER = DataType("INTEGER", (int,), integral=True)
+FLOAT = DataType("FLOAT", (float,), integral=False)
+VARCHAR = DataType("VARCHAR", (str,), integral=False)
+BOOLEAN = DataType("BOOLEAN", (bool,), integral=False)
+DATE = DataType("DATE", (int,), integral=True)
+TIMESTAMP = DataType("TIMESTAMP", (int,), integral=True)
+
+#: All supported types, keyed by their SQL names (plus common aliases).
+TYPES_BY_NAME = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": INTEGER,
+    "FLOAT": FLOAT,
+    "DOUBLE": FLOAT,
+    "REAL": FLOAT,
+    "VARCHAR": VARCHAR,
+    "TEXT": VARCHAR,
+    "CHAR": VARCHAR,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "DATE": DATE,
+    "TIMESTAMP": TIMESTAMP,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a :class:`DataType` by SQL name (case-insensitive)."""
+    try:
+        return TYPES_BY_NAME[name.upper()]
+    except KeyError:
+        raise SqlAnalysisError(f"unknown type {name!r}") from None
+
+
+class _NullOrdering:
+    """Sentinel that sorts before every non-NULL value.
+
+    Vertica sorts NULLs first in ascending order; using a dedicated
+    minimal sentinel lets heterogeneous columns with NULLs be sorted
+    with plain tuple comparison.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return not isinstance(other, _NullOrdering)
+
+    def __gt__(self, other) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _NullOrdering)
+
+    def __hash__(self) -> int:
+        return hash("__repro_null__")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NULL_FIRST"
+
+
+#: Singleton used as the sort key for SQL NULL.
+NULL_FIRST = _NullOrdering()
+
+
+def sort_key(value):
+    """Return a sort key where NULL orders before any other value."""
+    return NULL_FIRST if value is None else value

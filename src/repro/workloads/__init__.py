@@ -1,0 +1,5 @@
+"""Deterministic workload generators for the paper's experiments."""
+
+from . import cstore_benchmark, meters, random_integers
+
+__all__ = ["cstore_benchmark", "meters", "random_integers"]

@@ -1,0 +1,276 @@
+"""The C-Store benchmark: data generator and the seven queries.
+
+Table 3 of the paper compares Vertica against the C-Store prototype
+"using the queries and test harness of the C-Store paper" — a
+TPC-H-derived two-table schema (lineitem, orders).  The 2012 paper
+does not print the query texts, so this module defines seven queries
+spanning the same operator mix the C-Store paper's harness used:
+equality/range restrictions on the date sort column, single-table
+group-bys, and fact-fact joins with grouped aggregation (documented as
+an approximation in DESIGN.md §2).
+
+The generator is deterministic (seeded) and scale-factor driven:
+``scale=1`` produces 60k lineitem / 15k orders rows, the shape ratios
+of TPC-H at tiny scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.schema import ColumnDef, TableDefinition
+from ..cstore import QuerySpec
+from ..types import FLOAT, INTEGER, VARCHAR
+
+#: Dates are day numbers in [BASE_DATE, BASE_DATE + DATE_SPAN).
+BASE_DATE = 0
+DATE_SPAN = 2400  # ~ 7 years of ship dates
+
+#: Restriction constants used by the queries.
+D1 = 1200  # an equality date
+D2 = 1300  # range end
+D3 = 2000  # "recent orders" cutoff
+D4 = 900  # join-query equality date
+
+
+def lineitem_table() -> TableDefinition:
+    """The lineitem fact table (sorted by ship date, like the paper's
+    compressed sorted projections)."""
+    return TableDefinition(
+        "lineitem",
+        [
+            ColumnDef("l_shipdate", INTEGER),
+            ColumnDef("l_orderkey", INTEGER),
+            ColumnDef("l_partkey", INTEGER),
+            ColumnDef("l_suppkey", INTEGER),
+            ColumnDef("l_linenumber", INTEGER),
+            ColumnDef("l_quantity", INTEGER),
+            ColumnDef("l_extendedprice", FLOAT),
+            ColumnDef("l_returnflag", VARCHAR),
+        ],
+    )
+
+
+def orders_table() -> TableDefinition:
+    """The orders fact table (sorted by order date)."""
+    return TableDefinition(
+        "orders",
+        [
+            ColumnDef("o_orderdate", INTEGER),
+            ColumnDef("o_orderkey", INTEGER),
+            ColumnDef("o_custkey", INTEGER),
+            ColumnDef("o_shippriority", INTEGER),
+        ],
+    )
+
+
+@dataclass
+class CStoreBenchmarkData:
+    """Generated benchmark rows plus raw-size accounting."""
+
+    lineitem: list[dict]
+    orders: list[dict]
+    scale: float
+
+    @property
+    def lineitem_rows(self) -> int:
+        return len(self.lineitem)
+
+    @property
+    def orders_rows(self) -> int:
+        return len(self.orders)
+
+
+def generate(scale: float = 1.0, seed: int = 42) -> CStoreBenchmarkData:
+    """Deterministically generate benchmark data at ``scale``."""
+    rng = random.Random(seed)
+    order_count = int(15_000 * scale)
+    lineitem = []
+    orders = []
+    flags = ["A", "N", "R"]
+    for orderkey in range(1, order_count + 1):
+        orderdate = rng.randrange(BASE_DATE, BASE_DATE + DATE_SPAN)
+        orders.append(
+            {
+                "o_orderdate": orderdate,
+                "o_orderkey": orderkey,
+                "o_custkey": rng.randrange(1, max(order_count // 10, 2)),
+                "o_shippriority": rng.randrange(0, 5),
+            }
+        )
+        for linenumber in range(1, rng.randrange(2, 7)):
+            shipdate = min(
+                orderdate + rng.randrange(1, 120), BASE_DATE + DATE_SPAN - 1
+            )
+            quantity = rng.randrange(1, 51)
+            lineitem.append(
+                {
+                    "l_shipdate": shipdate,
+                    "l_orderkey": orderkey,
+                    "l_partkey": rng.randrange(1, 20_000),
+                    "l_suppkey": rng.randrange(1, 101),
+                    "l_linenumber": linenumber,
+                    "l_quantity": quantity,
+                    "l_extendedprice": round(quantity * rng.uniform(900, 1100), 2),
+                    "l_returnflag": rng.choice(flags),
+                }
+            )
+    return CStoreBenchmarkData(lineitem=lineitem, orders=orders, scale=scale)
+
+
+def queries() -> list[QuerySpec]:
+    """The seven benchmark queries, each with SQL for the Vertica-style
+    engine and a spec interpretable by the baseline."""
+    return [
+        QuerySpec(
+            name="Q1",
+            table="lineitem",
+            columns=[],
+            filters={"lineitem": lambda row: row["l_shipdate"] == D1},
+            filter_columns={"lineitem": ["l_shipdate"]},
+            group_by=[],
+            aggregate=("COUNT", None),
+            sql=f"SELECT count(*) AS agg FROM lineitem WHERE l_shipdate = {D1}",
+        ),
+        QuerySpec(
+            name="Q2",
+            table="lineitem",
+            columns=[],
+            filters={"lineitem": lambda row: row["l_shipdate"] == D1},
+            filter_columns={"lineitem": ["l_shipdate"]},
+            group_by=["l_suppkey"],
+            aggregate=("COUNT", None),
+            sql=(
+                "SELECT l_suppkey, count(*) AS agg FROM lineitem "
+                f"WHERE l_shipdate = {D1} GROUP BY l_suppkey"
+            ),
+        ),
+        QuerySpec(
+            name="Q3",
+            table="lineitem",
+            columns=[],
+            filters={
+                "lineitem": lambda row: D1 < row["l_shipdate"] < D2
+            },
+            filter_columns={"lineitem": ["l_shipdate"]},
+            group_by=["l_suppkey"],
+            aggregate=("COUNT", None),
+            sql=(
+                "SELECT l_suppkey, count(*) AS agg FROM lineitem "
+                f"WHERE l_shipdate > {D1} AND l_shipdate < {D2} "
+                "GROUP BY l_suppkey"
+            ),
+        ),
+        QuerySpec(
+            name="Q4",
+            table="orders",
+            columns=[],
+            filters={"orders": lambda row: row["o_orderdate"] > D3},
+            filter_columns={"orders": ["o_orderdate"]},
+            group_by=["o_orderdate"],
+            aggregate=("COUNT", None),
+            sql=(
+                "SELECT o_orderdate, count(*) AS agg FROM orders "
+                f"WHERE o_orderdate > {D3} GROUP BY o_orderdate"
+            ),
+        ),
+        QuerySpec(
+            name="Q5",
+            table="lineitem",
+            columns=[],
+            filters={"lineitem": lambda row: row["l_shipdate"] > D1},
+            filter_columns={"lineitem": ["l_shipdate"]},
+            group_by=["l_returnflag"],
+            aggregate=("SUM", "l_quantity"),
+            sql=(
+                "SELECT l_returnflag, sum(l_quantity) AS agg FROM lineitem "
+                f"WHERE l_shipdate > {D1} GROUP BY l_returnflag"
+            ),
+        ),
+        QuerySpec(
+            name="Q6",
+            table="lineitem",
+            columns=[],
+            join=("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            filters={"orders": lambda row: row["o_orderdate"] > D3},
+            filter_columns={"orders": ["o_orderdate"]},
+            group_by=["o_orderdate"],
+            aggregate=("COUNT", None),
+            sql=(
+                "SELECT o_orderdate, count(*) AS agg FROM lineitem "
+                "JOIN orders ON l_orderkey = o_orderkey "
+                f"WHERE o_orderdate > {D3} GROUP BY o_orderdate"
+            ),
+        ),
+        QuerySpec(
+            name="Q7",
+            table="lineitem",
+            columns=[],
+            join=("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            filters={"orders": lambda row: row["o_orderdate"] == D4},
+            filter_columns={"orders": ["o_orderdate"]},
+            group_by=["l_suppkey"],
+            aggregate=("COUNT", None),
+            sql=(
+                "SELECT l_suppkey, count(*) AS agg FROM lineitem "
+                "JOIN orders ON l_orderkey = o_orderkey "
+                f"WHERE o_orderdate = {D4} GROUP BY l_suppkey"
+            ),
+        ),
+    ]
+
+
+def reference_answer(spec: QuerySpec, data: CStoreBenchmarkData) -> list[dict]:
+    """Pure-Python brute-force evaluation of a query spec, used to
+    check both engines return identical answers."""
+    if spec.join is not None:
+        left_table, left_key, right_table, right_key = spec.join
+        left_rows = [
+            row
+            for row in getattr(data, left_table)
+            if spec.filters.get(left_table, lambda _: True)(row)
+        ]
+        right_rows = [
+            row
+            for row in getattr(data, right_table)
+            if spec.filters.get(right_table, lambda _: True)(row)
+        ]
+        index: dict = {}
+        for row in right_rows:
+            index.setdefault(row[right_key], []).append(row)
+        rows = [
+            {**left_row, **right_row}
+            for left_row in left_rows
+            for right_row in index.get(left_row[left_key], ())
+        ]
+    else:
+        rows = [
+            row
+            for row in getattr(data, spec.table)
+            if spec.filters.get(spec.table, lambda _: True)(row)
+        ]
+    groups: dict[tuple, list] = {}
+    func, column = spec.aggregate
+    for row in rows:
+        key = tuple(row[name] for name in spec.group_by)
+        bucket = groups.setdefault(key, [])
+        bucket.append(row[column] if column is not None else 1)
+    if not groups and not spec.group_by:
+        groups[()] = []
+    out = []
+    for key, values in groups.items():
+        if func == "COUNT":
+            agg = len(values)
+        elif not values:
+            agg = None  # SQL: non-COUNT aggregates over no rows are NULL
+        elif func == "SUM":
+            agg = sum(values)
+        elif func == "MIN":
+            agg = min(values)
+        elif func == "MAX":
+            agg = max(values)
+        else:
+            agg = sum(values) / len(values)
+        out.append(dict(zip(spec.group_by, key), agg=agg))
+    return out

@@ -1,0 +1,55 @@
+"""Unit tests for group membership and quorum rules."""
+
+import pytest
+
+from repro.cluster import Membership
+from repro.errors import QuorumLossError
+
+
+class TestQuorum:
+    @pytest.mark.parametrize(
+        "nodes,quorum", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4)]
+    )
+    def test_quorum_is_majority(self, nodes, quorum):
+        assert Membership(nodes).quorum_size == quorum
+
+    def test_has_quorum_boundary(self):
+        membership = Membership(5)
+        membership.eject(0, "t")
+        membership.eject(1, "t")
+        assert membership.has_quorum()  # 3 of 5
+        membership.eject(2, "t")
+        assert not membership.has_quorum()
+        with pytest.raises(QuorumLossError):
+            membership.require_quorum()
+
+
+class TestEjection:
+    def test_eject_and_rejoin(self):
+        membership = Membership(3)
+        membership.eject(1, "missed heartbeat")
+        assert membership.down_nodes() == [1]
+        assert membership.ejections == [(1, "missed heartbeat")]
+        membership.rejoin(1)
+        assert membership.down_nodes() == []
+
+    def test_double_eject_recorded_once(self):
+        membership = Membership(3)
+        membership.eject(1, "a")
+        membership.eject(1, "b")
+        assert len(membership.ejections) == 1
+
+    def test_broadcast_commit_ejects_droppers(self):
+        membership = Membership(5)
+        membership.drop_next_delivery.update({1, 3})
+        receivers = membership.broadcast_commit()
+        assert receivers == [0, 2, 4]
+        assert membership.down_nodes() == [1, 3]
+        # the drop set is consumed: next commit reaches everyone up
+        assert membership.broadcast_commit() == [0, 2, 4]
+
+    def test_commit_fails_on_quorum_loss(self):
+        membership = Membership(3)
+        membership.drop_next_delivery.update({0, 1})
+        with pytest.raises(QuorumLossError):
+            membership.broadcast_commit()

@@ -1,0 +1,40 @@
+"""Documentation hygiene: every public module, class and function in
+the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__
+        for module in _public_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, f"modules missing docstrings: {missing}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _public_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"

@@ -1,0 +1,113 @@
+"""Tests for the monitoring views and date-part functions."""
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.errors import UnknownObjectError
+from repro.txn import LockMode
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = Database(str(tmp_path / "db"), node_count=3, k_safety=1)
+    db.create_table(
+        TableDefinition(
+            "t", [ColumnDef("k", types.INTEGER), ColumnDef("v", types.VARCHAR)]
+        ),
+        sort_order=["k"],
+    )
+    db.load("t", [{"k": i, "v": "x"} for i in range(300)])
+    return db
+
+
+class TestSystemViews:
+    def test_projections_view(self, db):
+        rows = db.system("projections")
+        # 3 nodes x 2 copies (primary + buddy)
+        assert len(rows) == 6
+        assert {row["projection"] for row in rows} == {"t_super", "t_super_b1"}
+        assert sum(row["wos_rows"] + row["ros_rows"] for row in rows) == 600
+
+    def test_wos_drains_into_view(self, db):
+        before = db.system("projections")
+        assert sum(row["wos_rows"] for row in before) == 600
+        db.run_tuple_movers()
+        after = db.system("projections")
+        assert sum(row["wos_rows"] for row in after) == 0
+        assert sum(row["ros_rows"] for row in after) == 600
+
+    def test_storage_containers_view(self, db):
+        db.run_tuple_movers()
+        rows = db.system("storage_containers")
+        assert rows
+        assert all(row["rows"] > 0 for row in rows)
+        assert all(row["min_epoch"] <= row["max_epoch"] for row in rows)
+
+    def test_nodes_view_tracks_failure(self, db):
+        db.run_tuple_movers()
+        assert all(row["up"] for row in db.system("nodes"))
+        db.fail_node(2)
+        rows = db.system("nodes")
+        assert [row["up"] for row in rows] == [True, True, False]
+        assert rows[0]["min_lge"] > 0
+
+    def test_locks_view(self, db):
+        session = db.session()
+        session.insert("t", [{"k": 999, "v": "y"}])
+        rows = db.system("locks")
+        assert rows == [{"object": "t", "txn": session.txn.txn_id,
+                         "mode": LockMode.I.value}]
+        session.rollback()
+        assert db.system("locks") == []
+
+    def test_epochs_view(self, db):
+        row = db.system("epochs")[0]
+        assert row["current_epoch"] == row["latest_queryable_epoch"] + 1
+        assert row["nodes_down"] is False
+
+    def test_unknown_view(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.system("threads")
+
+
+class TestDateParts:
+    def test_date_functions_in_sql(self, tmp_path):
+        db = Database(str(tmp_path / "d"), node_count=1)
+        db.sql("CREATE TABLE ev (d DATE, v INTEGER)")
+        db.sql(
+            "INSERT INTO ev VALUES (DATE '2012-03-15', 1), "
+            "(DATE '2012-04-02', 2), (DATE '2013-03-09', 3)"
+        )
+        rows = db.sql(
+            "SELECT YEAR(d) AS y, MONTH(d) AS m, count(*) AS n "
+            "FROM ev GROUP BY YEAR(d), MONTH(d) ORDER BY y, m"
+        )
+        assert rows == [
+            {"y": 2012, "m": 3, "n": 1},
+            {"y": 2012, "m": 4, "n": 1},
+            {"y": 2013, "m": 3, "n": 1},
+        ]
+
+    def test_partition_by_month_year(self, tmp_path):
+        # the paper's §3.5 example: PARTITION BY extract month+year
+        db = Database(str(tmp_path / "p"), node_count=1)
+        db.sql(
+            "CREATE TABLE ev (d DATE, v INTEGER) "
+            "PARTITION BY YEAR(d) * 100 + MONTH(d)"
+        )
+        rows = []
+        for month, day in ((3, 1), (3, 20), (4, 5), (5, 9)):
+            rows.append({"d": f"2012-{month:02d}-{day:02d}", "v": 1})
+        db.sql("COPY ev (d, v) FROM STDIN",
+               copy_rows=[f"{r['d']}|{r['v']}" for r in rows])
+        db.run_tuple_movers()
+        keys = set()
+        family = db.cluster.catalog.super_projection_for("ev")
+        for node in db.cluster.nodes:
+            keys.update(node.manager.partition_keys(family.primary.name))
+        assert keys == {201203, 201204, 201205}
+        # fast bulk drop of one month
+        reclaimed = db.cluster.nodes[0].manager.drop_partition(
+            family.primary.name, 201203
+        )
+        assert reclaimed == 2

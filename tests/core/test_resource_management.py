@@ -1,0 +1,114 @@
+"""Tests for resource management: budgets, spills, correctness under
+memory pressure (section 6.1 externalization + section 7)."""
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.errors import ResourceExceededError
+from repro.execution import ResourcePool, SpillFile, WorkloadPolicy
+
+
+class TestResourcePool:
+    def test_grant_and_release(self):
+        pool = ResourcePool(WorkloadPolicy(query_memory_rows=100))
+        grant = pool.grant(60)
+        assert pool.available == 40
+        pool.release(grant)
+        assert pool.available == 100
+
+    def test_over_grant_raises(self):
+        pool = ResourcePool(WorkloadPolicy(query_memory_rows=10))
+        with pytest.raises(ResourceExceededError):
+            pool.grant(11)
+
+    def test_operator_budget_fraction(self):
+        pool = ResourcePool(
+            WorkloadPolicy(query_memory_rows=1000, per_operator_fraction=0.25)
+        )
+        assert pool.operator_budget() == 250
+
+
+class TestSpillFile:
+    def test_roundtrip_order(self):
+        spill = SpillFile()
+        spill.write_batch([1, 2])
+        spill.write_batch([3])
+        assert list(spill.read_batches()) == [[1, 2], [3]]
+        spill.close()
+
+    def test_close_removes_file(self):
+        import os
+
+        spill = SpillFile()
+        spill.write_batch(["x"])
+        name = spill._handle.name
+        spill.close()
+        assert not os.path.exists(name)
+
+
+@pytest.fixture
+def db(tmp_path):
+    # a deliberately tiny query memory budget
+    db = Database(
+        str(tmp_path / "db"),
+        node_count=1,
+        workload_policy=WorkloadPolicy(query_memory_rows=500),
+    )
+    db.create_table(
+        TableDefinition(
+            "t",
+            [ColumnDef("k", types.INTEGER), ColumnDef("v", types.INTEGER)],
+        )
+    )
+    db.load("t", [{"k": i, "v": i % 7} for i in range(5000)], direct_to_ros=True)
+    db.analyze_statistics()
+    return db
+
+
+class TestQueriesUnderMemoryPressure:
+    def test_sort_spills_but_is_correct(self, db):
+        session = db.session()
+        rows = session.sql("SELECT k FROM t ORDER BY k DESC LIMIT 5")
+        assert [row["k"] for row in rows] == [4999, 4998, 4997, 4996, 4995]
+        assert session.last_pool is not None
+        assert session.last_pool.spills >= 1
+
+    def test_wide_group_by_spills_but_is_correct(self, db):
+        session = db.session()
+        rows = session.sql("SELECT k, count(*) AS n FROM t GROUP BY k")
+        assert len(rows) == 5000
+        assert all(row["n"] == 1 for row in rows)
+        assert session.last_pool.spills >= 1
+
+    def test_narrow_group_by_stays_in_memory(self, db):
+        session = db.session()
+        rows = session.sql("SELECT v, count(*) AS n FROM t GROUP BY v")
+        assert len(rows) == 7
+        assert session.last_pool.spills == 0
+
+    def test_big_join_switches_to_merge(self, db, tmp_path):
+        db.create_table(
+            TableDefinition(
+                "u",
+                [ColumnDef("k2", types.INTEGER), ColumnDef("w", types.INTEGER)],
+            )
+        )
+        db.load("u", [{"k2": i, "w": i} for i in range(5000)], direct_to_ros=True)
+        db.analyze_statistics()
+        session = db.session()
+        rows = session.sql(
+            "SELECT count(*) AS n FROM t JOIN u ON t.k = u.k2"
+        )
+        assert rows == [{"n": 5000}]
+        assert session.last_pool.spills >= 1  # build side over budget
+
+    def test_default_policy_avoids_spills(self, tmp_path):
+        roomy = Database(str(tmp_path / "db2"), node_count=1)
+        roomy.create_table(
+            TableDefinition("t", [ColumnDef("k", types.INTEGER)])
+        )
+        roomy.load("t", [{"k": i} for i in range(5000)], direct_to_ros=True)
+        roomy.analyze_statistics()
+        session = roomy.session()
+        session.sql("SELECT k FROM t ORDER BY k LIMIT 5")
+        assert session.last_pool.spills == 0

@@ -1,0 +1,162 @@
+"""Tests for the type system, schema objects and the catalog."""
+
+import datetime
+
+import pytest
+
+from repro import types
+from repro.core.catalog import Catalog
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.errors import (
+    DuplicateObjectError,
+    LoadError,
+    SqlAnalysisError,
+    UnknownObjectError,
+)
+from repro.projections import ProjectionFamily, super_projection
+
+
+class TestTypes:
+    def test_lookup_aliases(self):
+        assert types.type_from_name("int") is types.INTEGER
+        assert types.type_from_name("BIGINT") is types.INTEGER
+        assert types.type_from_name("double") is types.FLOAT
+        assert types.type_from_name("text") is types.VARCHAR
+        with pytest.raises(SqlAnalysisError):
+            types.type_from_name("BLOB")
+
+    def test_validate(self):
+        assert types.INTEGER.validate(5) == 5
+        assert types.INTEGER.validate(None) is None
+        assert types.FLOAT.validate(3) == 3.0  # int promotes
+        with pytest.raises(SqlAnalysisError):
+            types.INTEGER.validate("5")
+        with pytest.raises(SqlAnalysisError):
+            types.INTEGER.validate(True)  # bool is not an int here
+        with pytest.raises(SqlAnalysisError):
+            types.INTEGER.validate(2**63)  # out of 64-bit range
+
+    def test_parse_text(self):
+        assert types.INTEGER.parse_text("42") == 42
+        assert types.FLOAT.parse_text("1.5") == 1.5
+        assert types.VARCHAR.parse_text("abc") == "abc"
+        assert types.BOOLEAN.parse_text("true") is True
+        assert types.BOOLEAN.parse_text("0") is False
+        assert types.INTEGER.parse_text("") is None
+        assert types.INTEGER.parse_text("NULL") is None
+        with pytest.raises(LoadError):
+            types.INTEGER.parse_text("4x")
+        with pytest.raises(LoadError):
+            types.BOOLEAN.parse_text("maybe")
+
+    def test_date_helpers_roundtrip(self):
+        day = datetime.date(2012, 8, 27)
+        assert types.days_to_date(types.date_to_days(day)) == day
+        moment = datetime.datetime(2012, 8, 27, 10, 30)
+        assert types.seconds_to_timestamp(
+            types.timestamp_to_seconds(moment)
+        ) == moment
+
+    def test_date_parse(self):
+        days = types.DATE.parse_text("2000-01-11")
+        assert days == 10
+
+    def test_null_sorts_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=types.sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:] == [1, 2, 3]
+
+    def test_null_sentinel_comparisons(self):
+        assert types.NULL_FIRST == types.NULL_FIRST
+        assert types.NULL_FIRST < 0
+        assert not (types.NULL_FIRST > "z")
+
+
+class TestTableDefinition:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlAnalysisError):
+            TableDefinition(
+                "t",
+                [ColumnDef("a", types.INTEGER), ColumnDef("a", types.FLOAT)],
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SqlAnalysisError):
+            TableDefinition(
+                "t", [ColumnDef("a", types.INTEGER)], primary_key=("b",)
+            )
+
+    def test_validate_row(self):
+        table = TableDefinition(
+            "t", [ColumnDef("a", types.INTEGER), ColumnDef("b", types.FLOAT)]
+        )
+        row = table.validate_row({"a": 1, "b": 2})
+        assert row == {"a": 1, "b": 2.0}
+        with pytest.raises(SqlAnalysisError):
+            table.validate_row({"a": 1})  # missing column
+
+    def test_partition_key(self):
+        table = TableDefinition(
+            "t",
+            [ColumnDef("m", types.INTEGER)],
+            partition_by=lambda row: row["m"] % 12,
+        )
+        assert table.partition_key({"m": 25}) == 1
+        unpartitioned = TableDefinition("u", [ColumnDef("m", types.INTEGER)])
+        assert unpartitioned.partition_key({"m": 25}) is None
+
+
+class TestCatalog:
+    def _table(self, name="t"):
+        return TableDefinition(name, [ColumnDef("a", types.INTEGER)])
+
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(self._table())
+        assert catalog.table("t").name == "t"
+        with pytest.raises(UnknownObjectError):
+            catalog.table("missing")
+
+    def test_duplicates_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(self._table())
+        with pytest.raises(DuplicateObjectError):
+            catalog.add_table(self._table())
+
+    def test_family_registration(self):
+        catalog = Catalog()
+        table = self._table()
+        catalog.add_table(table)
+        family = ProjectionFamily(super_projection(table), [])
+        catalog.add_family(family)
+        assert catalog.family("t_super") is family
+        assert catalog.families_for_table("t") == [family]
+        assert catalog.super_projection_for("t") is family
+        assert catalog.check_super_projection_invariant("t")
+
+    def test_family_requires_table(self):
+        catalog = Catalog()
+        family = ProjectionFamily(super_projection(self._table()), [])
+        with pytest.raises(UnknownObjectError):
+            catalog.add_family(family)
+
+    def test_drop_table_returns_projections(self):
+        catalog = Catalog()
+        table = self._table()
+        catalog.add_table(table)
+        catalog.add_family(ProjectionFamily(super_projection(table), []))
+        removed = catalog.drop_table("t")
+        assert [p.name for p in removed] == ["t_super"]
+        assert catalog.table_names() == []
+        assert catalog.families == {}
+
+    def test_no_super_projection_detected(self):
+        catalog = Catalog()
+        table = TableDefinition(
+            "t", [ColumnDef("a", types.INTEGER), ColumnDef("b", types.INTEGER)]
+        )
+        catalog.add_table(table)
+        with pytest.raises(UnknownObjectError):
+            catalog.super_projection_for("t")
+        assert not catalog.check_super_projection_invariant("t")

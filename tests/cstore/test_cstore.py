@@ -1,0 +1,109 @@
+"""Tests for the C-Store baseline engine and benchmark workload:
+both engines must return identical answers on all seven queries."""
+
+import pytest
+
+from repro import Database
+from repro.cstore import CStoreDatabase, CStoreEngine
+from repro.workloads import cstore_benchmark as bench
+
+
+@pytest.fixture(scope="module")
+def data():
+    return bench.generate(scale=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cstore(tmp_path_factory, data):
+    db = CStoreDatabase(str(tmp_path_factory.mktemp("cstore")))
+    db.create_table(bench.lineitem_table())
+    db.create_table(bench.orders_table())
+    db.load("lineitem", data.lineitem)
+    db.load("orders", data.orders)
+    return CStoreEngine(db)
+
+
+@pytest.fixture(scope="module")
+def vertica(tmp_path_factory, data):
+    db = Database(str(tmp_path_factory.mktemp("vertica")), node_count=1)
+    db.create_table(bench.lineitem_table())
+    db.create_table(bench.orders_table())
+    db.load("lineitem", data.lineitem, direct_to_ros=True)
+    db.load("orders", data.orders, direct_to_ros=True)
+    db.run_tuple_movers()
+    db.analyze_statistics()
+    return db
+
+
+def normalize(rows):
+    return sorted(
+        tuple(sorted((k, round(v, 6) if isinstance(v, float) else v)
+                     for k, v in row.items()))
+        for row in rows
+    )
+
+
+class TestStorage:
+    def test_rows_sorted_by_first_column(self, cstore):
+        table = cstore.db.table("lineitem")
+        dates = table.reader("l_shipdate").read_all()
+        assert dates == sorted(dates)
+
+    def test_positional_fetch(self, cstore):
+        table = cstore.db.table("orders")
+        row0 = next(table.iter_rows(["o_orderkey", "o_orderdate"]))
+        assert table.fetch_value("o_orderkey", 0) == row0["o_orderkey"]
+
+    def test_size_accounting(self, cstore):
+        assert cstore.db.total_data_bytes() > 0
+
+
+@pytest.mark.parametrize("spec", bench.queries(), ids=lambda s: s.name)
+class TestQueryEquivalence:
+    def test_cstore_matches_reference(self, spec, cstore, data):
+        assert normalize(cstore.run(spec)) == normalize(
+            bench.reference_answer(spec, data)
+        )
+
+    def test_vertica_matches_reference(self, spec, vertica, data):
+        assert normalize(vertica.sql(spec.sql)) == normalize(
+            bench.reference_answer(spec, data)
+        )
+
+
+class TestWorkloadGenerators:
+    def test_deterministic(self):
+        a = bench.generate(scale=0.01, seed=5)
+        b = bench.generate(scale=0.01, seed=5)
+        assert a.lineitem == b.lineitem and a.orders == b.orders
+
+    def test_scale_controls_size(self):
+        small = bench.generate(scale=0.01)
+        large = bench.generate(scale=0.02)
+        assert large.orders_rows == 2 * small.orders_rows
+
+    def test_meter_generator_shape(self):
+        from repro.workloads import meters
+
+        spec = meters.spec_for_rows(5000)
+        rows = list(meters.generate(spec))
+        assert abs(len(rows) - 5000) < 5000  # same order of magnitude
+        metrics = {row["metric"] for row in rows}
+        assert len(metrics) == spec.metrics
+        # periodic timestamps per metric
+        by_metric: dict = {}
+        for row in rows:
+            by_metric.setdefault(row["metric"], set()).add(row["ts"])
+        for stamps in by_metric.values():
+            ordered = sorted(stamps)
+            deltas = {b - a for a, b in zip(ordered, ordered[1:])}
+            assert len(deltas) <= 1  # one interval per metric
+
+    def test_random_integers(self):
+        from repro.workloads import random_integers
+
+        values = random_integers.generate(1000, seed=2)
+        assert len(values) == 1000
+        assert all(1 <= value <= 10_000_000 for value in values)
+        sizes = random_integers.table4a_rows(values)
+        assert sizes["gzip+sort"] < sizes["gzip"] < sizes["raw"]

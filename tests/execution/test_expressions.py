@@ -1,0 +1,152 @@
+"""Tests for vectorized expressions and NULL semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import (
+    And,
+    Arithmetic,
+    Between,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    RowBlock,
+    column_range_from_predicate,
+)
+
+C = ColumnRef
+L = Literal
+
+
+def block(**columns):
+    lengths = {len(values) for values in columns.values()}
+    assert len(lengths) == 1
+    return RowBlock(columns={k: list(v) for k, v in columns.items()}, row_count=lengths.pop())
+
+
+class TestBasics:
+    def test_column_ref(self):
+        assert C("a").evaluate(block(a=[1, 2])) == [1, 2]
+
+    def test_literal(self):
+        assert L(7).evaluate(block(a=[0, 0, 0])) == [7, 7, 7]
+
+    def test_comparison(self):
+        b = block(a=[1, 5, 3])
+        assert (C("a") > L(2)).evaluate(b) == [False, True, True]
+        assert (C("a") == L(5)).evaluate(b) == [False, True, False]
+
+    def test_comparison_null_propagates(self):
+        b = block(a=[1, None])
+        assert (C("a") > L(0)).evaluate(b) == [True, None]
+
+    def test_arithmetic(self):
+        b = block(a=[2, 4], b=[3, 5])
+        assert (C("a") + C("b")).evaluate(b) == [5, 9]
+        assert (C("a") * L(10)).evaluate(b) == [20, 40]
+        assert Arithmetic("%", C("b"), L(2)).evaluate(b) == [1, 1]
+
+    def test_division(self):
+        b = block(a=[6, 7])
+        assert (C("a") / L(2)).evaluate(b) == [3, 3.5]
+        with pytest.raises(ExecutionError):
+            (C("a") / L(0)).evaluate(b)
+
+    def test_arithmetic_null(self):
+        assert (C("a") + L(1)).evaluate(block(a=[None])) == [None]
+
+
+class TestBooleans:
+    def test_kleene_and(self):
+        b = block(x=[True, True, True, None, None, False], y=[True, False, None, None, False, False])
+        assert And(C("x"), C("y")).evaluate(b) == [True, False, None, None, False, False]
+
+    def test_kleene_or(self):
+        b = block(x=[True, None, None, False], y=[False, True, None, False])
+        assert Or(C("x"), C("y")).evaluate(b) == [True, True, None, False]
+
+    def test_not(self):
+        assert Not(C("x")).evaluate(block(x=[True, False, None])) == [False, True, None]
+
+    def test_nary(self):
+        b = block(x=[True], y=[True], z=[False])
+        assert And(C("x"), C("y"), C("z")).evaluate(b) == [False]
+
+
+class TestPredicateForms:
+    def test_between(self):
+        b = block(a=[1, 5, 10])
+        assert Between(C("a"), L(2), L(9)).evaluate(b) == [False, True, False]
+
+    def test_in_list(self):
+        b = block(a=["x", "q", None])
+        assert InList(C("a"), ["x", "y"]).evaluate(b) == [True, False, None]
+
+    def test_is_null(self):
+        b = block(a=[1, None])
+        assert IsNull(C("a")).evaluate(b) == [False, True]
+        assert IsNull(C("a"), negated=True).evaluate(b) == [True, False]
+
+    def test_case_when(self):
+        expr = CaseWhen(
+            [(C("a") > L(10), L("big")), (C("a") > L(5), L("mid"))], L("small")
+        )
+        assert expr.evaluate(block(a=[20, 7, 1])) == ["big", "mid", "small"]
+
+
+class TestFunctions:
+    def test_scalar_functions(self):
+        assert FunctionCall("ABS", C("a")).evaluate(block(a=[-3, 4])) == [3, 4]
+        assert FunctionCall("UPPER", C("s")).evaluate(block(s=["ab"])) == ["AB"]
+        assert FunctionCall("LENGTH", C("s")).evaluate(block(s=["abc", None])) == [3, None]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExecutionError):
+            FunctionCall("MD5", C("a"))
+
+
+class TestCompilation:
+    def test_compiled_closure_cached(self):
+        expr = C("a") + L(1)
+        assert expr.compiled() is expr.compiled()
+
+    def test_referenced_columns(self):
+        expr = And(C("a") > L(1), Or(C("b") == C("c"), IsNull(C("d"))))
+        assert expr.referenced_columns() == {"a", "b", "c", "d"}
+
+    def test_evaluate_row(self):
+        assert (C("a") * L(2)).evaluate_row({"a": 21}) == 42
+
+
+class TestRangeExtraction:
+    def test_single_bounds(self):
+        assert column_range_from_predicate(C("a") > L(5)) == {"a": (5, None)}
+        assert column_range_from_predicate(C("a") <= L(9)) == {"a": (None, 9)}
+        assert column_range_from_predicate(C("a") == L(3)) == {"a": (3, 3)}
+
+    def test_mirrored_comparison(self):
+        assert column_range_from_predicate(L(5) < C("a")) == {"a": (5, None)}
+
+    def test_between(self):
+        assert column_range_from_predicate(Between(C("a"), L(1), L(2))) == {
+            "a": (1, 2)
+        }
+
+    def test_conjunction_tightens(self):
+        predicate = And(C("a") > L(1), C("a") < L(10), C("b") == L(4))
+        assert column_range_from_predicate(predicate) == {
+            "a": (1, 10),
+            "b": (4, 4),
+        }
+
+    def test_disjunction_ignored(self):
+        assert column_range_from_predicate(Or(C("a") > L(1), C("b") > L(2))) == {}
+
+    def test_none_predicate(self):
+        assert column_range_from_predicate(None) == {}

@@ -1,0 +1,266 @@
+"""Tests for logical rewrites and the three optimizer generations."""
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.execution import And, ColumnRef, Comparison, IsNull, Literal
+from repro.execution.operators.join import JoinType
+from repro.optimizer import (
+    FilterNode,
+    JoinNode,
+    PhysJoin,
+    PhysScan,
+    ScanNode,
+    rewrite,
+)
+from repro.optimizer import physical as P
+from repro.optimizer.rewrite import (
+    add_transitive_predicates,
+    convert_outer_to_inner,
+    push_down_filters,
+    split_conjuncts,
+)
+from repro.projections import Replicated
+
+C = ColumnRef
+L = Literal
+
+
+def scans():
+    fact = ScanNode("fact", ["f_id", "dim_id", "v"])
+    dim = ScanNode("dim", ["d_id", "name"])
+    return fact, dim
+
+
+class TestPushDown:
+    def test_filter_merges_into_scan(self):
+        fact, _ = scans()
+        plan = FilterNode(fact, C("v") > L(5))
+        result = push_down_filters(plan)
+        assert result is fact
+        assert repr(fact.predicate) == repr(C("v") > L(5))
+
+    def test_join_side_routing(self):
+        fact, dim = scans()
+        join = JoinNode(fact, dim, JoinType.INNER, [C("dim_id")], [C("d_id")])
+        plan = FilterNode(join, And(C("v") > L(5), C("name") == L("x")))
+        result = push_down_filters(plan)
+        assert result is join
+        assert fact.predicate is not None
+        assert dim.predicate is not None
+
+    def test_left_join_blocks_null_side_pushdown(self):
+        fact, dim = scans()
+        join = JoinNode(fact, dim, JoinType.LEFT, [C("dim_id")], [C("d_id")])
+        plan = FilterNode(join, IsNull(C("name")))
+        result = push_down_filters(plan)
+        # predicate on the NULL-extended side must stay above the join
+        assert isinstance(result, FilterNode)
+        assert dim.predicate is None
+
+    def test_pushdown_through_rename(self):
+        scan = ScanNode("fact", ["f_id"], rename={"f_id": "f.f_id"})
+        plan = FilterNode(scan, C("f.f_id") > L(3))
+        result = push_down_filters(plan)
+        assert result is scan
+        assert scan.predicate.referenced_columns() == {"f_id"}
+
+
+class TestTransitivePredicates:
+    def test_constant_copied_across_join_keys(self):
+        fact, dim = scans()
+        dim.predicate = C("d_id") == L(7)
+        join = JoinNode(fact, dim, JoinType.INNER, [C("dim_id")], [C("d_id")])
+        add_transitive_predicates(join)
+        conjuncts = [repr(c) for c in split_conjuncts(fact.predicate)]
+        assert "(dim_id = 7)" in conjuncts
+
+    def test_not_applied_to_outer_joins(self):
+        fact, dim = scans()
+        dim.predicate = C("d_id") == L(7)
+        join = JoinNode(fact, dim, JoinType.LEFT, [C("dim_id")], [C("d_id")])
+        add_transitive_predicates(join)
+        assert fact.predicate is None
+
+    def test_idempotent(self):
+        fact, dim = scans()
+        dim.predicate = C("d_id") == L(7)
+        join = JoinNode(fact, dim, JoinType.INNER, [C("dim_id")], [C("d_id")])
+        add_transitive_predicates(join)
+        add_transitive_predicates(join)
+        assert len(split_conjuncts(fact.predicate)) == 1
+
+
+class TestOuterToInner:
+    def test_null_rejecting_filter_converts(self):
+        fact, dim = scans()
+        join = JoinNode(fact, dim, JoinType.LEFT, [C("dim_id")], [C("d_id")])
+        plan = FilterNode(join, C("name") == L("x"))
+        convert_outer_to_inner(plan)
+        assert join.join_type is JoinType.INNER
+
+    def test_is_null_filter_does_not_convert(self):
+        fact, dim = scans()
+        join = JoinNode(fact, dim, JoinType.LEFT, [C("dim_id")], [C("d_id")])
+        plan = FilterNode(join, IsNull(C("name")))
+        convert_outer_to_inner(plan)
+        assert join.join_type is JoinType.LEFT
+
+
+@pytest.fixture
+def star_db(tmp_path):
+    db = Database(str(tmp_path / "db"), node_count=3, k_safety=1)
+    db.create_table(
+        TableDefinition(
+            "fact",
+            [ColumnDef("f_id", types.INTEGER), ColumnDef("dim_id", types.INTEGER),
+             ColumnDef("v", types.FLOAT)],
+            primary_key=("f_id",),
+        )
+    )
+    db.create_table(
+        TableDefinition(
+            "dim",
+            [ColumnDef("d_id", types.INTEGER), ColumnDef("name", types.VARCHAR)],
+            primary_key=("d_id",),
+        ),
+        segmentation=Replicated(),
+    )
+    db.load("dim", [{"d_id": i, "name": f"d{i}"} for i in range(20)])
+    db.load(
+        "fact",
+        [{"f_id": i, "dim_id": i % 20, "v": float(i)} for i in range(2000)],
+    )
+    db.analyze_statistics()
+    return db
+
+
+def star_query():
+    return JoinNode(
+        ScanNode("fact", ["f_id", "dim_id", "v"]),
+        ScanNode("dim", ["d_id", "name"]),
+        JoinType.INNER,
+        [C("dim_id")],
+        [C("d_id")],
+    )
+
+
+class TestGenerations:
+    def test_staropt_plans_star_colocated(self, star_db):
+        plan = star_db.planner("star").plan(star_query())
+        joins = [n for n in plan.walk() if isinstance(n, PhysJoin)]
+        assert len(joins) == 1
+        assert joins[0].strategy == P.COLOCATED
+
+    def test_staropt_puts_fact_on_probe_side(self, star_db):
+        plan = star_db.planner("star").plan(star_query())
+        join = next(n for n in plan.walk() if isinstance(n, PhysJoin))
+        left_scan = next(
+            n for n in join.left.walk() if isinstance(n, PhysScan)
+        )
+        assert left_scan.table == "fact"
+
+    def test_v2_uses_sip_on_hash_joins(self, star_db):
+        plan = star_db.planner("v2").plan(star_query())
+        join = next(n for n in plan.walk() if isinstance(n, PhysJoin))
+        if join.algorithm == "hash" and join.strategy != P.RESEGMENT:
+            assert join.sip
+
+    def test_all_generations_same_results(self, star_db):
+        for optimizer in ("star", "starified", "v2"):
+            rows = star_db.query(star_query(), optimizer=optimizer)
+            assert len(rows) == 2000
+
+    def test_projection_choice_prefers_predicate_sorted(self, star_db):
+        from repro.projections import HashSegmentation, ProjectionColumn, ProjectionDefinition
+
+        narrow = ProjectionDefinition(
+            name="fact_by_v",
+            anchor_table="fact",
+            columns=[
+                ProjectionColumn("v", types.FLOAT),
+                ProjectionColumn("f_id", types.INTEGER),
+                ProjectionColumn("dim_id", types.INTEGER),
+            ],
+            sort_order=["v"],
+            segmentation=HashSegmentation(("f_id",)),
+        )
+        star_db.add_projection(narrow)
+        star_db.analyze_statistics()
+        query = ScanNode("fact", ["f_id"], predicate=C("v") > L(1990.0))
+        plan = star_db.planner("v2").plan(query)
+        scan = next(n for n in plan.walk() if isinstance(n, PhysScan))
+        assert scan.family_name == "fact_by_v"
+
+    def test_merge_join_chosen_for_matching_sort_orders(self, tmp_path):
+        db = Database(str(tmp_path / "mj"), node_count=1)
+        db.create_table(
+            TableDefinition(
+                "a", [ColumnDef("k", types.INTEGER), ColumnDef("x", types.INTEGER)]
+            ),
+            sort_order=["k"],
+            segmentation=Replicated(),
+        )
+        db.create_table(
+            TableDefinition(
+                "b", [ColumnDef("k2", types.INTEGER), ColumnDef("y", types.INTEGER)]
+            ),
+            sort_order=["k2"],
+            segmentation=Replicated(),
+        )
+        db.load("a", [{"k": i, "x": i} for i in range(100)])
+        db.load("b", [{"k2": i, "y": i} for i in range(100)])
+        db.analyze_statistics()
+        query = JoinNode(
+            ScanNode("a", ["k", "x"]),
+            ScanNode("b", ["k2", "y"]),
+            JoinType.INNER,
+            [C("k")],
+            [C("k2")],
+        )
+        plan = db.planner("v2").plan(query)
+        join = next(n for n in plan.walk() if isinstance(n, PhysJoin))
+        assert join.algorithm == "merge"
+        rows = db.query(query)
+        assert len(rows) == 100
+
+    def test_v2_costs_resegment_vs_broadcast(self, star_db, tmp_path):
+        # two large co-segmented-on-wrong-keys tables: v2 resegments,
+        # starified broadcasts; both must agree on results.
+        db = Database(str(tmp_path / "rs"), node_count=3, k_safety=1)
+        for name, key in (("big1", "a"), ("big2", "b")):
+            db.create_table(
+                TableDefinition(
+                    name,
+                    [ColumnDef(key, types.INTEGER), ColumnDef("j" + name, types.INTEGER)],
+                    primary_key=(key,),
+                )
+            )
+        db.load("big1", [{"a": i, "jbig1": i % 50} for i in range(1000)])
+        db.load("big2", [{"b": i, "jbig2": i % 50} for i in range(1000)])
+        db.analyze_statistics()
+        query = JoinNode(
+            ScanNode("big1", ["a", "jbig1"]),
+            ScanNode("big2", ["b", "jbig2"]),
+            JoinType.INNER,
+            [C("jbig1")],
+            [C("jbig2")],
+        )
+        v2_plan = db.planner("v2").plan(query)
+        v2_join = next(n for n in v2_plan.walk() if isinstance(n, PhysJoin))
+        assert v2_join.strategy in (P.RESEGMENT, P.BROADCAST_INNER)
+        star_plan = db.planner("starified").plan(query)
+        star_join = next(n for n in star_plan.walk() if isinstance(n, PhysJoin))
+        assert star_join.strategy == P.BROADCAST_INNER
+        assert len(db.query(query, optimizer="v2")) == 20000
+        assert len(db.query(query, optimizer="starified")) == 20000
+
+    def test_rewrite_wrapper(self):
+        fact, dim = scans()
+        dim.predicate = C("d_id") == L(3)
+        join = JoinNode(fact, dim, JoinType.LEFT, [C("dim_id")], [C("d_id")])
+        plan = FilterNode(join, C("name") == L("x"))
+        result = rewrite(plan)
+        assert join.join_type is JoinType.INNER  # converted
+        conjuncts = [repr(c) for c in split_conjuncts(fact.predicate)]
+        assert "(dim_id = 3)" in conjuncts  # transitive after conversion

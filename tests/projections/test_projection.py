@@ -1,0 +1,148 @@
+"""Tests for projection definitions, super projections and buddies."""
+
+import pytest
+
+from repro import types
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.errors import SqlAnalysisError
+from repro.projections import (
+    HashSegmentation,
+    ProjectionColumn,
+    ProjectionDefinition,
+    ProjectionFamily,
+    Replicated,
+    make_buddy,
+    super_projection,
+)
+
+
+@pytest.fixture
+def sales():
+    return TableDefinition(
+        "sales",
+        [
+            ColumnDef("sale_id", types.INTEGER),
+            ColumnDef("cid", types.INTEGER),
+            ColumnDef("cust", types.VARCHAR),
+            ColumnDef("date", types.DATE),
+            ColumnDef("price", types.FLOAT),
+        ],
+        primary_key=("sale_id",),
+    )
+
+
+class TestSuperProjection:
+    def test_defaults(self, sales):
+        projection = super_projection(sales)
+        assert projection.is_super_for(sales)
+        assert projection.column_names == sales.column_names
+        assert projection.sort_order == sales.column_names
+        assert isinstance(projection.segmentation, HashSegmentation)
+        assert projection.segmentation.columns == ("sale_id",)
+
+    def test_figure1_super(self, sales):
+        # Figure 1: super projection sorted by date, segmented by
+        # HASH(sale_id).
+        projection = super_projection(
+            sales, sort_order=["date"], segmentation=HashSegmentation(("sale_id",))
+        )
+        assert projection.sort_order == ["date"]
+        assert projection.is_super_for(sales)
+
+    def test_figure1_narrow(self, sales):
+        # Figure 1: (cust, price) sorted by cust, segmented by HASH(cust).
+        narrow = ProjectionDefinition(
+            name="sales_cust",
+            anchor_table="sales",
+            columns=[
+                ProjectionColumn("cust", types.VARCHAR),
+                ProjectionColumn("price", types.FLOAT),
+            ],
+            sort_order=["cust"],
+            segmentation=HashSegmentation(("cust",)),
+        )
+        assert not narrow.is_super_for(sales)
+        assert narrow.covers(["price"])
+        assert not narrow.covers(["date"])
+
+    def test_sorted_rows(self, sales):
+        projection = super_projection(sales, sort_order=["date", "price"])
+        rows = [
+            {"sale_id": 1, "cid": 1, "cust": "a", "date": 5, "price": 2.0},
+            {"sale_id": 2, "cid": 2, "cust": "b", "date": 1, "price": 9.0},
+            {"sale_id": 3, "cid": 3, "cust": "c", "date": 5, "price": 1.0},
+        ]
+        ordered = projection.sorted_rows(rows)
+        assert [row["sale_id"] for row in ordered] == [2, 3, 1]
+
+    def test_nulls_sort_first(self, sales):
+        projection = super_projection(sales, sort_order=["date"])
+        rows = [
+            {"sale_id": 1, "cid": 1, "cust": "a", "date": 5, "price": 2.0},
+            {"sale_id": 2, "cid": 2, "cust": "b", "date": None, "price": 9.0},
+        ]
+        assert projection.sorted_rows(rows)[0]["sale_id"] == 2
+
+
+class TestValidation:
+    def test_sort_column_must_exist(self, sales):
+        with pytest.raises(SqlAnalysisError):
+            ProjectionDefinition(
+                name="bad",
+                anchor_table="sales",
+                columns=[ProjectionColumn("cust", types.VARCHAR)],
+                sort_order=["nope"],
+                segmentation=Replicated(),
+            )
+
+    def test_segmentation_column_must_exist(self, sales):
+        with pytest.raises(SqlAnalysisError):
+            ProjectionDefinition(
+                name="bad",
+                anchor_table="sales",
+                columns=[ProjectionColumn("cust", types.VARCHAR)],
+                sort_order=["cust"],
+                segmentation=HashSegmentation(("sale_id",)),
+            )
+
+    def test_duplicate_columns_rejected(self, sales):
+        with pytest.raises(SqlAnalysisError):
+            ProjectionDefinition(
+                name="bad",
+                anchor_table="sales",
+                columns=[
+                    ProjectionColumn("cust", types.VARCHAR),
+                    ProjectionColumn("cust", types.VARCHAR),
+                ],
+                sort_order=["cust"],
+                segmentation=Replicated(),
+            )
+
+
+class TestBuddy:
+    def test_buddy_shares_layout(self, sales):
+        primary = super_projection(sales)
+        buddy = make_buddy(primary, 1)
+        assert buddy.column_names == primary.column_names
+        assert buddy.sort_order == primary.sort_order
+        assert buddy.buddy_offset == 1
+        assert buddy.segmentation.offset == 1
+
+    def test_family_k_safety(self, sales):
+        primary = super_projection(sales)
+        family = ProjectionFamily(primary, [make_buddy(primary, 1)])
+        assert family.k_safety() == 1
+        assert len(family.all_copies) == 2
+
+    def test_replicated_family_k_safety(self, sales):
+        projection = super_projection(sales, segmentation=Replicated())
+        family = ProjectionFamily(projection, [])
+        assert family.k_safety() >= 1
+
+
+class TestDescribe:
+    def test_describe_mentions_order_and_segmentation(self, sales):
+        projection = super_projection(sales, sort_order=["date"])
+        text = projection.describe()
+        assert "ORDER BY date" in text
+        assert "SEGMENTED BY HASH(sale_id)" in text

@@ -1,0 +1,103 @@
+"""Tests for the segmentation ring, buddies and local segments."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import RING_SIZE, hash_row, hash_value
+from repro.projections import HashSegmentation, Replicated, buddy_of
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_value("meter_17") == hash_value("meter_17")
+        assert hash_row([1, "a"]) == hash_row([1, "a"])
+
+    def test_order_sensitive(self):
+        assert hash_row([1, 23]) != hash_row([12, 3])
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_in_ring(self, value):
+        assert 0 <= hash_value(value) < RING_SIZE
+
+    def test_distinct_types_distinct_hashes(self):
+        assert hash_value(1) != hash_value("1")
+        assert hash_value(True) != hash_value(1)
+        assert hash_value(None) != hash_value(0)
+
+
+class TestRingMapping:
+    def test_every_position_maps_to_one_node(self):
+        scheme = HashSegmentation(("cid",))
+        for node_count in (1, 2, 3, 5, 8):
+            for position in (0, 1, RING_SIZE // 2, RING_SIZE - 1):
+                node = scheme.node_for_position(position, node_count)
+                assert 0 <= node < node_count
+
+    def test_ranges_follow_paper_table(self):
+        # expr in [i*CMAX/N, (i+1)*CMAX/N) -> node i (before offset).
+        scheme = HashSegmentation(("k",))
+        node_count = 4
+        for i in range(node_count):
+            low = i * RING_SIZE // node_count
+            high = (i + 1) * RING_SIZE // node_count - 1
+            assert scheme.node_for_position(low, node_count) == i
+            assert scheme.node_for_position(high, node_count) == i
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_rows_spread_consistently(self, key):
+        scheme = HashSegmentation(("k",))
+        row = {"k": key}
+        assert scheme.node_for_row(row, 3) == scheme.node_for_row(row, 3)
+
+    def test_distribution_roughly_even(self):
+        scheme = HashSegmentation(("k",))
+        counts = [0, 0, 0]
+        for key in range(30000):
+            counts[scheme.node_for_row({"k": key}, 3)] += 1
+        assert max(counts) - min(counts) < 2000
+
+
+class TestBuddies:
+    def test_offset_rotates_assignment(self):
+        primary = HashSegmentation(("k",))
+        buddy = buddy_of(primary, 1)
+        for key in range(200):
+            row = {"k": key}
+            assert buddy.node_for_row(row, 3) == (
+                primary.node_for_row(row, 3) + 1
+            ) % 3
+
+    def test_no_corow_colocation(self):
+        primary = HashSegmentation(("k",))
+        buddy = buddy_of(primary, 1)
+        for key in range(500):
+            row = {"k": key}
+            assert primary.node_for_row(row, 4) != buddy.node_for_row(row, 4)
+
+    def test_replicated_is_own_buddy(self):
+        scheme = Replicated()
+        assert buddy_of(scheme, 1) is scheme
+        assert scheme.node_for_row({"k": 1}, 5) is None
+
+
+class TestLocalSegments:
+    def test_segments_within_range(self):
+        scheme = HashSegmentation(("k",))
+        for key in range(2000):
+            segment = scheme.local_segment_for_row({"k": key}, 3, 3)
+            assert 0 <= segment < 3
+
+    def test_rows_stay_in_segment_across_calls(self):
+        scheme = HashSegmentation(("k",))
+        row = {"k": 42}
+        first = scheme.local_segment_for_row(row, 3, 3)
+        assert all(
+            scheme.local_segment_for_row(row, 3, 3) == first for _ in range(5)
+        )
+
+    def test_all_segments_used(self):
+        scheme = HashSegmentation(("k",))
+        seen = {
+            scheme.local_segment_for_row({"k": key}, 3, 3) for key in range(5000)
+        }
+        assert seen == {0, 1, 2}

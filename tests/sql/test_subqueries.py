@@ -1,0 +1,82 @@
+"""Tests for IN/NOT IN subquery flattening to semi/anti joins (§6.2)."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = Database(str(tmp_path / "db"), node_count=3, k_safety=1)
+    db.sql("CREATE TABLE orders (oid INTEGER, cid INTEGER, amount FLOAT, "
+           "PRIMARY KEY (oid))")
+    db.sql("CREATE TABLE vip (cid INTEGER, PRIMARY KEY (cid))")
+    db.sql("COPY orders FROM STDIN", copy_rows=[
+        {"oid": i, "cid": i % 10, "amount": float(i)} for i in range(200)
+    ])
+    db.sql("COPY vip FROM STDIN", copy_rows=[{"cid": c} for c in (1, 3, 5)])
+    db.analyze_statistics()
+    return db
+
+
+class TestInSubquery:
+    def test_in_becomes_semi_join(self, db):
+        rows = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid IN (SELECT cid FROM vip)"
+        )
+        assert rows == [{"n": 60}]
+
+    def test_not_in_becomes_anti_join(self, db):
+        rows = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid NOT IN (SELECT cid FROM vip)"
+        )
+        assert rows == [{"n": 140}]
+
+    def test_subquery_with_its_own_predicate(self, db):
+        rows = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid IN (SELECT cid FROM vip WHERE cid > 2)"
+        )
+        assert rows == [{"n": 40}]
+
+    def test_combined_with_plain_predicates(self, db):
+        rows = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid IN (SELECT cid FROM vip) AND amount >= 100"
+        )
+        assert rows == [{"n": 30}]
+
+    def test_semi_and_anti_partition(self, db):
+        semi = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid IN (SELECT cid FROM vip)")[0]["n"]
+        anti = db.sql(
+            "SELECT count(*) AS n FROM orders "
+            "WHERE cid NOT IN (SELECT cid FROM vip)")[0]["n"]
+        assert semi + anti == 200
+
+    def test_explain_shows_semi_join(self, db):
+        text = db.sql(
+            "EXPLAIN SELECT oid FROM orders "
+            "WHERE cid IN (SELECT cid FROM vip)"
+        )
+        assert "SEMI" in text
+
+    def test_multi_column_subquery_rejected(self, db):
+        from repro.errors import SqlAnalysisError
+
+        with pytest.raises(SqlAnalysisError):
+            db.sql(
+                "SELECT oid FROM orders "
+                "WHERE cid IN (SELECT cid, cid FROM vip)"
+            )
+
+    def test_subquery_with_aggregation(self, db):
+        # semi join against an aggregated subquery
+        rows = db.sql(
+            "SELECT count(*) AS n FROM orders WHERE cid IN "
+            "(SELECT cid FROM vip GROUP BY cid HAVING count(*) >= 1)"
+        )
+        assert rows == [{"n": 60}]

@@ -1,0 +1,41 @@
+"""Tests for deterministic segmentation hashing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import RING_SIZE, fnv1a_64, hash_row, hash_value
+
+
+class TestFnv:
+    def test_known_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_avalanche(self):
+        assert fnv1a_64(b"a") != fnv1a_64(b"b")
+
+    @given(st.binary(max_size=64))
+    def test_in_range(self, data):
+        assert 0 <= fnv1a_64(data) < RING_SIZE
+
+
+class TestValueHashing:
+    def test_stable_across_calls(self):
+        assert hash_value("abc") == hash_value("abc")
+        assert hash_row([1, "x", 2.5]) == hash_row([1, "x", 2.5])
+
+    def test_no_cross_type_collisions_for_common_values(self):
+        values = [0, 0.0, "0", False, None]
+        hashes = {hash_value(v) for v in values}
+        assert len(hashes) == len(values)
+
+    def test_row_boundaries_matter(self):
+        assert hash_row(["ab", "c"]) != hash_row(["a", "bc"])
+
+    @given(st.lists(st.one_of(
+        st.none(), st.booleans(),
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.floats(allow_nan=False), st.text(max_size=10),
+    ), max_size=5))
+    def test_row_hash_in_ring(self, values):
+        assert 0 <= hash_row(values) < RING_SIZE

@@ -1,0 +1,78 @@
+"""Tests for the epoch manager: clock, LGE and AHM."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn import AhmPolicy, EpochManager
+
+
+class TestEpochClock:
+    def test_initial_state(self):
+        epochs = EpochManager()
+        assert epochs.current_epoch == 1
+        assert epochs.latest_queryable_epoch == 0
+
+    def test_commit_advances_epoch(self):
+        epochs = EpochManager()
+        commit_epoch = epochs.advance_for_commit()
+        assert commit_epoch == 1
+        assert epochs.current_epoch == 2
+        # the committed data (stamped epoch 1) is immediately queryable
+        assert epochs.latest_queryable_epoch == 1
+
+    def test_successive_commits_monotone(self):
+        epochs = EpochManager()
+        stamps = [epochs.advance_for_commit() for _ in range(5)]
+        assert stamps == [1, 2, 3, 4, 5]
+
+
+class TestLge:
+    def test_lge_tracking(self):
+        epochs = EpochManager()
+        epochs.set_lge(0, "p1", 5)
+        assert epochs.lge(0, "p1") == 5
+        assert epochs.lge(0, "other") == 0
+
+    def test_lge_cannot_regress(self):
+        epochs = EpochManager()
+        epochs.set_lge(0, "p1", 5)
+        with pytest.raises(TransactionError):
+            epochs.set_lge(0, "p1", 4)
+
+    def test_cluster_lge_is_minimum(self):
+        epochs = EpochManager()
+        epochs.set_lge(0, "p1", 5)
+        epochs.set_lge(1, "p1", 3)
+        assert epochs.cluster_lge() == 3
+
+
+class TestAhm:
+    def test_ahm_advances_by_policy(self):
+        epochs = EpochManager(policy=AhmPolicy(lag_epochs=2))
+        for _ in range(10):
+            epochs.advance_for_commit()
+        assert epochs.advance_ahm() == 8  # latest queryable 10, lag 2
+
+    def test_ahm_held_by_lge(self):
+        epochs = EpochManager(policy=AhmPolicy(lag_epochs=0))
+        for _ in range(10):
+            epochs.advance_for_commit()
+        epochs.set_lge(0, "p1", 4)
+        assert epochs.advance_ahm() == 4
+
+    def test_ahm_holds_while_node_down(self):
+        epochs = EpochManager(policy=AhmPolicy(lag_epochs=0))
+        for _ in range(5):
+            epochs.advance_for_commit()
+        epochs.node_down(2)
+        assert epochs.advance_ahm() == 0
+        epochs.node_up(2)
+        assert epochs.advance_ahm() == 5
+
+    def test_ahm_never_regresses(self):
+        epochs = EpochManager(policy=AhmPolicy(lag_epochs=0))
+        for _ in range(5):
+            epochs.advance_for_commit()
+        assert epochs.advance_ahm() == 5
+        epochs.set_lge(0, "p1", 2)  # a laggard projection appears
+        assert epochs.advance_ahm() == 5  # held, not rolled back

@@ -1,0 +1,168 @@
+"""Exact verification of Table 1 and Table 2, plus lock manager behaviour."""
+
+import pytest
+
+from repro.errors import LockTimeoutError, TransactionError
+from repro.txn import LockManager, LockMode, compatible, convert
+
+S, I, SI, X, T, U, O = (
+    LockMode.S,
+    LockMode.I,
+    LockMode.SI,
+    LockMode.X,
+    LockMode.T,
+    LockMode.U,
+    LockMode.O,
+)
+
+MODES = [S, I, SI, X, T, U, O]
+
+# Table 1 of the paper, verbatim: rows = requested, cols = granted.
+PAPER_COMPATIBILITY = [
+    # S      I      SI     X      T      U      O
+    [True, False, False, False, True, True, False],  # S
+    [False, True, False, False, True, True, False],  # I
+    [False, False, False, False, True, True, False],  # SI
+    [False, False, False, False, False, True, False],  # X
+    [True, True, True, False, True, True, False],  # T
+    [True, True, True, True, True, True, False],  # U
+    [False, False, False, False, False, False, False],  # O
+]
+
+# Table 2 of the paper, verbatim.
+PAPER_CONVERSION = [
+    # S   I   SI  X   T   U   O
+    [S, SI, SI, X, S, S, O],  # S
+    [SI, I, SI, X, I, I, O],  # I
+    [SI, SI, SI, X, SI, SI, O],  # SI
+    [X, X, X, X, X, X, O],  # X
+    [S, I, SI, X, T, T, O],  # T
+    [S, I, SI, X, T, U, O],  # U
+    [O, O, O, O, O, O, O],  # O
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("row", range(7))
+    @pytest.mark.parametrize("col", range(7))
+    def test_every_cell(self, row, col):
+        assert compatible(MODES[row], MODES[col]) is PAPER_COMPATIBILITY[row][col]
+
+    def test_insert_self_compatible(self):
+        # "enabling multiple inserts and bulk loads to occur
+        # simultaneously which is critical to maintain high ingest rates"
+        assert compatible(I, I)
+
+    def test_usage_compatible_with_all_but_owner(self):
+        for granted in MODES:
+            assert compatible(U, granted) is (granted is not O)
+
+    def test_owner_excludes_everything(self):
+        for granted in MODES:
+            assert not compatible(O, granted)
+            assert not compatible(granted, O)
+
+
+class TestTable2:
+    @pytest.mark.parametrize("row", range(7))
+    @pytest.mark.parametrize("col", range(7))
+    def test_every_cell(self, row, col):
+        assert convert(MODES[row], MODES[col]) is PAPER_CONVERSION[row][col]
+
+    def test_read_plus_insert_is_shared_insert(self):
+        assert convert(S, I) is SI
+        assert convert(I, S) is SI
+
+
+class TestLockManager:
+    def test_grant_and_hold(self):
+        manager = LockManager()
+        assert manager.acquire(1, "t", S) is S
+        assert manager.held(1, "t") is S
+
+    def test_concurrent_inserts_allowed(self):
+        manager = LockManager()
+        manager.acquire(1, "t", I)
+        manager.acquire(2, "t", I)
+        assert manager.holders_of("t") == {1: I, 2: I}
+
+    def test_exclusive_blocks_shared(self):
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(2, "t", S)
+
+    def test_tuple_mover_concurrent_with_writers(self):
+        manager = LockManager()
+        manager.acquire(1, "t", I)
+        manager.acquire(99, "t", T)  # tuple mover
+        manager.acquire(99, "t", U)
+
+    def test_conversion_on_reacquire(self):
+        manager = LockManager()
+        manager.acquire(1, "t", I)
+        assert manager.acquire(1, "t", S) is SI
+
+    def test_conversion_checked_against_others(self):
+        manager = LockManager()
+        manager.acquire(1, "t", I)
+        manager.acquire(2, "t", I)  # two concurrent loaders
+        # txn 1 now wants to read as well -> SI, but SI is incompatible
+        # with txn 2's I.
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(1, "t", S)
+
+    def test_release(self):
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+        manager.release(1, "t")
+        manager.acquire(2, "t", S)  # now grantable
+
+    def test_release_unheld_raises(self):
+        manager = LockManager()
+        with pytest.raises(TransactionError):
+            manager.release(1, "t")
+
+    def test_release_all(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        manager.acquire(1, "b", S)
+        manager.release_all(1)
+        assert manager.held(1, "a") is None
+        assert manager.held(1, "b") is None
+
+    def test_locks_are_per_object(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        manager.acquire(2, "b", X)  # different table: fine
+
+    def test_matrix_exports_full(self):
+        assert len(LockManager.compatibility_matrix()) == 49
+        assert len(LockManager.conversion_matrix()) == 49
+        assert LockManager.modes() == ["S", "I", "SI", "X", "T", "U", "O"]
+
+
+class TestMatrixInternalConsistency:
+    def test_compatibility_is_symmetric(self):
+        # Table 1 is symmetric in the paper; verify our copy is too.
+        for a in MODES:
+            for b in MODES:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_conversion_result_at_least_as_strong(self):
+        # Converting never yields a mode compatible with something the
+        # original pair was not both compatible with.
+        for requested in MODES:
+            for granted in MODES:
+                result = convert(requested, granted)
+                for other in MODES:
+                    if not compatible(granted, other):
+                        assert not compatible(result, other), (
+                            requested,
+                            granted,
+                            other,
+                        )
+
+    def test_conversion_idempotent_on_diagonal(self):
+        for mode in MODES:
+            assert convert(mode, mode) is mode

@@ -1,0 +1,47 @@
+"""Tests for the Transaction state object."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn import IsolationLevel, Transaction, TxnStatus
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        txn = Transaction(txn_id=1)
+        assert txn.status is TxnStatus.ACTIVE
+        assert txn.isolation is IsolationLevel.READ_COMMITTED
+        assert not txn.has_dml
+
+    def test_buffering_marks_dml(self):
+        txn = Transaction(txn_id=1)
+        txn.buffer_insert("t", [{"a": 1}])
+        assert txn.has_dml
+        assert txn.local_inserts_for("t") == [{"a": 1}]
+        assert txn.local_inserts_for("other") == []
+
+    def test_buffer_delete(self):
+        txn = Transaction(txn_id=1)
+        txn.buffer_delete("t", lambda row: True)
+        assert txn.has_dml
+        assert txn.pending_deletes[0].table == "t"
+
+    def test_inserts_accumulate(self):
+        txn = Transaction(txn_id=1)
+        txn.buffer_insert("t", [{"a": 1}])
+        txn.buffer_insert("t", [{"a": 2}])
+        assert len(txn.local_inserts_for("t")) == 2
+
+    def test_committed_txn_rejects_statements(self):
+        txn = Transaction(txn_id=1)
+        txn.status = TxnStatus.COMMITTED
+        with pytest.raises(TransactionError):
+            txn.buffer_insert("t", [])
+        with pytest.raises(TransactionError):
+            txn.check_active()
+
+    def test_aborted_txn_rejects_statements(self):
+        txn = Transaction(txn_id=1)
+        txn.status = TxnStatus.ABORTED
+        with pytest.raises(TransactionError):
+            txn.buffer_delete("t", lambda row: True)

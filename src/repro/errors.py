@@ -95,3 +95,10 @@ class LoadError(ReproError):
 
 class DesignError(ReproError):
     """Raised by the Database Designer when no valid design exists."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by the runtime sanitizer (``REPRO_SANITIZE=1``) when a
+    physical invariant is broken: non-monotonic position index, block
+    min/max inconsistent with decoded data, row-count loss in moveout,
+    a double delete, or a regressing/overrunning epoch mark."""

@@ -1,0 +1,38 @@
+"""replint: project-specific static analysis + runtime invariant sanitizer.
+
+Static side (``python -m repro.lint src/repro tests``): AST-based
+checkers enforcing the contracts the paper states in prose — operator
+protocol completeness (R1), encoding registry round-trip surface (R2),
+deadlock-free lock acquisition order (R3), no storage/catalog mutation
+from the query path (R4), general hygiene (R5), and public-API
+docstring/annotation coverage (R6).  See :mod:`repro.lint.rules`.
+
+Runtime side (:mod:`repro.lint.sanitizer`): cheap invariant assertions
+over ROS container construction, WOS→ROS moveout, delete vectors and
+epoch advancement, enabled with ``REPRO_SANITIZE=1`` (the test suite's
+``conftest.py`` turns it on for the whole run).
+
+This ``__init__`` deliberately avoids importing the rule modules so
+that production code can import the sanitizer without paying for (or
+depending on) the analysis machinery.
+"""
+
+from .core import (
+    CHECKERS,
+    Checker,
+    Finding,
+    Module,
+    Project,
+    register_checker,
+    run_lint,
+)
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "Finding",
+    "Module",
+    "Project",
+    "register_checker",
+    "run_lint",
+]

@@ -1,0 +1,24 @@
+"""replint rule modules.
+
+Importing this package registers every checker with
+:data:`repro.lint.core.CHECKERS`.  To add a new rule: create a module
+here, subclass :class:`repro.lint.core.Checker`, decorate it with
+``@register_checker``, and import the module below (registration order
+determines display order).
+"""
+
+from . import operators  # noqa: F401  R1
+from . import encodings  # noqa: F401  R2
+from . import lock_order  # noqa: F401  R3
+from . import mutation  # noqa: F401  R4
+from . import hygiene  # noqa: F401  R5
+from . import api_docs  # noqa: F401  R6
+
+__all__ = [
+    "operators",
+    "encodings",
+    "lock_order",
+    "mutation",
+    "hygiene",
+    "api_docs",
+]

@@ -1,0 +1,88 @@
+"""R6: public-API docstring and type-annotation coverage.
+
+``repro/sdk.py`` (the user-defined extension SDK, section 6) and
+``repro/sql/interface.py`` (the SQL entry point) are the two surfaces
+external code programs against.  Every public module-level function,
+public class, and public method of a public class in those modules
+must carry a docstring, annotate every named parameter (``self`` /
+``cls`` exempt), and declare a return type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Module, Project, register_checker
+
+#: Path suffixes of the modules whose public API is enforced.
+PUBLIC_API_MODULES = ("repro/sdk.py", "repro/sql/interface.py")
+
+
+def _public_functions(
+    module: Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(qualified name, node) for each enforced function/method."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("_"):
+                        yield f"{node.name}.{item.name}", item
+
+
+def _unannotated_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> list[str]:
+    """Names of named parameters lacking annotations."""
+    args = node.args
+    named = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if is_method and named and named[0].arg in ("self", "cls"):
+        named = named[1:]
+    missing = [a.arg for a in named if a.annotation is None]
+    for variadic in (args.vararg, args.kwarg):
+        if variadic is not None and variadic.annotation is None:
+            missing.append(variadic.arg)
+    return missing
+
+
+@register_checker
+class PublicApiDocsChecker(Checker):
+    """R6: sdk.py / sql/interface.py public API is documented and typed."""
+
+    rule = "R6"
+    title = (
+        "public functions in sdk.py and sql/interface.py have docstrings "
+        "and full type annotations"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            norm = module.norm_path
+            if not any(norm.endswith(suffix) for suffix in PUBLIC_API_MODULES):
+                continue
+            for qualname, node in _public_functions(module):
+                is_method = "." in qualname
+                if ast.get_docstring(node) is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"public API {qualname}() has no docstring",
+                    )
+                missing = _unannotated_params(node, is_method)
+                if missing:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"public API {qualname}() is missing type "
+                        f"annotations for: {', '.join(missing)}",
+                    )
+                if node.returns is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"public API {qualname}() has no return annotation",
+                    )

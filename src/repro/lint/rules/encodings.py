@@ -1,0 +1,146 @@
+"""R2: every concrete Encoding is complete and registered.
+
+A concrete ``Encoding`` subclass under ``storage/encodings/`` must:
+
+* define (or inherit) a non-empty ``name`` class attribute — its
+  registry / SQL identity;
+* implement (or inherit from a concrete ancestor) both ``encode`` and
+  ``decode`` — the byte-exact round-trip surface of section 3.4;
+* be registered into ``ENCODINGS`` via a module-level
+  ``register(TheEncoding(...))`` call, so AUTO selection and block
+  decoding can find it by name.
+
+Classes carrying ``@abstractmethod`` members are treated as abstract
+and exempt (only the registry-visible leaves must be complete).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Module, Project, register_checker
+from .operators import defines_method, inherits_feature, subclass_closure
+
+ENCODINGS_FRAGMENT = "storage/encodings"
+
+
+def is_abstract(node: ast.ClassDef) -> bool:
+    """Whether any method is decorated with ``abstractmethod``."""
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                name = (
+                    decorator.id
+                    if isinstance(decorator, ast.Name)
+                    else decorator.attr
+                    if isinstance(decorator, ast.Attribute)
+                    else None
+                )
+                if name == "abstractmethod":
+                    return True
+    return False
+
+
+def registered_class_names(modules: list[Module]) -> set[str]:
+    """Class names instantiated inside a ``register(...)`` call."""
+    names: set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            func_name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if func_name != "register" or not node.args:
+                continue
+            argument = node.args[0]
+            if isinstance(argument, ast.Call) and isinstance(
+                argument.func, ast.Name
+            ):
+                names.add(argument.func.id)
+    return names
+
+
+def defines_nonempty_name(node: ast.ClassDef) -> bool:
+    """Whether the class assigns ``name`` to a non-empty string."""
+    for item in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(item, ast.Assign):
+            targets, value = item.targets, item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "name":
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and value.value
+                ):
+                    return True
+    return False
+
+
+@register_checker
+class EncodingContractChecker(Checker):
+    """R2: encodings define name, encode/decode, and are registered."""
+
+    rule = "R2"
+    title = (
+        "Encoding subclasses define name, implement encode/decode, and "
+        "are registered in ENCODINGS"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        modules = [
+            m
+            for m in project.modules_under(ENCODINGS_FRAGMENT)
+            if not m.is_test_code()
+        ]
+        if not modules:
+            return
+        classes: dict[str, tuple[Module, ast.ClassDef]] = {}
+        for module in modules:
+            for node in module.top_level_classes():
+                classes[node.name] = (module, node)
+        encodings = subclass_closure(classes, "Encoding")
+        registered = registered_class_names(modules)
+        for name in sorted(encodings):
+            module, node = classes[name]
+            if name.startswith("_") or is_abstract(node):
+                continue
+            if not inherits_feature(
+                name, classes, "Encoding", defines_nonempty_name
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"encoding {name!r} does not define a non-empty `name` "
+                    "class attribute",
+                )
+            for method in ("encode", "decode"):
+                if not inherits_feature(
+                    name,
+                    classes,
+                    "Encoding",
+                    lambda cls, m=method: defines_method(cls, m),
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"encoding {name!r} does not implement {method}() — "
+                        "the byte round-trip contract is incomplete",
+                    )
+            if name not in registered:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"encoding {name!r} is never registered via "
+                    "register(...) — ENCODINGS lookup by name will fail",
+                )

@@ -1,0 +1,91 @@
+"""R5: generic hygiene — the bug patterns that bite this codebase.
+
+Three checks, all repo-wide unless noted:
+
+* **mutable default arguments** (``def f(x=[])`` / ``={}`` / ``=set()``)
+  — shared across calls, a classic source of cross-query state leaks in
+  long-lived server processes;
+* **bare except** (``except:``) — swallows ``KeyboardInterrupt`` and
+  sanitizer :class:`InvariantViolation` s alike, hiding exactly the
+  failures this PR exists to surface;
+* **float equality on the cost model** (``x == 1.5`` under
+  ``optimizer/``) — plan choices must not hinge on exact float
+  comparison; use tolerances or integer row counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, register_checker
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    """Whether a default-value expression is a shared mutable object."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register_checker
+class HygieneChecker(Checker):
+    """R5: mutable defaults, bare except, float == in the cost model."""
+
+    rule = "R5"
+    title = (
+        "no mutable default args, no bare except, no float equality in "
+        "optimizer cost comparisons"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            in_optimizer = "repro/optimizer/" in module.norm_path
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_defaults(module, node)
+                elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "bare `except:` swallows KeyboardInterrupt and "
+                        "sanitizer violations; catch a concrete exception",
+                    )
+                elif in_optimizer and isinstance(node, ast.Compare):
+                    yield from self._check_float_compare(module, node)
+
+    def _check_defaults(self, module, node) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    module,
+                    default.lineno,
+                    f"{node.name}() has a mutable default argument; use "
+                    "None and create the object inside the function",
+                )
+
+    def _check_float_compare(self, module, node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        has_float = any(
+            isinstance(operand, ast.Constant)
+            and isinstance(operand.value, float)
+            for operand in operands
+        )
+        if not has_float:
+            return
+        for op in node.ops:
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "float equality in cost-model code; compare with a "
+                    "tolerance (math.isclose) or restructure",
+                )
+                return

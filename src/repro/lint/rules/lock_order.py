@@ -1,0 +1,134 @@
+"""R3: deadlock-free lock acquisition order.
+
+The paper's seven-mode lock model (Tables 1 and 2) is deadlock-prone if
+different code paths acquire modes in different orders.  replint
+enforces one canonical acquisition order over the whole codebase::
+
+    O  <  X  <  S / I / SI  <  T / U
+
+i.e. DDL (Owner) locks are taken before write (eXclusive) locks, which
+are taken before reader/loader locks, which are taken before tuple
+mover locks.  Any single static path that acquires a lower-ranked mode
+*after* a higher-ranked one is flagged.
+
+Detection: every call whose ``mode`` argument is a ``LockMode.<M>``
+attribute is treated as a lock acquisition (that is how every
+``LockManager.acquire`` call site in the tree spells the mode).  Paths
+are function bodies plus one level of same-module call inlining, so a
+helper that acquires ``X`` poisons its callers' sequences at the call
+site — a static walk of acquisition call sites, not a runtime check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Module, Project, register_checker
+
+#: Canonical acquisition rank; acquire low ranks first.
+LOCK_RANK = {"O": 0, "X": 1, "S": 2, "I": 2, "SI": 2, "T": 3, "U": 3}
+
+
+def _mode_of_call(node: ast.Call) -> str | None:
+    """The ``LockMode.<M>`` mode name an acquire-style call passes."""
+    if not isinstance(node.func, ast.Attribute) or node.func.attr != "acquire":
+        return None
+    candidates = list(node.args) + [kw.value for kw in node.keywords]
+    for argument in candidates:
+        if (
+            isinstance(argument, ast.Attribute)
+            and isinstance(argument.value, ast.Name)
+            and argument.value.id == "LockMode"
+            and argument.attr in LOCK_RANK
+        ):
+            return argument.attr
+    return None
+
+
+def _called_local_names(node: ast.Call) -> list[str]:
+    """Names a call might resolve to in the same module (``f`` or
+    ``self.f`` / ``obj.f`` -> "f")."""
+    if isinstance(node.func, ast.Name):
+        return [node.func.id]
+    if isinstance(node.func, ast.Attribute):
+        return [node.func.attr]
+    return []
+
+
+class _FunctionAcquisitions:
+    """Ordered (line, mode) acquisitions of one function body."""
+
+    def __init__(self, module: Module, node: ast.AST, name: str):
+        self.module = module
+        self.name = name
+        #: [(line, mode)] in source order; direct acquisitions only.
+        self.direct: list[tuple[int, str]] = []
+        #: [(line, callee_name)] in source order.
+        self.calls: list[tuple[int, str]] = []
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            mode = _mode_of_call(child)
+            if mode is not None:
+                self.direct.append((child.lineno, mode))
+                continue
+            for callee in _called_local_names(child):
+                self.calls.append((child.lineno, callee))
+        self.direct.sort()
+        self.calls.sort()
+
+
+@register_checker
+class LockOrderChecker(Checker):
+    """R3: lock modes are acquired in canonical O < X < S/I/SI < T/U order."""
+
+    rule = "R3"
+    title = "LockManager acquisitions follow the canonical O < X < S/I/SI < T/U order"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            functions: list[_FunctionAcquisitions] = []
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions.append(
+                        _FunctionAcquisitions(module, node, node.name)
+                    )
+            by_name = {fn.name: fn for fn in functions}
+            for fn in functions:
+                sequence = self._expanded_sequence(fn, by_name)
+                yield from self._check_sequence(module, fn.name, sequence)
+
+    @staticmethod
+    def _expanded_sequence(
+        fn: _FunctionAcquisitions,
+        by_name: dict[str, _FunctionAcquisitions],
+    ) -> list[tuple[int, str]]:
+        """Direct acquisitions merged with callees' (one level deep)."""
+        events = list(fn.direct)
+        for line, callee in fn.calls:
+            target = by_name.get(callee)
+            if target is None or target is fn:
+                continue
+            # Inherit the callee's direct acquisitions at the call line.
+            events.extend((line, mode) for _, mode in target.direct)
+        events.sort()
+        return events
+
+    def _check_sequence(
+        self, module: Module, function: str, sequence: list[tuple[int, str]]
+    ) -> Iterator[Finding]:
+        best_line, best_mode = 0, None
+        for line, mode in sequence:
+            if best_mode is not None and LOCK_RANK[mode] < LOCK_RANK[best_mode]:
+                yield self.finding(
+                    module,
+                    line,
+                    f"{function}() acquires LockMode.{mode} after "
+                    f"LockMode.{best_mode} (line {best_line}); canonical "
+                    "order is O < X < S/I/SI < T/U",
+                )
+            if best_mode is None or LOCK_RANK[mode] > LOCK_RANK[best_mode]:
+                best_line, best_mode = line, mode

@@ -1,0 +1,158 @@
+"""R1: execution operators implement the full pull-model protocol.
+
+Every module-level public class under ``execution/operators/`` that
+(transitively) subclasses ``Operator`` must:
+
+* implement or inherit ``_produce`` (or override ``blocks``) — the
+  vectorized pull protocol of section 6.1;
+* define or inherit an ``op_name`` class attribute (EXPLAIN identity);
+* be exported from ``execution/operators/__init__.py`` via ``__all__``
+  so the executor and tests see one canonical operator surface.
+
+The base ``Operator`` itself and underscore-private helpers are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Module, Project, register_checker
+
+OPERATORS_FRAGMENT = "execution/operators"
+
+
+def base_names(node: ast.ClassDef) -> list[str]:
+    """Bare names of a class's bases (``base.Operator`` -> "Operator")."""
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def subclass_closure(
+    classes: dict[str, tuple[Module, ast.ClassDef]], root: str
+) -> set[str]:
+    """Names of classes that (transitively) subclass ``root``."""
+    members: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, node) in classes.items():
+            if name in members or name == root:
+                continue
+            if any(base == root or base in members for base in base_names(node)):
+                members.add(name)
+                changed = True
+    return members
+
+
+def defines_method(node: ast.ClassDef, method: str) -> bool:
+    """Whether the class body defines ``method`` directly."""
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == method
+        for item in node.body
+    )
+
+
+def defines_class_attr(node: ast.ClassDef, attr: str) -> bool:
+    """Whether the class body assigns class attribute ``attr``."""
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == attr
+                for target in item.targets
+            ):
+                return True
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == attr:
+                return True
+    return False
+
+
+def inherits_feature(
+    name: str,
+    classes: dict[str, tuple[Module, ast.ClassDef]],
+    root: str,
+    has_feature,
+) -> bool:
+    """Whether ``name`` or any ancestor below ``root`` has the feature."""
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen or current == root or current not in classes:
+            continue
+        seen.add(current)
+        _, node = classes[current]
+        if has_feature(node):
+            return True
+        stack.extend(base_names(node))
+    return False
+
+
+@register_checker
+class OperatorProtocolChecker(Checker):
+    """R1: operator subclasses complete the protocol and are exported."""
+
+    rule = "R1"
+    title = (
+        "Operator subclasses implement _produce/op_name and are exported "
+        "in execution.operators.__all__"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        modules = [
+            m
+            for m in project.modules_under(OPERATORS_FRAGMENT)
+            if not m.is_test_code()
+        ]
+        if not modules:
+            return
+        classes: dict[str, tuple[Module, ast.ClassDef]] = {}
+        for module in modules:
+            for node in module.top_level_classes():
+                classes[node.name] = (module, node)
+        operators = subclass_closure(classes, "Operator")
+        init = project.module_named(OPERATORS_FRAGMENT + "/__init__.py")
+        exported = set(init.dunder_all() or []) if init else set()
+        for name in sorted(operators):
+            module, node = classes[name]
+            if name.startswith("_"):
+                continue
+            if not inherits_feature(
+                name,
+                classes,
+                "Operator",
+                lambda cls: defines_method(cls, "_produce")
+                or defines_method(cls, "blocks"),
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"operator {name!r} implements neither _produce() nor "
+                    "blocks() — the pull protocol is incomplete",
+                )
+            if not inherits_feature(
+                name,
+                classes,
+                "Operator",
+                lambda cls: defines_class_attr(cls, "op_name"),
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"operator {name!r} does not define op_name (EXPLAIN "
+                    "output would show the base class label)",
+                )
+            if init is not None and name not in exported:
+                yield self.finding(
+                    init,
+                    1,
+                    f"operator {name!r} is not exported in "
+                    "execution.operators.__all__",
+                )

@@ -1,0 +1,233 @@
+"""Runtime invariant sanitizer (the dynamic half of replint).
+
+Enabled with ``REPRO_SANITIZE=1`` (any value other than empty/``0``),
+or programmatically via :func:`override` / :func:`set_enabled`.  When
+disabled every check is a cheap no-op, so production paths can call
+them unconditionally.
+
+The checks assert the physical invariants the paper relies on:
+
+* **ROS containers** (:func:`check_container`): the position index is
+  monotonic and gap-free, per-block row counts sum to the container's
+  row count, every column stores the same number of rows, and each
+  block's recorded min/max matches the decoded values (section 3.7 —
+  pruning correctness depends on this metadata being exact).
+* **Moveout / mergeout** (:func:`check_moveout_conservation`,
+  :func:`check_mergeout_conservation`): WOS→ROS moveout conserves row
+  counts, and mergeout writes exactly what it read minus what it
+  purged (section 4 — "read from disk once and written to disk once").
+* **Delete vectors** (:func:`check_no_double_delete`): a position is
+  never recorded deleted twice in one vector (section 3.7.1).
+* **Epochs** (:func:`check_ahm_advance`, :func:`check_epoch_advance`):
+  the AHM never regresses, never passes the cluster Last Good Epoch,
+  and never passes the latest queryable epoch; the epoch clock is
+  strictly monotonic (section 5).
+
+Failures raise :class:`repro.errors.InvariantViolation` with a message
+naming the violated invariant and the offending values.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.ros import ROSContainer
+
+#: Tri-state programmatic override; None defers to the environment.
+_OVERRIDE: bool | None = None
+
+
+def enabled() -> bool:
+    """Whether sanitizer checks are active."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force the sanitizer on/off; ``None`` restores env control."""
+    global _OVERRIDE
+    _OVERRIDE = value
+
+
+@contextmanager
+def override(value: bool) -> Iterator[None]:
+    """Temporarily force the sanitizer on/off (tests, fixtures)."""
+    previous = _OVERRIDE
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def invariant(condition: bool, message: str) -> None:
+    """Raise :class:`InvariantViolation` unless ``condition`` holds."""
+    if not condition:
+        raise InvariantViolation(f"sanitizer: {message}")
+
+
+# -- ROS containers ----------------------------------------------------
+
+
+def check_container(container: "ROSContainer") -> None:
+    """Validate a container's position indexes, counts and block min/max.
+
+    Called after :meth:`ROSContainer.write` and :meth:`ROSContainer.load`
+    when the sanitizer is enabled.  Decodes every block once — bounded
+    by container size, which is what makes this affordable at test
+    scale while still catching byte-level corruption.
+    """
+    if not enabled():
+        return
+    from ..storage.ros import EPOCH_COLUMN
+
+    meta = container.meta
+    grouped = {name for group in meta.column_groups for name in group}
+    names = [n for n in meta.columns if n not in grouped] + [EPOCH_COLUMN]
+    for name in names:
+        reader = container.column_reader(name)
+        invariant(
+            reader.row_count == meta.row_count,
+            f"container {meta.container_id}: column {name!r} has "
+            f"{reader.row_count} rows, meta.row_count is {meta.row_count}",
+        )
+        expected_start = 0
+        for index, info in enumerate(reader.blocks):
+            invariant(
+                info.start_position == expected_start,
+                f"container {meta.container_id}: column {name!r} block "
+                f"{index} starts at {info.start_position}, expected "
+                f"{expected_start} (position index must be monotonic and "
+                "gap-free)",
+            )
+            invariant(
+                info.row_count > 0,
+                f"container {meta.container_id}: column {name!r} block "
+                f"{index} is empty",
+            )
+            expected_start = info.end_position
+            values = reader.block_values(index)
+            invariant(
+                len(values) == info.row_count,
+                f"container {meta.container_id}: column {name!r} block "
+                f"{index} decoded {len(values)} values, index says "
+                f"{info.row_count}",
+            )
+            non_nulls = [value for value in values if value is not None]
+            invariant(
+                len(values) - len(non_nulls) == info.null_count,
+                f"container {meta.container_id}: column {name!r} block "
+                f"{index} has {len(values) - len(non_nulls)} NULLs, index "
+                f"says {info.null_count}",
+            )
+            if non_nulls:
+                actual_min, actual_max = min(non_nulls), max(non_nulls)
+                invariant(
+                    info.min_value == actual_min and info.max_value == actual_max,
+                    f"container {meta.container_id}: column {name!r} block "
+                    f"{index} min/max metadata ({info.min_value!r}, "
+                    f"{info.max_value!r}) does not match decoded values "
+                    f"({actual_min!r}, {actual_max!r}) — pruning would be "
+                    "wrong",
+                )
+            else:
+                invariant(
+                    info.min_value is None and info.max_value is None,
+                    f"container {meta.container_id}: column {name!r} block "
+                    f"{index} is all-NULL but has min/max metadata",
+                )
+
+
+# -- tuple mover -------------------------------------------------------
+
+
+def check_moveout_conservation(
+    projection: str, drained_rows: int, written_rows: int
+) -> None:
+    """WOS→ROS moveout must conserve the row count exactly."""
+    if not enabled():
+        return
+    invariant(
+        drained_rows == written_rows,
+        f"moveout of {projection!r} drained {drained_rows} WOS rows but "
+        f"wrote {written_rows} ROS rows — rows were lost or duplicated",
+    )
+
+
+def check_mergeout_conservation(
+    projection: str, rows_read: int, rows_written: int, rows_purged: int
+) -> None:
+    """Mergeout output must equal input minus purged rows."""
+    if not enabled():
+        return
+    invariant(
+        rows_read == rows_written + rows_purged,
+        f"mergeout of {projection!r} read {rows_read} rows but wrote "
+        f"{rows_written} and purged {rows_purged} "
+        f"({rows_written + rows_purged} accounted)",
+    )
+
+
+# -- delete vectors ----------------------------------------------------
+
+
+def check_no_double_delete(
+    target_container: int | None, positions: list[int], position: int
+) -> None:
+    """A delete vector must not record the same position twice."""
+    if not enabled():
+        return
+    if position in positions:
+        target = "WOS" if target_container is None else f"container {target_container}"
+        raise InvariantViolation(
+            f"sanitizer: double delete of position {position} in the "
+            f"delete vector for {target} — a row was deleted twice in one "
+            "operation"
+        )
+
+
+# -- epochs ------------------------------------------------------------
+
+
+def check_ahm_advance(
+    old_ahm: int, new_ahm: int, cluster_lge: int | None, latest_queryable: int
+) -> None:
+    """The Ancient History Mark advances monotonically and never passes
+    the latest queryable epoch; fresh advancement (not a held value)
+    additionally never passes the cluster LGE when one is tracked —
+    the AHM may legitimately *hold* above an LGE that appears late, it
+    just must not advance further."""
+    if not enabled():
+        return
+    invariant(
+        new_ahm >= old_ahm,
+        f"AHM regressed from {old_ahm} to {new_ahm}",
+    )
+    invariant(
+        new_ahm <= latest_queryable,
+        f"AHM {new_ahm} passed the latest queryable epoch "
+        f"{latest_queryable} — committed history would be purged",
+    )
+    if cluster_lge is not None and new_ahm > old_ahm:
+        invariant(
+            new_ahm <= cluster_lge,
+            f"AHM advanced to {new_ahm}, past the cluster Last Good Epoch "
+            f"{cluster_lge} — purge would outrun durability",
+        )
+
+
+def check_epoch_advance(previous_epoch: int, new_epoch: int) -> None:
+    """The epoch clock is strictly monotonic."""
+    if not enabled():
+        return
+    invariant(
+        new_epoch > previous_epoch,
+        f"epoch clock moved from {previous_epoch} to {new_epoch}; commits "
+        "must strictly advance the epoch",
+    )

@@ -55,10 +55,12 @@ _BUILTIN_SCALARS = frozenset(_expressions._SCALAR_FUNCTIONS)
 class UserAggregate:
     """Base class (optional) for user-defined aggregates."""
 
-    def add(self, value) -> None:  # pragma: no cover - interface
+    def add(self, value: object) -> None:  # pragma: no cover - interface
+        """Fold one non-NULL input value into the accumulator."""
         raise NotImplementedError
 
-    def final(self):  # pragma: no cover - interface
+    def final(self) -> object:  # pragma: no cover - interface
+        """Return the aggregate result for the accumulated values."""
         raise NotImplementedError
 
 
@@ -79,6 +81,6 @@ def unregister_aggregate(name: str) -> None:
     _USER_AGGREGATES.pop(name.upper(), None)
 
 
-def user_aggregate_factory(name: str):
+def user_aggregate_factory(name: str) -> Callable[[], object] | None:
     """Factory for a registered user aggregate, or None."""
     return _USER_AGGREGATES.get(name.upper())

@@ -9,6 +9,10 @@ record handling of section 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.database import Session
 
 from ..core.schema import ColumnDef, TableDefinition
 from ..errors import LoadError, SqlAnalysisError
@@ -32,7 +36,9 @@ def _single_table_scope(catalog, table_name: str) -> Scope:
     return Scope([_FromItem(ast.TableRef(table_name), table.column_names)])
 
 
-def execute_sql(session, text: str, copy_rows=None):
+def execute_sql(
+    session: "Session", text: str, copy_rows: Iterable | None = None
+) -> object:
     """Execute one SQL statement in ``session``.
 
     Returns rows for SELECT, a plan string for EXPLAIN, a

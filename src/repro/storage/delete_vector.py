@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from ..lint import sanitizer
 from ..types import INTEGER
 from .column_file import ColumnReader, ColumnWriter
 
@@ -38,6 +39,9 @@ class DeleteVector:
 
     def add(self, position: int, epoch: int) -> None:
         """Record the deletion of ``position`` at ``epoch``."""
+        sanitizer.check_no_double_delete(
+            self.target_container, self.positions, position
+        )
         self.positions.append(position)
         self.epochs.append(epoch)
 

@@ -27,14 +27,14 @@ class Encoding(ABC):
     name: str = ""
 
     @abstractmethod
-    def encode(self, values: list) -> bytes:
+    def encode(self, values: list[object]) -> bytes:
         """Encode ``values`` (no NULLs) into a byte string."""
 
     @abstractmethod
-    def decode(self, data: bytes, count: int) -> list:
+    def decode(self, data: bytes, count: int) -> list[object]:
         """Decode ``count`` values from ``data``."""
 
-    def supports(self, dtype: DataType, values: list) -> bool:
+    def supports(self, dtype: DataType, values: list[object]) -> bool:
         """Whether this encoding can represent ``values`` of ``dtype``.
 
         Encodings with structural restrictions (integers only, must
@@ -67,11 +67,11 @@ def encoding_by_name(name: str) -> Encoding:
         raise EncodingError(f"unknown encoding {name!r}") from None
 
 
-def values_are_integral(values: list) -> bool:
+def values_are_integral(values: list[object]) -> bool:
     """True when every value is an int (and not a bool)."""
     return all(isinstance(v, int) and not isinstance(v, bool) for v in values)
 
 
-def values_are_float(values: list) -> bool:
+def values_are_float(values: list[object]) -> bool:
     """True when every value is a float."""
     return all(isinstance(v, float) for v in values)

@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass
 
 from ..errors import StorageError
+from ..lint import sanitizer
 from ..projections import ProjectionDefinition
 from .column_file import ColumnReader, ColumnWriter
 from .serde import read_value, write_value
@@ -139,7 +140,9 @@ class ROSContainer:
                 },
                 handle,
             )
-        return cls(path, meta)
+        container = cls(path, meta)
+        sanitizer.check_container(container)
+        return container
 
     @staticmethod
     def _write_column_files(path: str, name: str, writer: ColumnWriter) -> None:
@@ -176,7 +179,9 @@ class ROSContainer:
             columns=raw["columns"],
             column_groups=raw["column_groups"],
         )
-        return cls(path, meta)
+        container = cls(path, meta)
+        sanitizer.check_container(container)
+        return container
 
     # -- reading ------------------------------------------------------
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..lint import sanitizer
 from ..storage.delete_vector import DeleteVector
 from ..storage.manager import StorageManager
 from .strata import MergePolicy, plan_merges
@@ -108,6 +109,11 @@ class TupleMover:
             state.pending_ros_deletes.get(container_id) for container_id in created
         ):
             self.manager.persist_delete_vectors(projection_name)
+        sanitizer.check_moveout_conservation(
+            projection_name,
+            len(rows),
+            sum(state.containers[cid].row_count for cid in created),
+        )
         self.stats.moveouts += 1
         self.stats.rows_moved_out += len(rows)
         self.stats.containers_created += len(created)
@@ -184,6 +190,9 @@ class TupleMover:
             merged_epochs,
             partition_key=partition_key,
             local_segment=local_segment,
+        )
+        sanitizer.check_mergeout_conservation(
+            projection_name, read, len(merged_rows), purged
         )
         self.manager.remove_containers(projection_name, merge_ids)
         if new_deletes.count:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import TransactionError
+from ..lint import sanitizer
 
 #: Epoch given to data committed before the database ever advanced.
 INITIAL_EPOCH = 1
@@ -62,6 +63,7 @@ class EpochManager:
         advances *with* the commit, so it is immediately visible)."""
         commit_epoch = self.current_epoch
         self.current_epoch += 1
+        sanitizer.check_epoch_advance(commit_epoch, self.current_epoch)
         return commit_epoch
 
     # -- Last Good Epoch ---------------------------------------------------
@@ -103,9 +105,16 @@ class EpochManager:
         down (the history is needed for incremental recovery replay)."""
         if self._down_nodes:
             return self.ahm
+        old_ahm = self.ahm
         target = max(self.latest_queryable_epoch - self.policy.lag_epochs, 0)
         if self._lge:
             target = min(target, self.cluster_lge())
         if target > self.ahm:
             self.ahm = target
+        sanitizer.check_ahm_advance(
+            old_ahm,
+            self.ahm,
+            self.cluster_lge() if self._lge else None,
+            self.latest_queryable_epoch,
+        )
         return self.ahm

@@ -63,14 +63,14 @@ class DataType:
 
     name: str
     #: Python classes a non-NULL value of this type may have.
-    python_types: tuple
+    python_types: tuple[type, ...]
     #: True for types stored as integers on disk (delta encodings apply).
     integral: bool
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return self.name
 
-    def validate(self, value):
+    def validate(self, value: object) -> object:
         """Check ``value`` is in this type's domain; return it unchanged.
 
         ``None`` (SQL NULL) is always accepted.  Raises
@@ -94,7 +94,7 @@ class DataType:
             raise SqlAnalysisError(f"{value} out of 64-bit range for {self.name}")
         return value
 
-    def parse_text(self, text: str):
+    def parse_text(self, text: str) -> object:
         """Parse a CSV field into a value of this type (bulk loader path).
 
         An empty string parses to NULL, matching common CSV conventions.
@@ -168,13 +168,13 @@ class _NullOrdering:
 
     __slots__ = ()
 
-    def __lt__(self, other) -> bool:
+    def __lt__(self, other: object) -> bool:
         return not isinstance(other, _NullOrdering)
 
-    def __gt__(self, other) -> bool:
+    def __gt__(self, other: object) -> bool:
         return False
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, _NullOrdering)
 
     def __hash__(self) -> int:
@@ -188,6 +188,6 @@ class _NullOrdering:
 NULL_FIRST = _NullOrdering()
 
 
-def sort_key(value):
+def sort_key(value: object) -> object:
     """Return a sort key where NULL orders before any other value."""
     return NULL_FIRST if value is None else value

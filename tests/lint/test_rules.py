@@ -1,0 +1,401 @@
+"""Unit tests for each replint rule against synthetic violation trees.
+
+Each test writes a minimal fake package layout into ``tmp_path`` that
+reproduces one contract violation, runs the single rule over it, and
+asserts the finding (and that the equivalent compliant code is clean).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+
+pytestmark = pytest.mark.lint
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint(tmp_path, rule):
+    return run_lint([str(tmp_path)], rules=[rule])
+
+
+class TestR1Operators:
+    def test_incomplete_operator_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/operators/__init__.py",
+            "__all__ = []\n",
+        )
+        write(
+            tmp_path,
+            "repro/execution/operators/broken.py",
+            """
+            from .base import Operator
+
+            class BrokenOperator(Operator):
+                pass
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R1")]
+        assert any("_produce" in m for m in messages)
+        assert any("op_name" in m for m in messages)
+        assert any("__all__" in m for m in messages)
+
+    def test_complete_exported_operator_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/operators/__init__.py",
+            "__all__ = [\"GoodOperator\"]\n",
+        )
+        write(
+            tmp_path,
+            "repro/execution/operators/good.py",
+            """
+            from .base import Operator
+
+            class GoodOperator(Operator):
+                op_name = "Good"
+
+                def _produce(self):
+                    yield from ()
+            """,
+        )
+        assert lint(tmp_path, "R1") == []
+
+    def test_protocol_inherited_through_intermediate(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/operators/__init__.py",
+            "__all__ = [\"Base\", \"Derived\"]\n",
+        )
+        write(
+            tmp_path,
+            "repro/execution/operators/chain.py",
+            """
+            from .base import Operator
+
+            class Base(Operator):
+                op_name = "Base"
+
+                def _produce(self):
+                    yield from ()
+
+            class Derived(Base):
+                pass
+            """,
+        )
+        assert lint(tmp_path, "R1") == []
+
+    def test_private_helper_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/operators/__init__.py",
+            "__all__ = []\n",
+        )
+        write(
+            tmp_path,
+            "repro/execution/operators/helper.py",
+            """
+            from .base import Operator
+
+            class _Helper(Operator):
+                pass
+            """,
+        )
+        assert lint(tmp_path, "R1") == []
+
+
+class TestR2Encodings:
+    def test_incomplete_encoding_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/encodings/broken.py",
+            """
+            from .base import Encoding
+
+            class BrokenEncoding(Encoding):
+                def encode(self, values):
+                    return b""
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R2")]
+        assert any("`name`" in m for m in messages)
+        assert any("decode" in m for m in messages)
+        assert any("register" in m for m in messages)
+
+    def test_registered_complete_encoding_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/encodings/good.py",
+            """
+            from .base import Encoding, register
+
+            class GoodEncoding(Encoding):
+                name = "GOOD"
+
+                def encode(self, values):
+                    return b""
+
+                def decode(self, data, count):
+                    return []
+
+            GOOD = register(GoodEncoding())
+            """,
+        )
+        assert lint(tmp_path, "R2") == []
+
+    def test_abstract_intermediate_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/encodings/abstract.py",
+            """
+            from abc import abstractmethod
+
+            from .base import Encoding
+
+            class IntegerEncoding(Encoding):
+                @abstractmethod
+                def encode_ints(self, values):
+                    ...
+            """,
+        )
+        assert lint(tmp_path, "R2") == []
+
+
+class TestR3LockOrder:
+    def test_out_of_order_acquisition_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/workflow.py",
+            """
+            from ..txn import LockMode
+
+            class Engine:
+                def run(self, txn_id):
+                    self.locks.acquire(txn_id, "t", LockMode.T)
+                    self.locks.acquire(txn_id, "t", LockMode.X)
+            """,
+        )
+        findings = lint(tmp_path, "R3")
+        assert len(findings) == 1
+        assert "LockMode.X after" in findings[0].message
+        assert "LockMode.T" in findings[0].message
+
+    def test_canonical_order_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/workflow.py",
+            """
+            from ..txn import LockMode
+
+            class Engine:
+                def run(self, txn_id):
+                    self.locks.acquire(txn_id, "t", LockMode.O)
+                    self.locks.acquire(txn_id, "t", LockMode.X)
+                    self.locks.acquire(txn_id, "t", LockMode.I)
+                    self.locks.acquire(txn_id, "t", LockMode.U)
+            """,
+        )
+        assert lint(tmp_path, "R3") == []
+
+    def test_violation_through_helper_call(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/workflow.py",
+            """
+            from ..txn import LockMode
+
+            class Engine:
+                def _grab_write_lock(self, txn_id):
+                    self.locks.acquire(txn_id, "t", LockMode.X)
+
+                def run(self, txn_id):
+                    self.locks.acquire(txn_id, "t", LockMode.S)
+                    self._grab_write_lock(txn_id)
+            """,
+        )
+        findings = lint(tmp_path, "R3")
+        assert any("run()" in f.message for f in findings)
+
+    def test_equal_rank_modes_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/workflow.py",
+            """
+            from ..txn import LockMode
+
+            def load_two(locks, txn_id):
+                locks.acquire(txn_id, "a", LockMode.I)
+                locks.acquire(txn_id, "b", LockMode.S)
+            """,
+        )
+        assert lint(tmp_path, "R3") == []
+
+
+class TestR4QueryPathMutation:
+    def test_mutation_from_execution_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/evil.py",
+            """
+            class EvilOperator:
+                def run(self, node):
+                    node.storage.remove_containers("p", [1])
+            """,
+        )
+        findings = lint(tmp_path, "R4")
+        assert len(findings) == 1
+        assert "storage.remove_containers" in findings[0].message
+
+    def test_catalog_mutation_from_sql_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sql/evil.py",
+            """
+            def sneaky(db):
+                db.catalog.drop_table("t")
+            """,
+        )
+        findings = lint(tmp_path, "R4")
+        assert len(findings) == 1
+        assert "catalog.drop_table" in findings[0].message
+
+    def test_reads_and_non_storage_receivers_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/execution/fine.py",
+            """
+            def scan(node, rows):
+                rows.insert(0, {"k": 1})          # list, not storage
+                return list(node.storage.scan("p", epoch=3))
+            """,
+        )
+        assert lint(tmp_path, "R4") == []
+
+    def test_mutation_from_storage_layer_allowed(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/tuple_mover/fine.py",
+            """
+            def moveout(manager):
+                manager.add_container_from_rows("p", [], [])
+            """,
+        )
+        assert lint(tmp_path, "R4") == []
+
+
+class TestR5Hygiene:
+    def test_mutable_default_flagged(self, tmp_path):
+        write(tmp_path, "repro/core/util.py", "def f(x=[]):\n    return x\n")
+        findings = lint(tmp_path, "R5")
+        assert len(findings) == 1
+        assert "mutable default" in findings[0].message
+
+    def test_bare_except_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/util.py",
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 2
+            """,
+        )
+        findings = lint(tmp_path, "R5")
+        assert len(findings) == 1
+        assert "bare `except:`" in findings[0].message
+
+    def test_float_equality_in_cost_model_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/optimizer/cost_extra.py",
+            """
+            def same_cost(a):
+                return a == 1.5
+            """,
+        )
+        findings = lint(tmp_path, "R5")
+        assert len(findings) == 1
+        assert "float equality" in findings[0].message
+
+    def test_float_equality_outside_optimizer_allowed(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/whatever.py",
+            "def same(a):\n    return a == 1.5\n",
+        )
+        assert lint(tmp_path, "R5") == []
+
+    def test_float_inequality_comparisons_allowed(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/optimizer/cost_extra.py",
+            "def cheap(a):\n    return a < 1.5\n",
+        )
+        assert lint(tmp_path, "R5") == []
+
+
+class TestR6PublicApi:
+    def test_missing_docstring_and_annotations_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sdk.py",
+            """
+            def register_thing(name, fn):
+                pass
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R6")]
+        assert any("no docstring" in m for m in messages)
+        assert any("missing type annotations" in m for m in messages)
+        assert any("no return annotation" in m for m in messages)
+
+    def test_private_and_other_modules_exempt(self, tmp_path):
+        write(tmp_path, "repro/sdk.py", "def _internal(x):\n    pass\n")
+        write(tmp_path, "repro/other.py", "def undocumented(x):\n    pass\n")
+        assert lint(tmp_path, "R6") == []
+
+    def test_fully_typed_documented_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sdk.py",
+            '''
+            def register_thing(name: str) -> None:
+                """Register a thing."""
+            ''',
+        )
+        assert lint(tmp_path, "R6") == []
+
+
+class TestSuppression:
+    def test_line_suppression_silences_rule(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/util.py",
+            "def f(x=[]):  # replint: disable=R5\n    return x\n",
+        )
+        assert lint(tmp_path, "R5") == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/util.py",
+            "def f(x=[]):  # replint: disable=R1\n    return x\n",
+        )
+        assert len(lint(tmp_path, "R5")) == 1
+
+    def test_blanket_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/util.py",
+            "def f(x=[]):  # replint: disable\n    return x\n",
+        )
+        assert lint(tmp_path, "R5") == []

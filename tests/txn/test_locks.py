@@ -166,3 +166,79 @@ class TestMatrixInternalConsistency:
     def test_conversion_idempotent_on_diagonal(self):
         for mode in MODES:
             assert convert(mode, mode) is mode
+
+
+class TestConversionEdgeCases:
+    """Audit of Table 2 corner cases through the lock manager.
+
+    The interesting rows are O (DDL upgrade paths) and the tuple-mover
+    pair T/U, where the converted mode is *not* simply the stronger of
+    the two enum values.
+    """
+
+    def test_owner_absorbs_every_mode(self):
+        # Requesting O while holding anything, or anything while holding
+        # O, always lands on O — DDL ownership is absorbing.
+        for mode in MODES:
+            assert convert(O, mode) is O
+            assert convert(mode, O) is O
+
+    def test_usage_to_owner_upgrade_single_holder(self):
+        # The tuple mover holds U; a DDL request by the same transaction
+        # upgrades in place because no one else holds the table.
+        manager = LockManager()
+        assert manager.acquire(1, "t", U) is U
+        assert manager.acquire(1, "t", O) is O
+        assert manager.held(1, "t") is O
+
+    def test_usage_to_owner_upgrade_blocked_by_concurrent_holder(self):
+        # U is compatible with everything but O, so two transactions can
+        # hold U together — but then neither can upgrade to O, and the
+        # failed upgrade must leave the held mode untouched.
+        manager = LockManager()
+        manager.acquire(1, "t", U)
+        manager.acquire(2, "t", U)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(1, "t", O)
+        assert manager.held(1, "t") is U
+        assert manager.held(2, "t") is U
+
+    def test_failed_upgrade_to_exclusive_leaves_shared(self):
+        manager = LockManager()
+        manager.acquire(1, "t", S)
+        manager.acquire(2, "t", S)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(1, "t", X)  # convert(X, S) = X, blocked by txn 2
+        assert manager.held(1, "t") is S
+
+    def test_tuple_mover_modes_convert_to_t(self):
+        # T + U in either order yields T, not U: the short tuple-mover
+        # mode dominates the long-held usage mode.
+        assert convert(T, U) is T
+        assert convert(U, T) is T
+        manager = LockManager()
+        manager.acquire(1, "t", U)
+        assert manager.acquire(1, "t", T) is T
+
+    def test_conversion_is_commutative(self):
+        # Table 2 is symmetric: the combined mode does not depend on
+        # which of the two modes was requested first.
+        for a in MODES:
+            for b in MODES:
+                assert convert(a, b) is convert(b, a), (a, b)
+
+    def test_conversion_strengthens_requested_side_too(self):
+        # The converted mode is at least as strong as the *requested*
+        # mode as well (TestMatrixInternalConsistency covers the granted
+        # side): anything incompatible with the request stays
+        # incompatible with the result.
+        for requested in MODES:
+            for granted in MODES:
+                result = convert(requested, granted)
+                for other in MODES:
+                    if not compatible(requested, other):
+                        assert not compatible(result, other), (
+                            requested,
+                            granted,
+                            other,
+                        )

@@ -1,0 +1,31 @@
+#!/bin/sh
+# One-shot correctness gate: static analysis, then the full test suite
+# with the runtime invariant sanitizer enabled.  Run from the repo root:
+#
+#     sh tools/check.sh
+#
+# Exits non-zero on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== replint static analysis (src/repro, tests) =="
+python -m repro.lint src/repro tests
+
+echo "== lint + sanitizer suite (pytest -m lint) =="
+REPRO_SANITIZE=1 python -m pytest -q -m lint
+
+echo "== full test suite (sanitizer on) =="
+REPRO_SANITIZE=1 python -m pytest -q
+
+# mypy is optional tooling; the [tool.mypy] config in pyproject.toml
+# scopes it to the typed public modules when it is available.
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy (typed public modules) =="
+    mypy
+else
+    echo "== mypy not installed; skipping =="
+fi
+
+echo "All checks passed."

@@ -7,9 +7,12 @@ from .node import ClusterNode
 from .recovery import (
     RebalanceReport,
     RecoveryReport,
+    ScrubReport,
     rebalance,
     recover_node,
     refresh_projection,
+    repair_node_projection,
+    scrub,
 )
 
 __all__ = [
@@ -22,7 +25,10 @@ __all__ = [
     "ClusterNode",
     "RebalanceReport",
     "RecoveryReport",
+    "ScrubReport",
     "rebalance",
     "recover_node",
     "refresh_projection",
+    "repair_node_projection",
+    "scrub",
 ]

@@ -97,11 +97,42 @@ def load_manifest(backup_dir: str) -> dict:
         return json.load(handle)
 
 
+def _validate_manifest(cluster: Cluster, image: BackupImage) -> None:
+    """Check the on-disk manifest against the live catalog before any
+    bytes move: restoring into a cluster that lacks the backed-up
+    tables or projections would silently orphan their data."""
+    manifest_path = os.path.join(image.path, "manifest.json")
+    if not os.path.isfile(manifest_path):
+        raise ClusterError(f"backup image {image.path} has no manifest.json")
+    manifest = load_manifest(image.path)
+    missing_tables = sorted(
+        set(manifest.get("tables", ())) - set(cluster.catalog.tables)
+    )
+    if missing_tables:
+        raise ClusterError(
+            "backup references tables missing from the catalog: "
+            + ", ".join(missing_tables)
+        )
+    missing_projections = sorted(
+        set(manifest.get("projections", ())) - set(cluster.catalog.families)
+    )
+    if missing_projections:
+        raise ClusterError(
+            "backup references projections missing from the catalog: "
+            + ", ".join(missing_projections)
+        )
+
+
 def restore_backup(cluster: Cluster, image: BackupImage) -> int:
     """Restore ROS containers from a backup image into an (empty-state)
-    cluster with the same catalog.  Returns containers restored."""
-    from ..storage.ros import ROSContainer
+    cluster with the same catalog.  Returns containers restored.
 
+    Each container is *adopted* through the storage manager's public
+    API: it gets a fresh container id (rewritten in its meta.json) and
+    full checksum verification on the way in, so a bit-rotted backup is
+    rejected instead of restored.
+    """
+    _validate_manifest(cluster, image)
     restored = 0
     for node_index, projection_name, container_dir in image.entries:
         if node_index >= cluster.node_count:
@@ -117,13 +148,6 @@ def restore_backup(cluster: Cluster, image: BackupImage) -> int:
                 container_dir,
             )
         manager = cluster.nodes[node_index].manager
-        state = manager.storage(projection_name)
-        new_id = manager._next_container_id
-        manager._next_container_id += 1
-        target = os.path.join(manager.root, projection_name, f"ros_{new_id:06d}")
-        shutil.copytree(source, target)
-        container = ROSContainer.load(target)
-        container.meta.container_id = new_id
-        state.containers[new_id] = container
+        manager.adopt_container(projection_name, source)
         restored += 1
     return restored

@@ -22,10 +22,12 @@ from ..core.catalog import Catalog
 from ..core.schema import TableDefinition
 from ..errors import (
     DataUnavailableError,
+    InjectedFaultError,
     KSafetyError,
     SqlAnalysisError,
     UnknownObjectError,
 )
+from ..storage import ScavengeReport, StorageManager
 from ..projections import (
     HashSegmentation,
     PrejoinSpec,
@@ -201,9 +203,18 @@ class Cluster:
             for copy in family.all_copies:
                 shaped = self.projection_rows(copy, validated, epoch)
                 for node_index, node_rows in self.route_rows(copy, shaped).items():
-                    if node_index in targets:
+                    if not self._deliverable(node_index, targets):
+                        continue
+                    try:
                         self.nodes[node_index].manager.insert(
                             copy.name, node_rows, epoch, direct_to_ros
+                        )
+                    except InjectedFaultError:
+                        # one node dying mid-apply does not abort the
+                        # cluster commit: it is ejected and the commit
+                        # proceeds on the survivors (section 5).
+                        self._node_crashed(
+                            node_index, "crashed applying committed insert"
                         )
 
     def apply_delete(
@@ -248,9 +259,16 @@ class Cluster:
         covered = set(copy.column_names) >= set(table.column_names)
         if covered and copy.prejoin is None:
             for node_index in sorted(targets):
-                self.nodes[node_index].manager.delete_where(
-                    copy.name, predicate, commit_epoch, snapshot_epoch
-                )
+                if not self._deliverable(node_index, targets):
+                    continue
+                try:
+                    self.nodes[node_index].manager.delete_where(
+                        copy.name, predicate, commit_epoch, snapshot_epoch
+                    )
+                except InjectedFaultError:
+                    self._node_crashed(
+                        node_index, "crashed applying committed delete"
+                    )
             return
         # narrow / prejoin projection: delete by multiset matching
         names = [
@@ -263,6 +281,8 @@ class Cluster:
             tuple(repr(row[name]) for name in names) for row in deleted_rows
         )
         for node_index in sorted(targets):
+            if not self._deliverable(node_index, targets):
+                continue
             remaining = Counter(budget)
 
             def take(row, remaining=remaining):
@@ -272,9 +292,14 @@ class Cluster:
                     return True
                 return False
 
-            self.nodes[node_index].manager.delete_where(
-                copy.name, take, commit_epoch, snapshot_epoch
-            )
+            try:
+                self.nodes[node_index].manager.delete_where(
+                    copy.name, take, commit_epoch, snapshot_epoch
+                )
+            except InjectedFaultError:
+                self._node_crashed(
+                    node_index, "crashed applying committed delete"
+                )
 
     # -- reads -----------------------------------------------------------
 
@@ -352,34 +377,97 @@ class Cluster:
         (table, predicate) pairs.
         """
         receivers = set(self.membership.broadcast_commit())
+        # a *delayed* delivery ejects the node (no 2PC retry) but the
+        # late message still lands there; recovery truncates it back to
+        # the LGE, which is why eject-don't-retry stays consistent.
+        appliers = receivers | set(self.membership.late_receivers)
         for node in self.membership.down_nodes():
             self.epochs.node_down(node)
         commit_epoch = self.epochs.advance_for_commit()
         for table_name, rows in inserts.items():
             self.apply_insert(
                 table_name, rows, commit_epoch,
-                direct_to_ros=direct_to_ros, only_nodes=receivers,
+                direct_to_ros=direct_to_ros, only_nodes=appliers,
             )
         for table_name, predicate in deletes:
             self.apply_delete(
                 table_name, predicate, commit_epoch, snapshot_epoch,
-                only_nodes=receivers,
+                only_nodes=appliers,
             )
+        self.membership.late_receivers = []
         return commit_epoch
 
     # -- failures ------------------------------------------------------------
 
-    def fail_node(self, node_index: int) -> None:
-        """Take a node down (crash simulation).  Its WOS contents are
-        lost — exactly why the Last Good Epoch exists."""
-        self.membership.eject(node_index, "simulated failure")
+    def _deliverable(self, node_index: int, targets: set[int]) -> bool:
+        """Whether committed DML should be applied on ``node_index``.
+
+        Normally the node must be a target and up; a node on the
+        ``late_receivers`` list was ejected for a *delayed* delivery but
+        the late message still reaches it, so the DML lands there too —
+        recovery truncates it back to the LGE later.
+        """
+        if node_index not in targets:
+            return False
+        return (
+            self.membership.is_up(node_index)
+            or node_index in self.membership.late_receivers
+        )
+
+    def _node_crashed(self, node_index: int, reason: str) -> None:
+        """Handle a node dying mid-operation (injected or simulated):
+        eject it, freeze its epoch bookkeeping and drop its volatile
+        WOS state.  Commit-or-eject means the cluster keeps going as
+        long as quorum holds."""
+        self.membership.eject(node_index, reason)
         self.epochs.node_down(node_index)
         manager = self.nodes[node_index].manager
         for projection_name in manager.projection_names():
             state = manager.storage(projection_name)
             state.wos.drain()
             state.wos_deletes.clear()
+        if node_index in self.membership.late_receivers:
+            self.membership.late_receivers.remove(node_index)
         self.membership.require_quorum()
+
+    def fail_node(self, node_index: int) -> None:
+        """Take a node down (crash simulation).  Its WOS contents are
+        lost — exactly why the Last Good Epoch exists."""
+        self._node_crashed(node_index, "simulated failure")
+
+    def restart_node(self, node_index: int) -> ScavengeReport:
+        """Bring a crashed node's process back up from its on-disk
+        state: rebuild the storage manager over the surviving files,
+        scavenge away half-committed debris and quarantine anything
+        corrupt.  The node stays *down* in the membership until
+        :func:`repro.cluster.recovery.recover_node` replays it back to
+        currency and rejoins it.
+        """
+        old = self.nodes[node_index]
+        manager = StorageManager(
+            old.manager.root,
+            node_count=self.node_count,
+            node_index=node_index,
+            segments_per_node=old.manager.segments_per_node,
+            wos_capacity=old.manager.wos_capacity,
+        )
+        for _, family in sorted(self.catalog.families.items()):
+            table = self.catalog.table(family.primary.anchor_table)
+            for copy in family.all_copies:
+                manager.register_projection(copy, table)
+        report = manager.scavenge()
+        self.nodes[node_index] = ClusterNode(
+            index=node_index, manager=manager, merge_policy=old.merge_policy
+        )
+        return report
+
+    def scrub(self, repair: bool = True):
+        """Verify every container on every up node against its stored
+        checksums; quarantine failures and (by default) rebuild them
+        from buddy copies.  See :func:`repro.cluster.recovery.scrub`."""
+        from .recovery import scrub
+
+        return scrub(self, repair=repair)
 
     def check_data_available(self) -> bool:
         """Whether every projection family still has every segment
@@ -401,12 +489,20 @@ class Cluster:
         durable_epoch = self.epochs.latest_queryable_epoch
         for node_index in self.membership.up_nodes():
             node = self.nodes[node_index]
-            for projection_name in node.manager.projection_names():
-                node.mover.moveout(projection_name)
-                node.manager.persist_delete_vectors(projection_name)
-                if durable_epoch > self.epochs.lge(node_index, projection_name):
-                    self.epochs.set_lge(node_index, projection_name, durable_epoch)
-                node.mover.mergeout(projection_name, self.epochs.ahm)
+            try:
+                for projection_name in node.manager.projection_names():
+                    node.mover.moveout(projection_name)
+                    node.manager.persist_delete_vectors(projection_name)
+                    if durable_epoch > self.epochs.lge(node_index, projection_name):
+                        self.epochs.set_lge(
+                            node_index, projection_name, durable_epoch
+                        )
+                    node.mover.mergeout(projection_name, self.epochs.ahm)
+            except InjectedFaultError:
+                # the tuple mover is node-local: one node dying mid
+                # moveout/mergeout never blocks the others.  Its LGE
+                # stays behind, so recovery replays the lost tail.
+                self._node_crashed(node_index, "crashed in tuple mover")
 
     # -- introspection -----------------------------------------------------------
 

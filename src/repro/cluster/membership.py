@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..errors import QuorumLossError
 
 
@@ -28,11 +29,19 @@ class Membership:
 
     node_count: int
     up: set[int] = field(default_factory=set)
-    #: Nodes that will fail to receive the next broadcast (fault
-    #: injection hook used by tests and the recovery bench).
+    #: Thin shim over the fault layer: nodes listed here drop the next
+    #: broadcast, exactly like arming ``membership.delivery``/``drop``
+    #: on a :class:`repro.faults.FaultPlan` (the canonical mechanism).
+    #: Kept so existing tests and benches keep passing.
     drop_next_delivery: set[int] = field(default_factory=set)
     #: History of ejections, as (node, reason) pairs.
     ejections: list[tuple[int, str]] = field(default_factory=list)
+    #: Nodes whose last commit delivery was injected as *delayed*: they
+    #: were ejected (commit-or-eject has no retry) but the late message
+    #: still reaches them, so the coordinator applies the DML there
+    #: anyway — recovery truncates it back to the LGE, which is exactly
+    #: why eject-don't-retry is safe.
+    late_receivers: list[int] = field(default_factory=list)
 
     def __post_init__(self):
         if not self.up:
@@ -73,16 +82,26 @@ class Membership:
     def broadcast_commit(self) -> list[int]:
         """Deliver a commit message to every up node.
 
-        Nodes scheduled to drop the delivery are ejected (they failed
-        the protocol) — there is no 2PC retry.  Returns the nodes that
-        received and applied the commit.  Raises if the survivors fall
-        below quorum.
+        Per-node delivery consults the fault layer (point
+        ``membership.delivery``): a *dropped* delivery ejects the node;
+        a *delayed* one also ejects it — the agreement protocol has no
+        2PC retry (section 5) — but records it in ``late_receivers``
+        so the coordinator can model the late message arriving anyway.
+        Returns the nodes that received and applied the commit in
+        time.  Raises if the survivors fall below quorum.
         """
         receivers = []
+        self.late_receivers = []
         for node in sorted(self.up):
+            verdict = faults.inject("membership.delivery", node=node)
             if node in self.drop_next_delivery:
                 self.drop_next_delivery.discard(node)
+                verdict = "drop"
+            if verdict == "drop":
                 self.eject(node, "missed commit delivery")
+            elif verdict == "delay":
+                self.eject(node, "delayed commit delivery past timeout")
+                self.late_receivers.append(node)
             else:
                 receivers.append(node)
         self.require_quorum()

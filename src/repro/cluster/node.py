@@ -35,10 +35,16 @@ class ClusterNode:
         segments_per_node: int = 3,
         wos_capacity: int = 65536,
         merge_policy: MergePolicy | None = None,
+        dirname: str | None = None,
     ) -> "ClusterNode":
-        """Build a node with storage rooted under ``root``."""
+        """Build a node with storage rooted under ``root``.
+
+        ``dirname`` overrides the on-disk directory name (default
+        ``nodeNN``) — rebalance uses it to give a grown node a fresh
+        directory that cannot collide with a retired one.
+        """
         manager = StorageManager(
-            os.path.join(root, f"node{index:02d}"),
+            os.path.join(root, dirname or f"node{index:02d}"),
             node_count=node_count,
             node_index=index,
             segments_per_node=segments_per_node,

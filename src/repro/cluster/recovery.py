@@ -18,6 +18,7 @@ running against the surviving copies throughout.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..errors import ClusterError
@@ -214,6 +215,105 @@ def _route_records(cluster: Cluster, copy, records):
     return routed
 
 
+def _family_copy(cluster: Cluster, projection_name: str):
+    """(family, copy) for a projection name, searching every family."""
+    for _, family in sorted(cluster.catalog.families.items()):
+        for copy in family.all_copies:
+            if copy.name == projection_name:
+                return family, copy
+    raise ClusterError(f"no projection named {projection_name}")
+
+
+def repair_node_projection(
+    cluster: Cluster, node_index: int, projection_name: str
+) -> int:
+    """Rebuild one projection copy on one (up) node from its buddies.
+
+    Used when scavenge or scrub quarantined containers: the surviving
+    local state cannot be trusted to be complete, so the copy is wiped
+    and reloaded wholesale from a live buddy under a Shared lock (the
+    same online discipline as recovery's current phase).  Returns the
+    number of history records replayed.
+    """
+    family, copy = _family_copy(cluster, projection_name)
+    table = cluster.catalog.table(copy.anchor_table)
+    manager = cluster.nodes[node_index].manager
+    records = list(
+        _buddy_records_for_node(cluster, family, node_index, copy)
+    )
+    cluster.locks.acquire(RECOVERY_TXN_ID, table.name, LockMode.S)
+    try:
+        state = manager.storage(projection_name)
+        manager.remove_containers(projection_name, list(state.containers))
+        state.wos.drain()
+        state.wos_deletes.clear()
+        state.persisted_ros_deletes.clear()
+        state.pending_ros_deletes.clear()
+        state.loaded_dv_dirs.clear()
+        manager.load_history(projection_name, records)
+    finally:
+        cluster.locks.release(RECOVERY_TXN_ID, table.name)
+    current = cluster.epochs.latest_queryable_epoch
+    if current > cluster.epochs.lge(node_index, projection_name):
+        cluster.epochs.set_lge(node_index, projection_name, current)
+    return len(records)
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one cluster-wide scrub pass."""
+
+    #: (node, projection, container id, bad file names) with checksum
+    #: failures or missing files found by deep verification.
+    corrupt: list[tuple[int, str, int, list[str]]] = field(default_factory=list)
+    #: (node, projection) copies rebuilt from buddy copies.
+    repaired: list[tuple[int, str]] = field(default_factory=list)
+    #: Quarantined container directories deleted after repair.
+    purged: int = 0
+
+    def clean(self) -> bool:
+        """Whether the scrub found no damage at all."""
+        return not (self.corrupt or self.repaired)
+
+
+def scrub(cluster: Cluster, repair: bool = True) -> ScrubReport:
+    """Deep-verify every ROS container on every up node against its
+    stored CRC32s; quarantine failures and (with ``repair``) rebuild
+    the damaged projection copies from buddies.
+
+    This is the background data-integrity pass a production system runs
+    to catch *silent* corruption — bit rot the crash-recovery scavenge
+    cannot see because the files still parse.
+    """
+    report = ScrubReport()
+    for node_index in cluster.membership.up_nodes():
+        manager = cluster.nodes[node_index].manager
+        damaged: set[str] = set()
+        for projection_name in manager.projection_names():
+            for container_id, bad_files in manager.verify_containers(
+                projection_name
+            ):
+                report.corrupt.append(
+                    (node_index, projection_name, container_id, bad_files)
+                )
+                manager.quarantine_container(
+                    projection_name,
+                    container_id,
+                    "scrub: " + ", ".join(bad_files),
+                )
+                damaged.add(projection_name)
+        # projections already holding quarantined containers from an
+        # earlier scavenge pass need their copies rebuilt too.
+        for record in manager.quarantined:
+            damaged.add(record.projection)
+        if repair and damaged:
+            for projection_name in sorted(damaged):
+                repair_node_projection(cluster, node_index, projection_name)
+                report.repaired.append((node_index, projection_name))
+            report.purged += manager.purge_quarantine()
+    return report
+
+
 @dataclass
 class RebalanceReport:
     """Outcome of a cluster rebalance."""
@@ -221,6 +321,20 @@ class RebalanceReport:
     old_node_count: int
     new_node_count: int
     rows_moved: int = 0
+
+
+def _fresh_node_dirname(root: str, index: int) -> str:
+    """A node directory name under the cluster root that no existing
+    (live or retired) node directory occupies.  Rebalancing down and
+    back up re-creates node N with a fresh directory instead of
+    resurrecting the retired node's stale files."""
+    base = f"node{index:02d}"
+    name = base
+    attempt = 0
+    while os.path.exists(os.path.join(root, name)):
+        attempt += 1
+        name = f"{base}_r{attempt}"
+    return name
 
 
 def rebalance(cluster: Cluster, new_node_count: int) -> RebalanceReport:
@@ -245,7 +359,10 @@ def rebalance(cluster: Cluster, new_node_count: int) -> RebalanceReport:
 
     cluster.nodes = [
         ClusterNode.create(
-            cluster.root + "_rebalanced", index, new_node_count
+            cluster.root,
+            index,
+            new_node_count,
+            dirname=_fresh_node_dirname(cluster.root, index),
         )
         if index >= len(old_nodes)
         else old_nodes[index]

@@ -21,6 +21,26 @@ class EncodingError(StorageError):
     """Raised when a column encoding cannot encode or decode data."""
 
 
+class CorruptContainerError(StorageError):
+    """Raised when a ROS container fails structural or checksum
+    validation: a missing file, a CRC32 mismatch against ``meta.json``,
+    an unparseable position index, or corrupted metadata.  The storage
+    manager reacts by quarantining the container, never by serving its
+    rows."""
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault plan arms an unknown fault point or an
+    action the point does not support."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by :mod:`repro.faults` to simulate a process crash at a
+    registered fault point.  Deliberately *not* a :class:`StorageError`:
+    recovery code that tolerates corrupt storage must still die at an
+    injected crash, exactly like a real process would."""
+
+
 class CatalogError(ReproError):
     """Raised for metadata catalog violations (unknown/duplicate objects)."""
 

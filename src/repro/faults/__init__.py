@@ -1,0 +1,32 @@
+"""Deterministic, seedable fault injection (the adversary the paper's
+availability machinery is tested against).
+
+Storage, tuple mover and membership code declare named fault points
+and call :func:`inject` at them; tests arm a :class:`FaultPlan` with
+torn writes, bit flips, crashes and dropped/delayed commit deliveries.
+See :mod:`repro.faults.plan` for the action catalog and semantics.
+"""
+
+from .plan import (
+    REGISTRY,
+    FaultPlan,
+    FaultPoint,
+    FiredFault,
+    active,
+    inject,
+    install,
+    register_point,
+    uninstall,
+)
+
+__all__ = [
+    "REGISTRY",
+    "FaultPlan",
+    "FaultPoint",
+    "FiredFault",
+    "active",
+    "inject",
+    "install",
+    "register_point",
+    "uninstall",
+]

@@ -13,6 +13,7 @@ from . import lock_order  # noqa: F401  R3
 from . import mutation  # noqa: F401  R4
 from . import hygiene  # noqa: F401  R5
 from . import api_docs  # noqa: F401  R6
+from . import atomic_io  # noqa: F401  R7
 
 __all__ = [
     "operators",
@@ -21,4 +22,5 @@ __all__ = [
     "mutation",
     "hygiene",
     "api_docs",
+    "atomic_io",
 ]

@@ -1,0 +1,79 @@
+"""R7: all storage writes go through the atomic-commit helper.
+
+Crash consistency in the storage layer hinges on every on-disk
+artifact being produced by the stage-checksum-rename protocol in
+:mod:`repro.storage.fsio`.  A raw ``open(path, "w")`` anywhere under
+``storage/`` or ``tuple_mover/`` bypasses the staging directory, the
+CRC32 manifest and the atomic publish rename — a crash mid-write then
+leaves a half-written file that *looks* committed.  This rule forbids
+write-mode ``open()`` calls in those packages; the single sanctioned
+raw-write site lives in ``fsio.py`` behind a reviewed suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, call_name, register_checker
+
+#: Package path fragments where raw write-mode ``open()`` is forbidden.
+_PROTECTED = ("repro/storage/", "repro/tuple_mover/")
+
+#: Mode characters that make an ``open()`` a write.
+_WRITE_CHARS = frozenset("wax+")
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The mode string if this ``open()`` call writes, else None."""
+    mode_arg: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_arg = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_arg = keyword.value
+    if mode_arg is None:
+        return None  # default "r" is read-only
+    if not (
+        isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str)
+    ):
+        # dynamic mode expression: treat as a write, the reviewer must
+        # suppress explicitly if it really is read-only.
+        return "<dynamic>"
+    mode = mode_arg.value
+    if _WRITE_CHARS & set(mode):
+        return mode
+    return None
+
+
+@register_checker
+class AtomicIOChecker(Checker):
+    """R7: no raw write-mode open() in storage/ or tuple_mover/."""
+
+    rule = "R7"
+    title = (
+        "storage and tuple-mover code must write files through "
+        "repro.storage.fsio (stage + checksum + atomic rename), never "
+        "raw open(..., 'w')"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            if not any(part in module.norm_path for part in _PROTECTED):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) != "open":
+                    continue
+                mode = _write_mode(node)
+                if mode is None:
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raw open(..., {mode!r}) bypasses the atomic commit "
+                    "protocol; write through repro.storage.fsio",
+                )

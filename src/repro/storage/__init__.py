@@ -3,7 +3,13 @@
 from .block import BLOCK_ROWS, BlockInfo, decode_block, encode_block
 from .column_file import ColumnReader, ColumnWriter, read_position_index
 from .delete_vector import DeleteVector, combined_deletes
-from .manager import ProjectionStorage, ScanBatch, StorageManager
+from .manager import (
+    ProjectionStorage,
+    QuarantinedContainer,
+    ScanBatch,
+    ScavengeReport,
+    StorageManager,
+)
 from .ros import EPOCH_COLUMN, ContainerMeta, ROSContainer
 from .wos import DEFAULT_WOS_CAPACITY, WriteOptimizedStore
 
@@ -18,7 +24,9 @@ __all__ = [
     "DeleteVector",
     "combined_deletes",
     "ProjectionStorage",
+    "QuarantinedContainer",
     "ScanBatch",
+    "ScavengeReport",
     "StorageManager",
     "EPOCH_COLUMN",
     "ContainerMeta",

@@ -15,7 +15,7 @@ single block located through the index, never a full-file scan.
 
 from __future__ import annotations
 
-from ..errors import StorageError
+from ..errors import CorruptContainerError, StorageError
 from ..types import DataType
 from .block import BLOCK_ROWS, BlockInfo, decode_block, encode_block
 from .encodings import Encoding, encoding_by_name
@@ -85,14 +85,31 @@ class ColumnWriter:
 
 
 def read_position_index(index_bytes: bytes) -> list[BlockInfo]:
-    """Parse a position index byte stream into its block entries."""
+    """Parse a position index byte stream into its block entries.
+
+    Raises :class:`CorruptContainerError` on a structurally damaged
+    index (torn or corrupted ``.pidx``) instead of letting arbitrary
+    decode exceptions escape — the scavenger relies on this to
+    quarantine rather than crash.
+    """
     from .serde import read_uvarint
 
-    count, offset = read_uvarint(index_bytes, 0)
-    infos = []
-    for _ in range(count):
-        info, offset = BlockInfo.deserialize(index_bytes, offset)
-        infos.append(info)
+    try:
+        count, offset = read_uvarint(index_bytes, 0)
+        if count > len(index_bytes):
+            # every serialized BlockInfo takes at least one byte, so a
+            # count beyond the stream length is garbage, not data.
+            raise StorageError(f"position index claims {count} blocks")
+        infos = []
+        for _ in range(count):
+            info, offset = BlockInfo.deserialize(index_bytes, offset)
+            infos.append(info)
+    except CorruptContainerError:
+        raise
+    except Exception as exc:
+        raise CorruptContainerError(
+            f"unparseable position index: {exc}"
+        ) from exc
     return infos
 
 

@@ -19,8 +19,10 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..lint import sanitizer
 from ..types import INTEGER
+from . import fsio
 from .column_file import ColumnReader, ColumnWriter
 
 
@@ -79,21 +81,28 @@ class DeleteVector:
         Positions are ascending integers (delta-friendly) and epochs
         are near-constant (RLE-friendly) — the "efficient compression
         mechanisms" of section 3.7.1 fall out of reusing the encodings.
+        Committed with the same stage-then-rename protocol as ROS
+        containers, so a crash never leaves a half-written vector.
         """
         self.sort()
-        os.makedirs(path, exist_ok=True)
+        staged = fsio.staging_dir(path)
         position_writer = ColumnWriter(INTEGER, "COMMONDELTA_COMP")
         position_writer.extend(self.positions)
         epoch_writer = ColumnWriter(INTEGER, "RLE")
         epoch_writer.extend(self.epochs)
+        staged_files = []
         for name, writer in (("positions", position_writer), ("epochs", epoch_writer)):
             data, index = writer.finish()
-            with open(os.path.join(path, f"{name}.dat"), "wb") as handle:
-                handle.write(data)
-            with open(os.path.join(path, f"{name}.pidx"), "wb") as handle:
-                handle.write(index)
-        with open(os.path.join(path, "target.txt"), "w") as handle:
-            handle.write("wos" if self.target_container is None else str(self.target_container))
+            for suffix, payload in ((".dat", data), (".pidx", index)):
+                file_path = os.path.join(staged, f"{name}{suffix}")
+                fsio.write_bytes(file_path, payload)
+                staged_files.append(file_path)
+        fsio.write_text(
+            os.path.join(staged, "target.txt"),
+            "wos" if self.target_container is None else str(self.target_container),
+        )
+        faults.inject("dv.publish", files=staged_files)
+        fsio.publish_dir(staged, path)
 
     @classmethod
     def load(cls, path: str) -> "DeleteVector":

@@ -1,0 +1,78 @@
+"""Atomic-commit file IO for the storage layer.
+
+Crash consistency of the ROS rests on one protocol (section 4.3's
+durability story, restated for a file system): stage every file of a
+container (or delete vector) inside a sibling ``<dir>.tmp`` directory,
+record a CRC32 per file in the metadata written *last*, then publish
+with a single atomic ``os.replace`` rename.  A crash before the rename
+leaves only a ``.tmp`` orphan for the scavenger to delete; a crash
+after it leaves a complete, verifiable directory.
+
+This module is the only place in ``storage/`` and ``tuple_mover/``
+allowed to open files for writing — replint rule R7 enforces that
+every other write goes through these helpers, so no code path can
+reintroduce a non-atomic, non-checksummed write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+
+#: Suffix of staging directories; scavenge deletes orphans bearing it.
+TMP_SUFFIX = ".tmp"
+
+
+def crc32(data: bytes) -> int:
+    """Checksum recorded per file in container metadata."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def crc32_file(path: str) -> int:
+    """CRC32 of a file's current on-disk contents."""
+    with open(path, "rb") as handle:
+        return crc32(handle.read())
+
+
+def write_bytes(path: str, data: bytes) -> int:
+    """Write ``data`` to ``path`` and return its CRC32.
+
+    Only safe inside a staging directory: the surrounding directory
+    rename, not this write, is the commit point.
+    """
+    with open(path, "wb") as handle:  # replint: disable=R7
+        handle.write(data)
+    return crc32(data)
+
+
+def write_text(path: str, text: str) -> int:
+    """UTF-8 text variant of :func:`write_bytes`."""
+    return write_bytes(path, text.encode("utf-8"))
+
+
+def write_json(path: str, payload: dict) -> int:
+    """Serialize ``payload`` as JSON into the staging directory."""
+    return write_text(path, json.dumps(payload))
+
+
+def staging_dir(final_path: str) -> str:
+    """Create (fresh) and return the staging directory for ``final_path``."""
+    tmp = final_path + TMP_SUFFIX
+    if os.path.isdir(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    return tmp
+
+
+def publish_dir(tmp_path: str, final_path: str) -> None:
+    """Atomically publish a fully staged directory (the commit point)."""
+    if os.path.isdir(final_path):
+        shutil.rmtree(final_path)
+    os.replace(tmp_path, final_path)
+
+
+def is_staging_dir(name: str) -> bool:
+    """Whether a directory entry is an (orphanable) staging directory."""
+    return name.endswith(TMP_SUFFIX)

@@ -23,9 +23,53 @@ from dataclasses import dataclass, field
 from ..core.schema import TableDefinition
 from ..errors import StorageError, UnknownObjectError
 from ..projections import HashSegmentation, ProjectionDefinition
+from . import fsio
 from .delete_vector import DeleteVector, combined_deletes
 from .ros import ROSContainer
 from .wos import DEFAULT_WOS_CAPACITY, WriteOptimizedStore
+
+#: Subdirectory of a projection's storage where corrupt containers are
+#: moved (never deleted: the bytes are evidence and a repair source of
+#: last resort).
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class QuarantinedContainer:
+    """Record of one container pulled from service by the scavenger."""
+
+    projection: str
+    #: Original directory basename, e.g. ``ros_000004``.
+    name: str
+    #: Where the damaged directory now lives.
+    path: str
+    reason: str
+
+
+@dataclass
+class ScavengeReport:
+    """What one crash-recovery scavenge pass found and fixed."""
+
+    #: Orphaned ``.tmp`` staging directories deleted.
+    removed_tmp: list[str] = field(default_factory=list)
+    #: Containers quarantined (missing files, checksum mismatches...).
+    quarantined: list[QuarantinedContainer] = field(default_factory=list)
+    #: (projection, container id) mergeout inputs retired because the
+    #: merged output had already been published before a crash.
+    duplicates_retired: list[tuple[str, int]] = field(default_factory=list)
+    #: Healthy containers loaded from disk into the manager.
+    containers_loaded: int = 0
+    #: Persisted delete vectors re-attached to their containers.
+    delete_vectors_loaded: int = 0
+    #: Stale delete-vector directories removed (target container gone).
+    stale_delete_vectors: int = 0
+
+    def clean(self) -> bool:
+        """Whether the pass found nothing to repair."""
+        return not (
+            self.removed_tmp or self.quarantined or self.duplicates_retired
+            or self.stale_delete_vectors
+        )
 
 
 @dataclass
@@ -54,6 +98,9 @@ class ProjectionStorage:
     persisted_ros_deletes: dict[int, list[DeleteVector]] = field(default_factory=dict)
     #: WOS position -> delete epoch.
     wos_deletes: dict[int, int] = field(default_factory=dict)
+    #: Basenames of DVROS directories already reflected in
+    #: ``persisted_ros_deletes`` (so scavenge never double-attaches).
+    loaded_dv_dirs: set[str] = field(default_factory=set)
 
     def deletes_for(self, container_id: int) -> dict[int, int]:
         """position -> delete-epoch map for one container."""
@@ -89,6 +136,9 @@ class StorageManager:
         self.wos_capacity = wos_capacity
         self._projections: dict[str, ProjectionStorage] = {}
         self._next_container_id = 1
+        self._dv_seq = 0
+        #: Every container this manager has pulled from service.
+        self.quarantined: list[QuarantinedContainer] = []
         os.makedirs(root, exist_ok=True)
 
     # -- registration ---------------------------------------------------
@@ -197,6 +247,7 @@ class StorageManager:
         epochs: list[int],
         partition_key,
         local_segment: int,
+        merged_from: list[int] | None = None,
     ) -> int:
         container_id = self._next_container_id
         self._next_container_id += 1
@@ -211,6 +262,7 @@ class StorageManager:
             epochs,
             partition_key=partition_key,
             local_segment=local_segment,
+            merged_from=merged_from,
         )
         state.containers[container_id] = container
         return container_id
@@ -222,16 +274,56 @@ class StorageManager:
         epochs: list[int],
         partition_key=None,
         local_segment: int = 0,
+        merged_from: list[int] | None = None,
     ) -> int:
         """Create one container from pre-sorted rows (tuple mover,
-        recovery and rebalance use this lower-level entry point)."""
+        recovery and rebalance use this lower-level entry point).
+        ``merged_from`` stamps mergeout provenance into the container's
+        metadata so a crash before input retirement is self-healing."""
         state = self._state(projection_name)
         return self._new_container(
-            state, sorted_rows, epochs, partition_key, local_segment
+            state, sorted_rows, epochs, partition_key, local_segment,
+            merged_from=merged_from,
         )
 
+    def adopt_container(self, projection_name: str, source_dir: str) -> int:
+        """Copy an externally produced container directory (backup
+        image, shipped from another node) into this projection under a
+        freshly assigned container id.  The copy commits atomically and
+        is checksum-verified before registration; returns the new id.
+        """
+        state = self._state(projection_name)
+        container_id = self._next_container_id
+        self._next_container_id += 1
+        target = os.path.join(
+            self._projection_dir(projection_name), f"ros_{container_id:06d}"
+        )
+        container = ROSContainer.adopt(source_dir, target, container_id)
+        if container.meta.projection != projection_name:
+            shutil.rmtree(target, ignore_errors=True)
+            raise StorageError(
+                f"container from {source_dir} belongs to projection "
+                f"{container.meta.projection!r}, not {projection_name!r}"
+            )
+        state.containers[container_id] = container
+        return container_id
+
+    def _drop_dv_dirs(self, state: ProjectionStorage, container_id: int) -> None:
+        """Delete persisted delete-vector directories of one container."""
+        directory = self._projection_dir(state.projection.name)
+        prefix = f"dv_{container_id:06d}_"
+        try:
+            entries = os.listdir(directory)
+        except FileNotFoundError:
+            return
+        for entry in entries:
+            if entry.startswith(prefix):
+                shutil.rmtree(os.path.join(directory, entry), ignore_errors=True)
+                state.loaded_dv_dirs.discard(entry)
+
     def remove_containers(self, projection_name: str, container_ids) -> None:
-        """Drop containers (mergeout inputs, dropped partitions)."""
+        """Drop containers (mergeout inputs, dropped partitions) along
+        with their persisted delete vectors."""
         state = self._state(projection_name)
         for container_id in container_ids:
             container = state.containers.pop(container_id, None)
@@ -240,6 +332,7 @@ class StorageManager:
             state.pending_ros_deletes.pop(container_id, None)
             state.persisted_ros_deletes.pop(container_id, None)
             shutil.rmtree(container.path, ignore_errors=True)
+            self._drop_dv_dirs(state, container_id)
 
     def attach_delete_vector(
         self, projection_name: str, vector: DeleteVector
@@ -304,15 +397,222 @@ class StorageManager:
         state = self._state(projection_name)
         persisted = 0
         for container_id, vector in sorted(state.pending_ros_deletes.items()):
-            path = os.path.join(
-                self._projection_dir(projection_name),
-                f"dv_{container_id:06d}_{persisted}_{vector.count}",
-            )
-            vector.write(path)
+            name = f"dv_{container_id:06d}_{self._dv_seq:06d}"
+            self._dv_seq += 1
+            vector.write(os.path.join(self._projection_dir(projection_name), name))
             state.persisted_ros_deletes.setdefault(container_id, []).append(vector)
+            state.loaded_dv_dirs.add(name)
             persisted += 1
         state.pending_ros_deletes.clear()
         return persisted
+
+    # -- crash recovery: scavenge, quarantine, verify ---------------------
+
+    def scavenge(self, projection_name: str | None = None) -> ScavengeReport:
+        """Bring on-disk storage back to a consistent, loaded state.
+
+        Run at node startup after a crash (and harmlessly at any other
+        time).  Four passes per projection, in order:
+
+        1. delete orphaned ``.tmp`` staging directories — commits that
+           never reached their rename;
+        2. load every published container not already in memory,
+           quarantining any that fails metadata or checksum
+           verification instead of crashing;
+        3. retire mergeout inputs whose merged output was published
+           before a crash (``merged_from`` bookkeeping) — duplicate
+           row coverage is resolved idempotently;
+        4. re-attach persisted delete vectors, dropping stale ones
+           whose target container no longer exists.
+        """
+        report = ScavengeReport()
+        names = (
+            [projection_name] if projection_name else self.projection_names()
+        )
+        for name in names:
+            self._scavenge_projection(self._state(name), report)
+        return report
+
+    def _scavenge_projection(
+        self, state: ProjectionStorage, report: ScavengeReport
+    ) -> None:
+        name = state.projection.name
+        directory = self._projection_dir(name)
+        try:
+            entries = sorted(os.listdir(directory))
+        except FileNotFoundError:
+            return
+        for entry in entries:
+            if fsio.is_staging_dir(entry):
+                shutil.rmtree(os.path.join(directory, entry), ignore_errors=True)
+                report.removed_tmp.append(f"{name}/{entry}")
+        for entry in entries:
+            if not entry.startswith("ros_") or fsio.is_staging_dir(entry):
+                continue
+            path = os.path.join(directory, entry)
+            if not os.path.isdir(path):
+                continue
+            self._scavenge_container(state, entry, path, report)
+        self._retire_merge_duplicates(state, report)
+        for entry in sorted(os.listdir(directory)):
+            if not entry.startswith("dv_") or fsio.is_staging_dir(entry):
+                continue
+            self._scavenge_delete_vector(state, entry, report)
+        highest = max(state.containers, default=0)
+        if highest >= self._next_container_id:
+            self._next_container_id = highest + 1
+
+    def _scavenge_container(
+        self, state: ProjectionStorage, entry: str, path: str,
+        report: ScavengeReport,
+    ) -> None:
+        try:
+            dir_id = int(entry[len("ros_"):])
+        except ValueError:
+            dir_id = None
+        if dir_id is not None and dir_id in state.containers:
+            return  # already live in memory
+        try:
+            container = ROSContainer.load(path)
+        except StorageError as exc:
+            report.quarantined.append(
+                self._quarantine_path(state, entry, path, str(exc))
+            )
+            return
+        meta = container.meta
+        if meta.container_id != dir_id or meta.projection != state.projection.name:
+            report.quarantined.append(
+                self._quarantine_path(
+                    state, entry, path,
+                    f"identity mismatch: directory {entry} holds container "
+                    f"{meta.container_id} of projection {meta.projection!r}",
+                )
+            )
+            return
+        state.containers[meta.container_id] = container
+        report.containers_loaded += 1
+
+    def _retire_merge_duplicates(
+        self, state: ProjectionStorage, report: ScavengeReport
+    ) -> None:
+        """Resolve crash-between-publish-and-retire mergeouts: if a
+        merged container and any of its inputs coexist, the inputs are
+        duplicates (the merge output covers their rows and epoch range)
+        and are retired now, exactly as the mover would have."""
+        for container_id in sorted(state.containers):
+            container = state.containers.get(container_id)
+            if container is None:
+                continue
+            stale = [
+                old_id
+                for old_id in container.meta.merged_from
+                if old_id in state.containers
+            ]
+            for old_id in stale:
+                old = state.containers.pop(old_id)
+                state.pending_ros_deletes.pop(old_id, None)
+                state.persisted_ros_deletes.pop(old_id, None)
+                shutil.rmtree(old.path, ignore_errors=True)
+                self._drop_dv_dirs(state, old_id)
+                report.duplicates_retired.append(
+                    (state.projection.name, old_id)
+                )
+
+    def _scavenge_delete_vector(
+        self, state: ProjectionStorage, entry: str, report: ScavengeReport
+    ) -> None:
+        if entry in state.loaded_dv_dirs:
+            return
+        path = os.path.join(self._projection_dir(state.projection.name), entry)
+        try:
+            vector = DeleteVector.load(path)
+        except (StorageError, OSError, ValueError):
+            shutil.rmtree(path, ignore_errors=True)
+            report.stale_delete_vectors += 1
+            return
+        target = vector.target_container
+        if target is None or target not in state.containers:
+            # WOS vectors are never persisted; a DVROS whose container
+            # is gone (retired or quarantined) is dead weight.
+            shutil.rmtree(path, ignore_errors=True)
+            report.stale_delete_vectors += 1
+            return
+        state.persisted_ros_deletes.setdefault(target, []).append(vector)
+        state.loaded_dv_dirs.add(entry)
+        report.delete_vectors_loaded += 1
+
+    def _quarantine_path(
+        self, state: ProjectionStorage, entry: str, path: str, reason: str
+    ) -> QuarantinedContainer:
+        """Move a damaged container directory into quarantine."""
+        quarantine_root = os.path.join(
+            self._projection_dir(state.projection.name), QUARANTINE_DIR
+        )
+        os.makedirs(quarantine_root, exist_ok=True)
+        target = os.path.join(quarantine_root, entry)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(quarantine_root, f"{entry}.{suffix}")
+        os.replace(path, target)
+        record = QuarantinedContainer(
+            projection=state.projection.name,
+            name=entry,
+            path=target,
+            reason=reason,
+        )
+        self.quarantined.append(record)
+        return record
+
+    def quarantine_container(
+        self, projection_name: str, container_id: int, reason: str
+    ) -> QuarantinedContainer:
+        """Pull a live container from service (scrub found it corrupt).
+
+        Its rows become unavailable on this node until a repair
+        rebuilds them from a buddy; its delete vectors are dropped with
+        it (repair re-creates them from replayed history)."""
+        state = self._state(projection_name)
+        container = state.containers.pop(container_id, None)
+        if container is None:
+            raise StorageError(f"unknown container {container_id}")
+        state.pending_ros_deletes.pop(container_id, None)
+        state.persisted_ros_deletes.pop(container_id, None)
+        self._drop_dv_dirs(state, container_id)
+        return self._quarantine_path(
+            state, os.path.basename(container.path), container.path, reason
+        )
+
+    def verify_containers(
+        self, projection_name: str
+    ) -> list[tuple[int, list[str]]]:
+        """Deep-verify every live container's files against their
+        committed CRC32s.  Returns (container id, bad files) pairs for
+        the damaged ones — the per-node half of ``Cluster.scrub()``."""
+        state = self._state(projection_name)
+        damaged = []
+        for container_id in sorted(state.containers):
+            bad = state.containers[container_id].verify()
+            if bad:
+                damaged.append((container_id, bad))
+        return damaged
+
+    def purge_quarantine(self, projection_name: str | None = None) -> int:
+        """Delete quarantined container directories (post-repair
+        cleanup).  Returns how many were purged."""
+        names = (
+            [projection_name] if projection_name else self.projection_names()
+        )
+        purged = 0
+        keep = []
+        for record in self.quarantined:
+            if record.projection in names:
+                shutil.rmtree(record.path, ignore_errors=True)
+                purged += 1
+            else:
+                keep.append(record)
+        self.quarantined = keep
+        return purged
 
     # -- reads ------------------------------------------------------------
 

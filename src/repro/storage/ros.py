@@ -11,6 +11,16 @@ timestamp, section 5), and a ``meta.json``.  Containers are immutable
 after creation: deletes go to delete vectors, reorganization goes
 through the tuple mover, and backup can hard-link the files safely.
 
+Containers commit atomically: every file is staged in a sibling
+``.tmp`` directory, a CRC32 per file is recorded in ``meta.json``
+(written last, self-checksummed via ``meta_crc``), and a single
+``os.replace`` rename publishes the directory.  A crash at any point
+leaves either an ignorable ``.tmp`` orphan or a complete container;
+readers verify each file's CRC on first access, so corruption raises
+:class:`~repro.errors.CorruptContainerError` instead of ever serving
+wrong rows.  ``merged_from`` records mergeout inputs so a crash
+between publish and retire is resolved idempotently by the scavenger.
+
 The rarely-used hybrid row-column mode ("grouping multiple columns
 together into the same file", section 3.7) is supported through
 ``column_groups``; grouped columns are stored row-major with plain
@@ -22,11 +32,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..errors import StorageError
+from .. import faults
+from ..errors import CorruptContainerError, StorageError
 from ..lint import sanitizer
 from ..projections import ProjectionDefinition
+from . import fsio
 from .column_file import ColumnReader, ColumnWriter
 from .serde import read_value, write_value
 
@@ -62,6 +74,40 @@ class ContainerMeta:
     max_epoch: int
     columns: list[str]
     column_groups: list[list[str]]
+    #: file name -> CRC32 of its committed contents (meta.json excluded;
+    #: the metadata record checksums itself via ``meta_crc``).
+    checksums: dict[str, int] = field(default_factory=dict)
+    #: Container ids this one replaced in a mergeout; the scavenger
+    #: retires any of them still on disk (crash-between-publish-and-
+    #: retire resolution, section 4.3).
+    merged_from: list[int] = field(default_factory=list)
+
+    def payload(self) -> dict:
+        """JSON-serializable form, without the self-checksum."""
+        return {
+            "container_id": self.container_id,
+            "projection": self.projection,
+            "row_count": self.row_count,
+            "partition_key": _json_safe(self.partition_key),
+            "local_segment": self.local_segment,
+            "min_epoch": self.min_epoch,
+            "max_epoch": self.max_epoch,
+            "columns": self.columns,
+            "column_groups": self.column_groups,
+            "checksums": self.checksums,
+            "merged_from": self.merged_from,
+        }
+
+    def to_json(self) -> dict:
+        """The full ``meta.json`` record, ``meta_crc`` included."""
+        payload = self.payload()
+        payload["meta_crc"] = _meta_crc(payload)
+        return payload
+
+
+def _meta_crc(payload: dict) -> int:
+    """Self-checksum over the canonical serialization of the metadata."""
+    return fsio.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
 
 
 class ROSContainer:
@@ -86,19 +132,25 @@ class ROSContainer:
         partition_key=None,
         local_segment: int = 0,
         column_groups: list[list[str]] | None = None,
+        merged_from: list[int] | None = None,
     ) -> "ROSContainer":
         """Create a container at ``path`` from *already sorted* rows.
 
         ``epochs[i]`` is the commit epoch of ``rows[i]``.  Raises
         :class:`StorageError` if the rows are not sorted by the
         projection's sort order — containers must be totally sorted.
+
+        The commit is atomic: files are staged under ``path + ".tmp"``
+        and published with one rename; a crash at any registered fault
+        point leaves no partially visible container.
         """
         if len(rows) != len(epochs):
             raise StorageError("rows and epochs length mismatch")
         keys = [projection.sort_key_for(row) for row in rows]
         if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
             raise StorageError("ROS container rows must be sorted by sort order")
-        os.makedirs(path, exist_ok=True)
+        staged = fsio.staging_dir(path)
+        checksums: dict[str, int] = {}
         column_groups = column_groups or []
         grouped = {name for group in column_groups for name in group}
         for column in projection.columns:
@@ -106,14 +158,14 @@ class ROSContainer:
                 continue
             writer = ColumnWriter(column.dtype, column.encoding)
             writer.extend(row[column.name] for row in rows)
-            cls._write_column_files(path, column.name, writer)
+            cls._write_column_files(staged, column.name, writer, checksums)
         for index, group in enumerate(column_groups):
-            cls._write_group_file(path, index, group, rows)
+            cls._write_group_file(staged, index, group, rows, checksums)
         from ..types import INTEGER
 
         epoch_writer = ColumnWriter(INTEGER, "RLE")
         epoch_writer.extend(epochs)
-        cls._write_column_files(path, EPOCH_COLUMN, epoch_writer)
+        cls._write_column_files(staged, EPOCH_COLUMN, epoch_writer, checksums)
         meta = ContainerMeta(
             container_id=container_id,
             projection=projection.name,
@@ -124,64 +176,171 @@ class ROSContainer:
             max_epoch=max(epochs) if epochs else 0,
             columns=[column.name for column in projection.columns],
             column_groups=column_groups,
+            checksums=checksums,
+            merged_from=sorted(merged_from or []),
         )
-        with open(os.path.join(path, "meta.json"), "w") as handle:
-            json.dump(
-                {
-                    "container_id": meta.container_id,
-                    "projection": meta.projection,
-                    "row_count": meta.row_count,
-                    "partition_key": _json_safe(meta.partition_key),
-                    "local_segment": meta.local_segment,
-                    "min_epoch": meta.min_epoch,
-                    "max_epoch": meta.max_epoch,
-                    "columns": meta.columns,
-                    "column_groups": meta.column_groups,
-                },
-                handle,
-            )
-        container = cls(path, meta)
-        sanitizer.check_container(container)
-        return container
+        staged_files = [os.path.join(staged, name) for name in checksums]
+        faults.inject("ros.write.meta", files=staged_files)
+        fsio.write_json(os.path.join(staged, "meta.json"), meta.to_json())
+        # validate the staged bytes (sanitizer) before the commit point,
+        # so what gets published is exactly what passed the checks.
+        sanitizer.check_container(cls(staged, meta))
+        faults.inject("ros.publish", files=staged_files)
+        fsio.publish_dir(staged, path)
+        faults.inject(
+            "ros.published",
+            files=[os.path.join(path, name) for name in checksums],
+        )
+        return cls(path, meta)
 
     @staticmethod
-    def _write_column_files(path: str, name: str, writer: ColumnWriter) -> None:
+    def _write_column_files(
+        path: str, name: str, writer: ColumnWriter, checksums: dict[str, int]
+    ) -> None:
         data, index = writer.finish()
-        with open(os.path.join(path, f"{name}.dat"), "wb") as handle:
-            handle.write(data)
-        with open(os.path.join(path, f"{name}.pidx"), "wb") as handle:
-            handle.write(index)
+        dat_path = os.path.join(path, f"{name}.dat")
+        pidx_path = os.path.join(path, f"{name}.pidx")
+        checksums[f"{name}.dat"] = fsio.write_bytes(dat_path, data)
+        checksums[f"{name}.pidx"] = fsio.write_bytes(pidx_path, index)
+        faults.inject("ros.write.column", files=[dat_path, pidx_path])
 
     @staticmethod
     def _write_group_file(
-        path: str, group_index: int, group: list[str], rows: list[dict]
+        path: str,
+        group_index: int,
+        group: list[str],
+        rows: list[dict],
+        checksums: dict[str, int],
     ) -> None:
         out = bytearray()
         for row in rows:
             for name in group:
                 write_value(out, row[name])
-        with open(os.path.join(path, f"_group{group_index}.dat"), "wb") as handle:
-            handle.write(bytes(out))
+        group_path = os.path.join(path, f"_group{group_index}.dat")
+        checksums[f"_group{group_index}.dat"] = fsio.write_bytes(
+            group_path, bytes(out)
+        )
+        faults.inject("ros.write.column", files=[group_path])
 
     @classmethod
-    def load(cls, path: str) -> "ROSContainer":
-        """Open an existing container directory."""
-        with open(os.path.join(path, "meta.json")) as handle:
-            raw = json.load(handle)
-        meta = ContainerMeta(
-            container_id=raw["container_id"],
-            projection=raw["projection"],
-            row_count=raw["row_count"],
-            partition_key=_json_restore(raw["partition_key"]),
-            local_segment=raw["local_segment"],
-            min_epoch=raw["min_epoch"],
-            max_epoch=raw["max_epoch"],
-            columns=raw["columns"],
-            column_groups=raw["column_groups"],
-        )
+    def load(cls, path: str, verify_checksums: bool = True) -> "ROSContainer":
+        """Open an existing container directory.
+
+        Raises :class:`CorruptContainerError` when the metadata is
+        missing/damaged or (with ``verify_checksums``) any file's
+        CRC32 disagrees with the committed checksum — the condition
+        the storage manager quarantines on.
+        """
+        meta_path = os.path.join(path, "meta.json")
+        try:
+            with open(meta_path) as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            raise CorruptContainerError(
+                f"container {path} has no meta.json (incomplete commit?)"
+            ) from None
+        except (ValueError, UnicodeDecodeError, OSError) as exc:
+            raise CorruptContainerError(
+                f"container {path} has unreadable meta.json: {exc}"
+            ) from None
+        meta = cls._meta_from_json(path, raw)
         container = cls(path, meta)
+        if verify_checksums:
+            bad = container.verify()
+            if bad:
+                raise CorruptContainerError(
+                    f"container {path} failed checksum verification: "
+                    + ", ".join(bad)
+                )
         sanitizer.check_container(container)
         return container
+
+    @staticmethod
+    def _meta_from_json(path: str, raw: dict) -> ContainerMeta:
+        """Validate and deserialize a ``meta.json`` record."""
+        if not isinstance(raw, dict):
+            raise CorruptContainerError(
+                f"container {path} meta.json is not an object"
+            )
+        recorded_crc = raw.pop("meta_crc", None)
+        if recorded_crc is not None and recorded_crc != _meta_crc(raw):
+            raise CorruptContainerError(
+                f"container {path} meta.json fails its self-checksum"
+            )
+        try:
+            return ContainerMeta(
+                container_id=raw["container_id"],
+                projection=raw["projection"],
+                row_count=raw["row_count"],
+                partition_key=_json_restore(raw["partition_key"]),
+                local_segment=raw["local_segment"],
+                min_epoch=raw["min_epoch"],
+                max_epoch=raw["max_epoch"],
+                columns=raw["columns"],
+                column_groups=raw["column_groups"],
+                checksums=dict(raw.get("checksums") or {}),
+                merged_from=list(raw.get("merged_from") or []),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CorruptContainerError(
+                f"container {path} meta.json is missing fields: {exc}"
+            ) from None
+
+    @classmethod
+    def adopt(cls, source_dir: str, path: str, container_id: int) -> "ROSContainer":
+        """Copy a foreign container directory (a backup image, another
+        node's storage) into place at ``path`` under a new identity.
+
+        The copy is staged and published atomically like any other
+        container commit; ``meta.json`` is rewritten with the adopted
+        ``container_id`` and a cleared ``merged_from`` (input ids from
+        a foreign id space are meaningless here), and the result is
+        loaded with full checksum verification — a damaged backup is
+        rejected, never silently restored.
+        """
+        import shutil
+
+        if not os.path.isdir(source_dir):
+            raise StorageError(f"no container directory at {source_dir}")
+        staged = fsio.staging_dir(path)
+        for entry in sorted(os.listdir(source_dir)):
+            shutil.copy2(
+                os.path.join(source_dir, entry), os.path.join(staged, entry)
+            )
+        meta_path = os.path.join(staged, "meta.json")
+        try:
+            with open(meta_path) as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CorruptContainerError(
+                f"cannot adopt {source_dir}: unreadable meta.json ({exc})"
+            ) from None
+        raw.pop("meta_crc", None)
+        raw["container_id"] = container_id
+        raw["merged_from"] = []
+        raw["meta_crc"] = _meta_crc(raw)
+        fsio.write_json(meta_path, raw)
+        fsio.publish_dir(staged, path)
+        return cls.load(path)
+
+    def verify(self) -> list[str]:
+        """Names of files whose on-disk bytes fail CRC verification.
+
+        Empty list means the container is intact (or predates
+        checksums, in which case there is nothing to verify against).
+        Reads every file fresh from disk — this is the scrub primitive.
+        """
+        bad = []
+        for name, expected in sorted(self.meta.checksums.items()):
+            file_path = os.path.join(self.path, name)
+            try:
+                actual = fsio.crc32_file(file_path)
+            except OSError:
+                bad.append(f"{name} (missing)")
+                continue
+            if actual != expected:
+                bad.append(f"{name} (crc mismatch)")
+        return bad
 
     # -- reading ------------------------------------------------------
 
@@ -201,6 +360,24 @@ class ROSContainer:
                 return index
         return None
 
+    def _checked_read(self, file_name: str) -> bytes:
+        """Read one container file, verifying its committed CRC32.
+
+        This is why a bit flip can never surface as wrong query
+        results: the first read of a damaged file raises
+        :class:`CorruptContainerError` instead of returning bytes.
+        """
+        file_path = os.path.join(self.path, file_name)
+        with open(file_path, "rb") as handle:
+            data = handle.read()
+        expected = self.meta.checksums.get(file_name)
+        if expected is not None and fsio.crc32(data) != expected:
+            raise CorruptContainerError(
+                f"container {self.path}: {file_name} fails its CRC32 "
+                "(read-time corruption detection)"
+            )
+        return data
+
     def column_reader(self, name: str) -> ColumnReader:
         """Positional reader for an ungrouped column (or ``_epoch``)."""
         reader = self._readers.get(name)
@@ -210,10 +387,8 @@ class ROSContainer:
                     f"column {name!r} is stored grouped; use read_column"
                 )
             try:
-                with open(os.path.join(self.path, f"{name}.dat"), "rb") as handle:
-                    data = handle.read()
-                with open(os.path.join(self.path, f"{name}.pidx"), "rb") as handle:
-                    index = handle.read()
+                data = self._checked_read(f"{name}.dat")
+                index = self._checked_read(f"{name}.pidx")
             except FileNotFoundError:
                 raise StorageError(
                     f"container {self.path} has no column {name!r}"
@@ -226,10 +401,7 @@ class ROSContainer:
         cached = self._group_cache.get(group_index)
         if cached is None:
             group = self.meta.column_groups[group_index]
-            with open(
-                os.path.join(self.path, f"_group{group_index}.dat"), "rb"
-            ) as handle:
-                data = handle.read()
+            data = self._checked_read(f"_group{group_index}.dat")
             columns: dict[str, list] = {name: [] for name in group}
             offset = 0
             for _ in range(self.meta.row_count):

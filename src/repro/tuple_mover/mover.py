@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..lint import sanitizer
 from ..storage.delete_vector import DeleteVector
 from ..storage.manager import StorageManager
@@ -98,6 +99,10 @@ class TupleMover:
                 local_segment=local_segment,
             )
             created.append(container_id)
+            # a crash here loses the rest of the drained WOS — exactly
+            # the window the LGE protects: it only advances after the
+            # whole moveout, so recovery replays from the buddy.
+            faults.inject("mover.moveout.container")
             vector = DeleteVector(container_id)
             for new_position, original_index in enumerate(ordered):
                 delete_epoch = wos_deletes.get(original_index)
@@ -190,10 +195,15 @@ class TupleMover:
             merged_epochs,
             partition_key=partition_key,
             local_segment=local_segment,
+            merged_from=merge_ids,
         )
         sanitizer.check_mergeout_conservation(
             projection_name, read, len(merged_rows), purged
         )
+        # crash window: the merged container is published but its
+        # inputs are not yet retired.  The scavenger detects the
+        # duplicate coverage via merged_from and retires them then.
+        faults.inject("mover.mergeout.retire")
         self.manager.remove_containers(projection_name, merge_ids)
         if new_deletes.count:
             new_deletes.target_container = new_id

@@ -375,6 +375,86 @@ class TestR6PublicApi:
         assert lint(tmp_path, "R6") == []
 
 
+class TestR7AtomicIO:
+    def test_raw_write_open_in_storage_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/bad.py",
+            """
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R7")]
+        assert len(messages) == 1
+        assert "atomic commit" in messages[0]
+        assert "fsio" in messages[0]
+
+    def test_all_write_modes_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/tuple_mover/bad.py",
+            """
+            def touch(path, mode):
+                open(path, "a").close()
+                open(path, "x").close()
+                open(path, "r+b").close()
+                open(path, mode=mode).close()
+            """,
+        )
+        assert len(lint(tmp_path, "R7")) == 4
+
+    def test_reads_and_other_packages_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/reader.py",
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def load_binary(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+        )
+        write(
+            tmp_path,
+            "repro/cluster/elsewhere.py",
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert lint(tmp_path, "R7") == []
+
+    def test_sanctioned_fsio_site_suppressed(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/storage/fsio.py",
+            """
+            def write_bytes(path, data):
+                with open(path, "wb") as handle:  # replint: disable=R7
+                    handle.write(data)
+            """,
+        )
+        assert lint(tmp_path, "R7") == []
+
+    def test_test_code_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "tests/storage/test_thing.py",
+            """
+            def test_corrupt(path):
+                with open(path, "wb") as handle:
+                    handle.write(b"x")
+            """,
+        )
+        assert lint(tmp_path, "R7") == []
+
+
 class TestSuppression:
     def test_line_suppression_silences_rule(self, tmp_path):
         write(

@@ -44,7 +44,19 @@ def make_rows(n):
 
 
 def corrupt_pidx(container_path, column, mutate):
-    """Rewrite one column's position index after applying ``mutate``."""
+    """Rewrite one column's position index after applying ``mutate``.
+
+    The rewritten file gets a *valid* CRC32 stamped back into
+    ``meta.json`` — this simulates a writer bug (semantically wrong but
+    intact bytes), the case only the sanitizer can catch; bit rot with
+    a stale CRC is the checksum layer's job and is tested in
+    ``tests/storage/test_crash_consistency.py``.
+    """
+    import json
+
+    from repro.storage import fsio
+    from repro.storage.ros import _meta_crc
+
     pidx = os.path.join(container_path, f"{column}.pidx")
     with open(pidx, "rb") as handle:
         infos = read_position_index(handle.read())
@@ -55,6 +67,14 @@ def corrupt_pidx(container_path, column, mutate):
         info.serialize(out)
     with open(pidx, "wb") as handle:
         handle.write(bytes(out))
+    meta_path = os.path.join(container_path, "meta.json")
+    with open(meta_path) as handle:
+        raw = json.load(handle)
+    raw.pop("meta_crc", None)
+    raw["checksums"][f"{column}.pidx"] = fsio.crc32(bytes(out))
+    raw["meta_crc"] = _meta_crc(raw)
+    with open(meta_path, "w") as handle:
+        json.dump(raw, handle)
 
 
 class TestContainerInvariants:

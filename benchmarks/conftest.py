@@ -12,9 +12,32 @@ environment-tunable:
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
+
+from repro.monitor import METRICS, counter_delta
+
+#: Counters recorded per bench in BENCH_PR3.json — the ones whose
+#: movement the paper's evaluation section argues about.
+TRACKED_COUNTERS = (
+    "storage.blocks_decoded",
+    "storage.bytes_decoded",
+    "storage.blocks_pruned",
+    "storage.containers_scanned",
+    "storage.containers_pruned",
+    "storage.wos_spills",
+    "tuple_mover.moveouts",
+    "tuple_mover.mergeouts",
+    "queries.executed",
+)
+
+BENCH_REPORT = "BENCH_PR3.json"
+
+#: name -> {"seconds": float, "metrics": {counter: delta}}
+_RESULTS: dict = {}
 
 
 def env_float(name: str, default: float) -> float:
@@ -68,3 +91,34 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
 def report():
     """The table printer, as a fixture."""
     return print_table
+
+
+# -- BENCH_PR3.json: wall time + metrics deltas per bench ----------------
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Wrap every bench body: wall time plus the registry's movement."""
+    before = METRICS.snapshot()
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    after = METRICS.snapshot()
+    _RESULTS[item.nodeid] = {
+        "seconds": round(elapsed, 6),
+        "metrics": counter_delta(before, after, TRACKED_COUNTERS),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-bench report next to the repo root."""
+    if not _RESULTS:
+        return
+    path = os.path.join(os.path.dirname(__file__), os.pardir, BENCH_REPORT)
+    payload = {
+        "suite": "benchmarks",
+        "exit_status": int(exitstatus),
+        "benches": dict(sorted(_RESULTS.items())),
+    }
+    with open(os.path.abspath(path), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -27,6 +27,7 @@ from ..errors import (
     SqlAnalysisError,
     UnknownObjectError,
 )
+from ..monitor import METRICS
 from ..storage import ScavengeReport, StorageManager
 from ..projections import (
     HashSegmentation,
@@ -395,6 +396,11 @@ class Cluster:
                 only_nodes=appliers,
             )
         self.membership.late_receivers = []
+        METRICS.inc("cluster.commits")
+        METRICS.inc(
+            "cluster.committed_rows", sum(len(rows) for rows in inserts.values())
+        )
+        METRICS.set_gauge("cluster.current_epoch", commit_epoch)
         return commit_epoch
 
     # -- failures ------------------------------------------------------------

@@ -12,9 +12,12 @@ agreement protocol.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..cluster import Cluster, recover_node
 from ..errors import TransactionError
 from ..execution.executor import DistributedExecutor, ExecutorStats
+from ..monitor import METRICS, QueryProfile, build_query_profile
 from ..execution.expressions import Expr
 from ..execution.resource import ResourcePool, WorkloadPolicy
 from ..optimizer import StarifiedOpt, StarOpt, StatsCatalog, V2Opt
@@ -190,6 +193,8 @@ class Session:
         self.last_stats: ExecutorStats | None = None
         #: Resource pool of the most recent query (spill observability).
         self.last_pool: ResourcePool | None = None
+        #: Operator profile of the most recent query (EXPLAIN ANALYZE).
+        self.last_profile: QueryProfile | None = None
 
     # -- transaction control ------------------------------------------------
 
@@ -288,12 +293,14 @@ class Session:
         logical: LogicalNode,
         optimizer: str | None = None,
         at_epoch: int | None = None,
+        sql_text: str | None = None,
     ) -> list[dict]:
         """Plan and execute a query at the session's snapshot.
 
         Historical queries pass ``at_epoch`` ("a query executing in the
         recent past needs no locks and is assured of a consistent
-        snapshot").
+        snapshot").  ``sql_text`` labels the query's profile in
+        ``v_monitor.query_profiles``.
         """
         txn = self._active()
         if txn.isolation is IsolationLevel.SERIALIZABLE:
@@ -313,9 +320,19 @@ class Session:
             pool=pool,
             pending_inserts=txn.pending_inserts if at_epoch is None else {},
         )
+        started = perf_counter()
         rows = executor.run(plan)
+        wall = perf_counter() - started
         self.last_stats = executor.stats
         self.last_pool = pool
+        METRICS.inc("queries.executed")
+        self.last_profile = build_query_profile(
+            executor.root_operator,
+            sql=sql_text or f"<plan:{type(logical).__name__}>",
+            epoch=epoch,
+            rows_returned=len(rows),
+            wall_seconds=wall,
+        )
         return rows
 
     def explain(self, logical: LogicalNode, optimizer: str | None = None) -> str:

@@ -122,6 +122,9 @@ class DistributedExecutor:
         #: must be visible to its own queries.
         self.pending_inserts = pending_inserts or {}
         self.stats = ExecutorStats()
+        #: Coordinator-side root of the most recent :meth:`run`, kept so
+        #: the profiler can walk the finished plan afterwards.
+        self.root_operator: Operator | None = None
 
     # -- public API -----------------------------------------------------
 
@@ -133,6 +136,7 @@ class DistributedExecutor:
     def run(self, plan) -> list[dict]:
         """Execute and materialize the result rows."""
         operator = self.operator(plan)
+        self.root_operator = operator
         rows = operator.rows()
         self.stats.finalize()
         return rows

@@ -11,6 +11,8 @@ prepass aggregation reducing pipeline volume.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..row_block import RowBlock
 
 
@@ -24,13 +26,30 @@ class Operator:
         self.children = list(children or [])
         self.rows_produced = 0
         self.blocks_produced = 0
+        #: Times this operator was pulled (next() calls answered),
+        #: including the final exhausted pull.
+        self.pulls = 0
+        #: Inclusive wall time spent producing, children included; the
+        #: profiler derives per-operator self time by subtracting the
+        #: children's inclusive totals.
+        self.wall_seconds = 0.0
 
     # -- data flow -------------------------------------------------------
 
     def blocks(self):
         """Generator of output RowBlocks; subclasses implement
-        :meth:`_produce` and get accounting for free."""
-        for block in self._produce():
+        :meth:`_produce` and get accounting (rows, blocks, pulls,
+        wall time) for free."""
+        source = self._produce()
+        while True:
+            self.pulls += 1
+            started = perf_counter()
+            try:
+                block = next(source)
+            except StopIteration:
+                self.wall_seconds += perf_counter() - started
+                return
+            self.wall_seconds += perf_counter() - started
             self.rows_produced += block.row_count
             self.blocks_produced += 1
             yield block
@@ -54,18 +73,38 @@ class Operator:
         """One-line description for EXPLAIN trees."""
         return self.op_name
 
-    def explain(self, indent: int = 0) -> str:
-        """Render the plan subtree (Figure 3 bench uses this)."""
+    def explain(self, indent: int = 0, _seen: set[int] | None = None) -> str:
+        """Render the plan subtree (Figure 3 bench uses this).
+
+        Physical plans are DAGs, not trees: a resegment join shares
+        each Send across every Recv destination.  A shared subtree is
+        rendered once; revisits print the operator's label tagged
+        ``[shared]`` without recursing, so the rendering (and anything
+        counting its lines) never double-represents work.
+        """
+        seen = set() if _seen is None else _seen
+        if id(self) in seen:
+            return " " * indent + self.label() + " [shared]"
+        seen.add(id(self))
         lines = [" " * indent + self.label()]
         for child in self.children:
-            lines.append(child.explain(indent + 2))
+            lines.append(child.explain(indent + 2, seen))
         return "\n".join(lines)
 
-    def walk(self):
-        """Yield every operator in the subtree, preorder."""
+    def walk(self, _seen: set[int] | None = None):
+        """Yield every operator in the subtree, preorder.
+
+        Each operator is yielded exactly once even when the plan is a
+        DAG (shared Send operators under several Recvs); summing
+        counters over ``walk()`` therefore never double-counts.
+        """
+        seen = set() if _seen is None else _seen
+        if id(self) in seen:
+            return
+        seen.add(id(self))
         yield self
         for child in self.children:
-            yield from child.walk()
+            yield from child.walk(seen)
 
 
 class SourceBlocks(Operator):

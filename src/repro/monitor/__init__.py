@@ -1,0 +1,51 @@
+"""Monitoring: metrics registry, query profiles, tuple-mover events.
+
+The package mirrors Vertica's monitoring surface (``v_monitor``
+system tables, ``PROFILE``/``EXPLAIN ANALYZE``) for the reproduction.
+Three process-wide stores, all resettable:
+
+* :data:`METRICS` — counters/gauges/histograms bumped by every layer;
+* :data:`PROFILES` — per-query operator profiles;
+* :data:`EVENTS` — tuple-mover moveout/mergeout events.
+
+The ``v_monitor`` table definitions live in
+:mod:`repro.monitor.tables` and are imported lazily by the SQL front
+end (they depend on analyzer/execution modules, which in turn import
+this package's registry — keeping them out of ``__init__`` avoids the
+cycle).
+"""
+
+from .events import EVENTS, EventLog, TupleMoverEvent
+from .profile import (
+    PROFILES,
+    OperatorProfile,
+    ProfileLog,
+    QueryProfile,
+    build_query_profile,
+    profile_plan,
+)
+from .registry import METRICS, Histogram, MetricsRegistry, counter_delta
+
+__all__ = [
+    "EVENTS",
+    "EventLog",
+    "TupleMoverEvent",
+    "PROFILES",
+    "OperatorProfile",
+    "ProfileLog",
+    "QueryProfile",
+    "build_query_profile",
+    "profile_plan",
+    "METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_delta",
+    "reset_all",
+]
+
+
+def reset_all() -> None:
+    """Zero every monitoring store (tests, benchmark isolation)."""
+    METRICS.reset()
+    PROFILES.reset()
+    EVENTS.reset()

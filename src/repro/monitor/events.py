@@ -1,0 +1,89 @@
+"""Bounded event log for tuple-mover operations.
+
+Moveout and mergeout are background jobs, so their costs never show up
+in a query profile; Vertica surfaces them through
+``v_monitor.tuple_mover_operations`` instead.  The reproduction's
+equivalent is this log: the tuple mover appends one
+:class:`TupleMoverEvent` per completed moveout/mergeout and
+``v_monitor.tuple_mover_events`` reads them back through SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Events retained before the oldest are evicted.
+EVENT_CAPACITY = 1024
+
+
+@dataclass
+class TupleMoverEvent:
+    """One completed moveout or mergeout."""
+
+    event_id: int
+    kind: str  # "moveout" | "mergeout"
+    node_index: int
+    projection: str
+    containers_in: int
+    containers_out: int
+    rows_in: int
+    rows_out: int
+    rows_purged: int
+    #: Merge stratum of the largest input (mergeout); -1 for moveout.
+    stratum: int
+    duration_seconds: float
+
+
+class EventLog:
+    """Bounded FIFO of :class:`TupleMoverEvent` records."""
+
+    def __init__(self, capacity: int = EVENT_CAPACITY):
+        self._capacity = capacity
+        self._events: list[TupleMoverEvent] = []
+        self._next_id = 1
+
+    def record(
+        self,
+        kind: str,
+        node_index: int,
+        projection: str,
+        containers_in: int,
+        containers_out: int,
+        rows_in: int,
+        rows_out: int,
+        rows_purged: int,
+        stratum: int,
+        duration_seconds: float,
+    ) -> TupleMoverEvent:
+        """Append one event, evicting the oldest past capacity."""
+        event = TupleMoverEvent(
+            event_id=self._next_id,
+            kind=kind,
+            node_index=node_index,
+            projection=projection,
+            containers_in=containers_in,
+            containers_out=containers_out,
+            rows_in=rows_in,
+            rows_out=rows_out,
+            rows_purged=rows_purged,
+            stratum=stratum,
+            duration_seconds=duration_seconds,
+        )
+        self._next_id += 1
+        self._events.append(event)
+        if len(self._events) > self._capacity:
+            del self._events[0]
+        return event
+
+    def events(self) -> list[TupleMoverEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def reset(self) -> None:
+        """Drop all events and restart ids from 1."""
+        self._events.clear()
+        self._next_id = 1
+
+
+#: The process-wide tuple-mover event log.
+EVENTS = EventLog()

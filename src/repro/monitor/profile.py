@@ -1,0 +1,186 @@
+"""Per-query operator profiles: the data behind ``EXPLAIN ANALYZE`` and
+``v_monitor.query_profiles``.
+
+After a query runs, :func:`profile_plan` walks the finished operator
+tree and freezes each operator's accounting (rows, blocks, pulls, wall
+time) into plain dataclasses.  The walk deduplicates by object
+identity: distributed plans share operators across branches (one
+``Send`` feeds every ``Recv`` endpoint), and counting a shared operator
+once per parent would double its contribution — exactly the class of
+bug this profiler exists to expose, so it must not commit it itself.
+
+Completed profiles land in :data:`PROFILES`, a bounded process-wide
+log that ``v_monitor.query_profiles`` reads back out through the SQL
+front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..execution.operators.base import Operator
+
+#: Completed query profiles kept for ``v_monitor.query_profiles``.
+PROFILE_CAPACITY = 256
+
+
+@dataclass
+class OperatorProfile:
+    """Frozen accounting for one operator instance in one query."""
+
+    operator_id: int
+    parent_id: int | None
+    depth: int
+    op_name: str
+    label: str
+    rows_produced: int
+    blocks_produced: int
+    pulls: int
+    wall_seconds: float
+    #: Wall time minus children's wall time (clamped at zero): the
+    #: operator's own work, not the subtree's.
+    self_seconds: float = 0.0
+
+
+@dataclass
+class QueryProfile:
+    """One executed query: its text, shape and per-operator costs."""
+
+    query_id: int
+    sql: str
+    epoch: int
+    rows_returned: int
+    wall_seconds: float
+    operators: list[OperatorProfile] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The ``EXPLAIN ANALYZE`` text: plan tree annotated with
+        per-operator rows, blocks, pulls and wall time."""
+        header = (
+            f"Query {self.query_id} ({self.rows_returned} rows, "
+            f"{self.wall_seconds * 1000:.2f} ms)"
+        )
+        lines = [header]
+        for op in self.operators:
+            lines.append(
+                "  " * op.depth
+                + f"{op.label}  "
+                + f"[rows={op.rows_produced} blocks={op.blocks_produced} "
+                + f"pulls={op.pulls} time={op.wall_seconds * 1000:.2f}ms "
+                + f"self={op.self_seconds * 1000:.2f}ms]"
+            )
+        return "\n".join(lines)
+
+
+class ProfileLog:
+    """Bounded FIFO of completed :class:`QueryProfile` objects."""
+
+    def __init__(self, capacity: int = PROFILE_CAPACITY):
+        self._capacity = capacity
+        self._profiles: list[QueryProfile] = []
+        self._next_id = 1
+
+    def next_query_id(self) -> int:
+        """Allocate the next monotonically increasing query id."""
+        query_id = self._next_id
+        self._next_id += 1
+        return query_id
+
+    def record(self, profile: QueryProfile) -> None:
+        """Append ``profile``, evicting the oldest past capacity."""
+        self._profiles.append(profile)
+        if len(self._profiles) > self._capacity:
+            del self._profiles[0]
+
+    def profiles(self) -> list[QueryProfile]:
+        """All retained profiles, oldest first."""
+        return list(self._profiles)
+
+    def last(self) -> QueryProfile | None:
+        """The most recently recorded profile, if any."""
+        return self._profiles[-1] if self._profiles else None
+
+    def reset(self) -> None:
+        """Drop all profiles and restart query ids from 1."""
+        self._profiles.clear()
+        self._next_id = 1
+
+
+def profile_plan(root: "Operator") -> list[OperatorProfile]:
+    """Freeze the operator tree under ``root`` into profiles, preorder.
+
+    Shared operators (a ``Send`` appears in every ``Recv``'s child
+    list) are visited once, under their first parent; revisits are
+    skipped so totals are never double-counted.
+    """
+    profiles: list[OperatorProfile] = []
+    seen: set[int] = set()
+
+    def visit(op: "Operator", parent_id: int | None, depth: int) -> None:
+        if id(op) in seen:
+            return
+        seen.add(id(op))
+        profile = OperatorProfile(
+            operator_id=len(profiles) + 1,
+            parent_id=parent_id,
+            depth=depth,
+            op_name=op.op_name,
+            label=op.label(),
+            rows_produced=op.rows_produced,
+            blocks_produced=op.blocks_produced,
+            pulls=op.pulls,
+            wall_seconds=op.wall_seconds,
+        )
+        profiles.append(profile)
+        for child in op.children:
+            visit(child, profile.operator_id, depth + 1)
+
+    visit(root, None, 0)
+    child_time: dict[int, float] = {}
+    for profile in profiles:
+        if profile.parent_id is not None:
+            child_time[profile.parent_id] = (
+                child_time.get(profile.parent_id, 0.0) + profile.wall_seconds
+            )
+    for profile in profiles:
+        profile.self_seconds = max(
+            0.0, profile.wall_seconds - child_time.get(profile.operator_id, 0.0)
+        )
+    return profiles
+
+
+def build_query_profile(
+    root: "Operator",
+    sql: str,
+    epoch: int,
+    rows_returned: int,
+    wall_seconds: float,
+) -> QueryProfile:
+    """Assemble and register a :class:`QueryProfile` for a finished query."""
+    profile = QueryProfile(
+        query_id=PROFILES.next_query_id(),
+        sql=sql,
+        epoch=epoch,
+        rows_returned=rows_returned,
+        wall_seconds=wall_seconds,
+        operators=profile_plan(root),
+    )
+    PROFILES.record(profile)
+    return profile
+
+
+def summarize(profile: QueryProfile) -> dict[str, Any]:
+    """Flat dict view of a profile (bench reports, debugging)."""
+    return {
+        "query_id": profile.query_id,
+        "sql": profile.sql,
+        "rows_returned": profile.rows_returned,
+        "wall_seconds": profile.wall_seconds,
+        "operators": len(profile.operators),
+    }
+
+
+#: The process-wide query profile log.
+PROFILES = ProfileLog()

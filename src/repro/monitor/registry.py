@@ -1,0 +1,164 @@
+"""Process-wide metrics registry: counters, gauges, histograms, events.
+
+Vertica exposes its internal accounting through ``v_monitor`` system
+tables; everything those tables report starts life as a plain counter
+bump somewhere in the engine.  This module is that substrate for the
+reproduction: a single :class:`MetricsRegistry` instance (``METRICS``)
+that every layer — operators, storage, tuple mover, lock manager,
+cluster — increments as it works.
+
+Design constraints, in order:
+
+* **Near-zero cost.**  ``inc`` is one dict lookup and an integer add;
+  hot paths bump once per *block*, never per row.  Instrumentation is
+  on unconditionally — there is no "enabled" flag to check.
+* **Deterministic snapshots.**  Histograms keep exact count/sum/min/max
+  plus a bounded reservoir sample.  Reservoir replacement uses a
+  ``random.Random`` seeded from the registry seed and the metric name
+  (via ``zlib.crc32``, not ``hash()``, which is salted per process), so
+  the same sequence of ``observe`` calls yields byte-identical
+  snapshots on every run.
+* **Resettable.**  Tests and benchmarks call :meth:`reset` (or diff two
+  :meth:`snapshot` results) to get isolated measurements without
+  touching the instrumented code.
+"""
+
+from __future__ import annotations
+
+import zlib
+from random import Random
+from typing import Any, Iterable
+
+#: Bounded sample kept per histogram for percentile estimates.
+RESERVOIR_SIZE = 256
+
+
+class Histogram:
+    """Exact count/sum/min/max plus a seeded reservoir sample."""
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
+
+    def __init__(self, seed: int):
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._reservoir: list[float] = []
+        self._rng = Random(seed)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    def percentile(self, fraction: float) -> float | None:
+        """Estimated percentile (0.0-1.0) from the reservoir sample."""
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Snapshot of the histogram's state (deterministic)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for the whole process."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- write side ------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            seed = self._seed ^ zlib.crc32(name.encode("utf-8"))
+            histogram = self._histograms[name] = Histogram(seed)
+        histogram.observe(value)
+
+    # -- read side -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name``, if set."""
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The histogram object for ``name``, if any observation exists."""
+        return self._histograms.get(name)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic point-in-time dump of every metric."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero everything; the next measurement starts clean."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def counter_delta(
+    before: dict[str, Any], after: dict[str, Any], names: Iterable[str]
+) -> dict[str, int]:
+    """Per-counter difference between two :meth:`MetricsRegistry.snapshot`
+    results, for the given counter names."""
+    old = before.get("counters", {})
+    new = after.get("counters", {})
+    return {name: new.get(name, 0) - old.get(name, 0) for name in names}
+
+
+#: The process-wide registry every subsystem bumps.
+METRICS = MetricsRegistry()

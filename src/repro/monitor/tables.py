@@ -1,0 +1,277 @@
+"""``v_monitor`` virtual system tables, queryable through SQL.
+
+Vertica ships its monitoring as ordinary tables in the ``v_monitor``
+schema so operators can use plain SQL against them.  This module does
+the same for the reproduction's four tables:
+
+* ``v_monitor.query_profiles`` — one row per operator per profiled
+  query (the tabular twin of ``EXPLAIN ANALYZE``);
+* ``v_monitor.projection_storage`` — per-(node, projection) storage
+  accounting;
+* ``v_monitor.tuple_mover_events`` — completed moveout/mergeout
+  operations with durations and strata;
+* ``v_monitor.locks`` — currently granted table locks.
+
+Virtual tables never reach the optimizer or the distributed executor:
+their rows are tiny, in-memory and node-local, so
+:func:`execute_monitor_select` evaluates the statement directly —
+reusing the analyzer's scope resolution and runtime ``Expr`` objects
+so WHERE/ORDER BY/LIMIT behave exactly as they do over real tables.
+Joins, grouping and aggregates over virtual tables are rejected.
+
+This module is imported lazily by the SQL front end: it depends on the
+analyzer, which lives above the storage layers that import the
+metrics registry at module load.
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlAnalysisError, UnknownObjectError
+from .events import EVENTS
+from .profile import PROFILES
+
+#: Schema name all virtual tables live under.
+SCHEMA = "v_monitor"
+
+_COLUMNS = {
+    "query_profiles": [
+        "query_id",
+        "sql",
+        "epoch",
+        "rows_returned",
+        "query_ms",
+        "operator_id",
+        "parent_id",
+        "depth",
+        "operator_name",
+        "label",
+        "rows_produced",
+        "blocks_produced",
+        "pulls",
+        "wall_ms",
+        "self_ms",
+    ],
+    "projection_storage": [
+        "node_name",
+        "projection_name",
+        "anchor_table",
+        "wos_rows",
+        "ros_rows",
+        "ros_containers",
+        "ros_bytes",
+        "delete_markers",
+    ],
+    "tuple_mover_events": [
+        "event_id",
+        "kind",
+        "node_name",
+        "projection_name",
+        "containers_in",
+        "containers_out",
+        "rows_in",
+        "rows_out",
+        "rows_purged",
+        "stratum",
+        "duration_ms",
+    ],
+    "locks": [
+        "object_name",
+        "txn_id",
+        "mode",
+    ],
+}
+
+
+def is_monitor_table(name: str) -> bool:
+    """Whether a FROM-clause table name addresses the v_monitor schema."""
+    return name.lower().startswith(SCHEMA + ".")
+
+
+def table_names() -> list[str]:
+    """The available virtual tables, qualified."""
+    return [f"{SCHEMA}.{name}" for name in sorted(_COLUMNS)]
+
+
+def columns_of(qualified: str) -> list[str]:
+    """Column names of one virtual table (schema-qualified name)."""
+    return list(_COLUMNS[_short_name(qualified)])
+
+
+def _short_name(qualified: str) -> str:
+    schema, _, short = qualified.partition(".")
+    if schema.lower() != SCHEMA or short.lower() not in _COLUMNS:
+        raise UnknownObjectError(
+            f"unknown system table {qualified!r}; have {table_names()}"
+        )
+    return short.lower()
+
+
+def _query_profiles_rows(db) -> list[dict]:
+    rows = []
+    for profile in PROFILES.profiles():
+        for op in profile.operators:
+            rows.append(
+                {
+                    "query_id": profile.query_id,
+                    "sql": profile.sql,
+                    "epoch": profile.epoch,
+                    "rows_returned": profile.rows_returned,
+                    "query_ms": profile.wall_seconds * 1000.0,
+                    "operator_id": op.operator_id,
+                    "parent_id": op.parent_id,
+                    "depth": op.depth,
+                    "operator_name": op.op_name,
+                    "label": op.label,
+                    "rows_produced": op.rows_produced,
+                    "blocks_produced": op.blocks_produced,
+                    "pulls": op.pulls,
+                    "wall_ms": op.wall_seconds * 1000.0,
+                    "self_ms": op.self_seconds * 1000.0,
+                }
+            )
+    return rows
+
+
+def _projection_storage_rows(db) -> list[dict]:
+    rows = []
+    for node in db.cluster.nodes:
+        for name in node.manager.projection_names():
+            state = node.manager.storage(name)
+            rows.append(
+                {
+                    "node_name": node.name,
+                    "projection_name": name,
+                    "anchor_table": state.projection.anchor_table,
+                    "wos_rows": state.wos.row_count,
+                    "ros_rows": sum(
+                        c.row_count for c in state.containers.values()
+                    ),
+                    "ros_containers": len(state.containers),
+                    "ros_bytes": node.manager.total_data_bytes(name),
+                    "delete_markers": state.delete_count(),
+                }
+            )
+    return rows
+
+
+def _tuple_mover_events_rows(db) -> list[dict]:
+    return [
+        {
+            "event_id": event.event_id,
+            "kind": event.kind,
+            "node_name": f"node{event.node_index:02d}",
+            "projection_name": event.projection,
+            "containers_in": event.containers_in,
+            "containers_out": event.containers_out,
+            "rows_in": event.rows_in,
+            "rows_out": event.rows_out,
+            "rows_purged": event.rows_purged,
+            "stratum": event.stratum,
+            "duration_ms": event.duration_seconds * 1000.0,
+        }
+        for event in EVENTS.events()
+    ]
+
+
+def _locks_rows(db) -> list[dict]:
+    rows = []
+    for obj, state in sorted(db.cluster.locks._objects.items()):
+        for txn_id, mode in sorted(state.holders.items()):
+            rows.append(
+                {"object_name": obj, "txn_id": txn_id, "mode": mode.value}
+            )
+    return rows
+
+
+_PRODUCERS = {
+    "query_profiles": _query_profiles_rows,
+    "projection_storage": _projection_storage_rows,
+    "tuple_mover_events": _tuple_mover_events_rows,
+    "locks": _locks_rows,
+}
+
+
+def table_rows(db, qualified: str) -> tuple[list[str], list[dict]]:
+    """Materialize one virtual table: ``(column_names, row_dicts)``."""
+    short = _short_name(qualified)
+    return list(_COLUMNS[short]), _PRODUCERS[short](db)
+
+
+def _sort_key(value):
+    # None sorts first; the 1-tuple loses to every (0, value) on the
+    # first element, so mixed None/value columns stay comparable.
+    return (1,) if value is None else (0, value)
+
+
+def execute_monitor_select(session, statement) -> list[dict]:
+    """Evaluate a SELECT whose FROM list is entirely ``v_monitor``.
+
+    Supports select lists of columns/scalar expressions (plus ``*``),
+    WHERE, DISTINCT, ORDER BY and LIMIT/OFFSET.  Raises
+    :class:`SqlAnalysisError` for joins, grouping, aggregates or
+    multi-table FROM lists — virtual tables are for inspection, not
+    analytics.
+    """
+    from ..sql import ast
+    from ..sql.analyzer import Analyzer, monitor_scope
+
+    if len(statement.from_tables) != 1 or statement.joins:
+        raise SqlAnalysisError("v_monitor tables cannot be joined")
+    if statement.group_by or statement.having:
+        raise SqlAnalysisError("v_monitor tables do not support GROUP BY")
+    ref = statement.from_tables[0]
+    columns, rows = table_rows(session.db, ref.table)
+    scope = monitor_scope(ref, columns)
+    analyzer = Analyzer(session.db.cluster.catalog)
+
+    if statement.where is not None:
+        predicate = analyzer.convert(statement.where, scope)
+        rows = [row for row in rows if predicate.evaluate_row(row) is True]
+
+    for expr, ascending in reversed(statement.order_by):
+        key = analyzer.convert(expr, scope)
+        rows = sorted(
+            rows,
+            key=lambda row: _sort_key(key.evaluate_row(row)),
+            reverse=not ascending,
+        )
+
+    out_names: list[str] = []
+    out_exprs: list = []
+    for index, item in enumerate(statement.items):
+        if isinstance(item.expr, ast.Star):
+            for column in columns:
+                out_names.append(column)
+                out_exprs.append(None)
+            continue
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expr, ast.Identifier):
+            name = item.expr.name
+        else:
+            name = f"col{index + 1}"
+        out_names.append(name)
+        out_exprs.append(analyzer.convert(item.expr, scope))
+
+    projected = []
+    for row in rows:
+        out: dict = {}
+        for name, compiled in zip(out_names, out_exprs):
+            out[name] = row[name] if compiled is None else compiled.evaluate_row(row)
+        projected.append(out)
+
+    if statement.distinct:
+        seen = set()
+        unique = []
+        for row in projected:
+            fingerprint = tuple(repr(row[name]) for name in out_names)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                unique.append(row)
+        projected = unique
+
+    if statement.offset:
+        projected = projected[statement.offset :]
+    if statement.limit is not None:
+        projected = projected[: statement.limit]
+    return projected

@@ -114,6 +114,17 @@ class Scope:
         raise SqlAnalysisError(f"no FROM item produces {output!r}")
 
 
+def monitor_scope(ref: ast.TableRef, columns: list[str]) -> Scope:
+    """Scope over a virtual (``v_monitor``) table's fixed column list.
+
+    Virtual tables are not in the catalog, so :func:`build_scope`
+    cannot resolve them; their evaluator supplies the columns directly
+    and gets the same qualified/unqualified resolution rules as real
+    tables.
+    """
+    return Scope([_FromItem(ref, list(columns))])
+
+
 def build_scope(catalog: Catalog, refs: list[ast.TableRef]) -> Scope:
     """Resolve the FROM list and assign output names."""
     names = [ref.name for ref in refs]

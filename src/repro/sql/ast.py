@@ -214,3 +214,6 @@ class CopyStatement:
 @dataclass
 class ExplainStatement:
     select: SelectStatement
+    #: True for EXPLAIN ANALYZE / PROFILE: execute the query and render
+    #: the plan annotated with per-operator runtime counters.
+    analyze: bool = False

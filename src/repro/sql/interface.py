@@ -50,10 +50,16 @@ def execute_sql(
     analyzer = Analyzer(db.cluster.catalog)
 
     if isinstance(statement, ast.SelectStatement):
+        if _is_monitor_select(statement):
+            from ..monitor.tables import execute_monitor_select
+
+            return execute_monitor_select(session, statement)
         plan = analyzer.analyze_select(statement)
-        return session.query(plan, at_epoch=statement.at_epoch)
+        return session.query(plan, at_epoch=statement.at_epoch, sql_text=text)
 
     if isinstance(statement, ast.ExplainStatement):
+        if statement.analyze:
+            return _explain_analyze(session, analyzer, statement, text)
         plan = analyzer.analyze_select(statement.select)
         return db.explain(plan)
 
@@ -112,6 +118,39 @@ def execute_sql(
         return _copy(session, statement, copy_rows)
 
     raise SqlAnalysisError(f"unsupported statement {type(statement).__name__}")
+
+
+def _is_monitor_select(statement: ast.SelectStatement) -> bool:
+    """Whether the SELECT reads only ``v_monitor`` virtual tables.
+
+    Mixing virtual and catalog tables in one FROM list is rejected —
+    virtual tables never reach the optimizer, so they cannot be joined
+    against real data.
+    """
+    from ..monitor.tables import is_monitor_table
+
+    tables = [ref.table for ref in statement.from_tables]
+    tables += [join.table.table for join in statement.joins]
+    if not tables:
+        return False
+    flags = [is_monitor_table(name) for name in tables]
+    if any(flags) and not all(flags):
+        raise SqlAnalysisError(
+            "cannot mix v_monitor and regular tables in one query"
+        )
+    return all(flags)
+
+
+def _explain_analyze(session, analyzer, statement, text: str) -> str:
+    """EXPLAIN ANALYZE / PROFILE: execute, then render the annotated plan."""
+    select = statement.select
+    if _is_monitor_select(select):
+        raise SqlAnalysisError(
+            "EXPLAIN ANALYZE over v_monitor tables is not supported"
+        )
+    plan = analyzer.analyze_select(select)
+    session.query(plan, at_epoch=select.at_epoch, sql_text=text)
+    return session.last_profile.render()
 
 
 def _always_true():

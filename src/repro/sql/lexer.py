@@ -22,7 +22,7 @@ KEYWORDS = {
     "KEY", "PARTITION", "ENCODING", "SEGMENTED", "UNSEGMENTED", "HASH",
     "ALL", "NODES", "COPY", "STDIN", "OVER", "ROWS", "AT", "EPOCH",
     "COUNT", "SUM", "AVG", "MIN", "MAX", "DATE", "TIMESTAMP", "CAST",
-    "EXPLAIN",
+    "EXPLAIN", "ANALYZE", "PROFILE",
 }
 
 #: Multi-character operators, longest first.

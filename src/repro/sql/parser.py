@@ -69,7 +69,11 @@ class Parser:
         token = self.peek()
         if token.matches("keyword", "EXPLAIN"):
             self.advance()
-            return ast.ExplainStatement(self._select())
+            analyze = self.accept("keyword", "ANALYZE") is not None
+            return ast.ExplainStatement(self._select(), analyze=analyze)
+        if token.matches("keyword", "PROFILE"):
+            self.advance()
+            return ast.ExplainStatement(self._select(), analyze=True)
         if token.matches("keyword", "AT") or token.matches("keyword", "SELECT"):
             return self._select()
         if token.matches("keyword", "INSERT"):
@@ -172,6 +176,9 @@ class Parser:
 
     def _table_ref(self) -> ast.TableRef:
         table = self.expect("ident").value
+        # schema-qualified names (v_monitor.query_profiles)
+        while self.accept("op", "."):
+            table += "." + self.expect("ident").value
         alias = None
         if self.accept("keyword", "AS"):
             alias = self.expect("ident").value

@@ -16,6 +16,7 @@ single block located through the index, never a full-file scan.
 from __future__ import annotations
 
 from ..errors import CorruptContainerError, StorageError
+from ..monitor import METRICS
 from ..types import DataType
 from .block import BLOCK_ROWS, BlockInfo, decode_block, encode_block
 from .encodings import Encoding, encoding_by_name
@@ -135,6 +136,9 @@ class ColumnReader:
             payload = self._data[info.offset : info.offset + info.length]
             cached = decode_block(payload, info)
             self._cache[block_index] = cached
+            METRICS.inc("storage.blocks_decoded")
+            METRICS.inc("storage.bytes_decoded", info.length)
+            METRICS.inc(f"storage.bytes_decoded.{info.encoding}", info.length)
         return cached
 
     def read_all(self) -> list:
@@ -178,6 +182,8 @@ class ColumnReader:
                 yield info, self.block_values(index)
             elif info.may_contain(low, high) or info.null_count:
                 yield info, self.block_values(index)
+            else:
+                METRICS.inc("storage.blocks_pruned")
 
     def position_range_for(self, low, high) -> tuple[int, int]:
         """Smallest [start, end) position range covering all blocks
@@ -188,11 +194,16 @@ class ColumnReader:
         """
         start = None
         end = 0
+        pruned = 0
         for info in self.blocks:
             if info.may_contain(low, high) or info.null_count:
                 if start is None:
                     start = info.start_position
                 end = info.end_position
+            else:
+                pruned += 1
+        if pruned:
+            METRICS.inc("storage.blocks_pruned", pruned)
         if start is None:
             return 0, 0
         return start, end

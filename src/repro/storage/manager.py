@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..core.schema import TableDefinition
 from ..errors import StorageError, UnknownObjectError
+from ..monitor import METRICS
 from ..projections import HashSegmentation, ProjectionDefinition
 from . import fsio
 from .delete_vector import DeleteVector, combined_deletes
@@ -198,6 +199,11 @@ class StorageManager:
         if not rows:
             return []
         if direct_to_ros or state.wos.would_overflow(len(rows)):
+            if not direct_to_ros:
+                # WOS overflow: the load was headed for memory but spills
+                # straight to ROS instead (section 4).
+                METRICS.inc("storage.wos_spills")
+                METRICS.inc("storage.wos_spill_rows", len(rows))
             return self._write_ros_containers(state, rows, [epoch] * len(rows))
         state.wos.insert(rows, epoch)
         return []
@@ -641,7 +647,9 @@ class StorageManager:
                 for column, (low, high) in prune.items()
                 if column in container.meta.columns
             ):
+                METRICS.inc("storage.containers_pruned")
                 continue
+            METRICS.inc("storage.containers_scanned")
             yield from self._scan_container(
                 state, container, epoch, names, batch_rows, include_deleted,
                 prune,
@@ -726,6 +734,8 @@ class StorageManager:
         visible_rows = [row for _, row in state.wos.visible(epoch, deletes)]
         if not visible_rows:
             return
+        METRICS.inc("storage.wos_scans")
+        METRICS.inc("storage.wos_rows_scanned", len(visible_rows))
         visible_rows = state.projection.sorted_rows(visible_rows)
         for start in range(0, len(visible_rows), batch_rows):
             chunk = visible_rows[start : start + batch_rows]

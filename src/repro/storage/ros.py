@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from .. import faults
 from ..errors import CorruptContainerError, StorageError
 from ..lint import sanitizer
+from ..monitor import METRICS
 from ..projections import ProjectionDefinition
 from . import fsio
 from .column_file import ColumnReader, ColumnWriter
@@ -191,6 +192,8 @@ class ROSContainer:
             "ros.published",
             files=[os.path.join(path, name) for name in checksums],
         )
+        METRICS.inc("storage.containers_written")
+        METRICS.inc("storage.container_rows_written", len(rows))
         return cls(path, meta)
 
     @staticmethod
@@ -370,8 +373,11 @@ class ROSContainer:
         file_path = os.path.join(self.path, file_name)
         with open(file_path, "rb") as handle:
             data = handle.read()
+        METRICS.inc("storage.container_files_read")
+        METRICS.inc("storage.container_bytes_read", len(data))
         expected = self.meta.checksums.get(file_name)
         if expected is not None and fsio.crc32(data) != expected:
+            METRICS.inc("storage.crc_failures")
             raise CorruptContainerError(
                 f"container {self.path}: {file_name} fails its CRC32 "
                 "(read-time corruption detection)"

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from .. import faults
 from ..lint import sanitizer
+from ..monitor import EVENTS, METRICS
 from ..storage.delete_vector import DeleteVector
 from ..storage.manager import StorageManager
 from .strata import MergePolicy, plan_merges
@@ -71,6 +73,7 @@ class TupleMover:
         translated from WOS positions into positions in the new
         containers and persisted as DVROS.  Returns new container ids.
         """
+        started = perf_counter()
         state = self.manager.storage(projection_name)
         rows, epochs = state.wos.drain()
         wos_deletes = dict(state.wos_deletes)
@@ -122,6 +125,23 @@ class TupleMover:
         self.stats.moveouts += 1
         self.stats.rows_moved_out += len(rows)
         self.stats.containers_created += len(created)
+        duration = perf_counter() - started
+        rows_out = sum(state.containers[cid].row_count for cid in created)
+        METRICS.inc("tuple_mover.moveouts")
+        METRICS.inc("tuple_mover.rows_moved_out", len(rows))
+        METRICS.observe("tuple_mover.moveout_seconds", duration)
+        EVENTS.record(
+            kind="moveout",
+            node_index=self.manager.node_index,
+            projection=projection_name,
+            containers_in=0,
+            containers_out=len(created),
+            rows_in=len(rows),
+            rows_out=rows_out,
+            rows_purged=0,
+            stratum=-1,
+            duration_seconds=duration,
+        )
         return created
 
     # -- mergeout ----------------------------------------------------------
@@ -152,6 +172,12 @@ class TupleMover:
         self, state, projection_name: str, merge_ids: list[int], ahm: int, result
     ) -> int:
         """K-way merge the input containers into one new container."""
+        started = perf_counter()
+        # stratum of the largest input, before the inputs are retired.
+        stratum = max(
+            self.policy.stratum_of(state.containers[cid].size_bytes())
+            for cid in merge_ids
+        )
         projection = state.projection
 
         def stream(container_id: int):
@@ -216,6 +242,22 @@ class TupleMover:
         self.stats.containers_created += 1
         self.stats.containers_retired += len(merge_ids)
         result.purged_rows += purged
+        duration = perf_counter() - started
+        METRICS.inc("tuple_mover.mergeouts")
+        METRICS.inc("tuple_mover.rows_purged", purged)
+        METRICS.observe("tuple_mover.mergeout_seconds", duration)
+        EVENTS.record(
+            kind="mergeout",
+            node_index=self.manager.node_index,
+            projection=projection_name,
+            containers_in=len(merge_ids),
+            containers_out=1,
+            rows_in=read,
+            rows_out=len(merged_rows),
+            rows_purged=purged,
+            stratum=stratum,
+            duration_seconds=duration,
+        )
         return new_id
 
     # -- convenience --------------------------------------------------------

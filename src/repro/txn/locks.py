@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..errors import LockTimeoutError, TransactionError
+from ..monitor import METRICS
 
 
 class LockMode(str, Enum):
@@ -103,15 +104,24 @@ class LockManager:
         state = self._objects.setdefault(obj, _ObjectLocks())
         current = state.holders.get(txn_id)
         target = mode if current is None else convert(mode, current)
+        METRICS.inc("locks.requests")
+        if current is not None and target is not current:
+            METRICS.inc("locks.conversions")
         for other_txn, other_mode in state.holders.items():
             if other_txn == txn_id:
                 continue
             if not compatible(target, other_mode):
+                # single-threaded simulation: an incompatible request is
+                # a wait that has already timed out.
+                METRICS.inc("locks.waits")
+                if current is not None:
+                    METRICS.inc("locks.upgrade_conflicts")
                 raise LockTimeoutError(
                     f"txn {txn_id} cannot take {target.value} on {obj!r}: "
                     f"txn {other_txn} holds {other_mode.value}"
                 )
         state.holders[txn_id] = target
+        METRICS.inc(f"locks.granted.{target.value}")
         return target
 
     def release(self, txn_id: int, obj: str) -> None:

@@ -49,6 +49,23 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
+echo "== perf smoke: bench harness writes BENCH_PR3.json =="
+# One scaled-down bench through benchmarks/conftest.py, which records
+# wall time plus the metrics-registry movement (blocks pruned, bytes
+# decoded, mergeouts, ...) per bench into BENCH_PR3.json at the repo
+# root.  The full report comes from the same command without the
+# scale-down env vars:  python -m pytest benchmarks/ -q
+REPRO_T4B_ROWS=20000 python -m pytest benchmarks/bench_figure3_plan.py -q
+test -s BENCH_PR3.json
+python - <<'EOF'
+import json
+report = json.load(open("BENCH_PR3.json"))
+assert report["benches"], "BENCH_PR3.json has no bench entries"
+for name, bench in report["benches"].items():
+    assert bench["seconds"] >= 0 and "metrics" in bench, name
+print("perf smoke OK:", len(report["benches"]), "bench entries recorded")
+EOF
+
 # mypy is optional tooling; the [tool.mypy] config in pyproject.toml
 # scopes it to the typed public modules when it is available.
 if command -v mypy >/dev/null 2>&1; then

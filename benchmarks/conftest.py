@@ -20,8 +20,9 @@ import pytest
 
 from repro.monitor import METRICS, counter_delta
 
-#: Counters recorded per bench in BENCH_PR3.json — the ones whose
-#: movement the paper's evaluation section argues about.
+#: Counters recorded per bench in BENCH_PR4.json — the ones whose
+#: movement the paper's evaluation section argues about, plus the
+#: self-healing runtime's failover/recovery activity.
 TRACKED_COUNTERS = (
     "storage.blocks_decoded",
     "storage.bytes_decoded",
@@ -32,9 +33,13 @@ TRACKED_COUNTERS = (
     "tuple_mover.moveouts",
     "tuple_mover.mergeouts",
     "queries.executed",
+    "executor.query_retries",
+    "cluster.nodes_failed",
+    "supervisor.ticks",
+    "supervisor.recoveries",
 )
 
-BENCH_REPORT = "BENCH_PR3.json"
+BENCH_REPORT = "BENCH_PR4.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -93,7 +98,7 @@ def report():
     return print_table
 
 
-# -- BENCH_PR3.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR4.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):

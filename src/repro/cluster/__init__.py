@@ -1,6 +1,7 @@
 """The simulated shared-nothing cluster (sections 3.6, 5)."""
 
 from .backup import BackupImage, create_backup, load_manifest, restore_backup
+from .clock import SimulatedClock
 from .cluster import Cluster
 from .membership import Membership
 from .node import ClusterNode
@@ -14,13 +15,17 @@ from .recovery import (
     repair_node_projection,
     scrub,
 )
+from .supervisor import ClusterSupervisor, NodeSupervision
 
 __all__ = [
     "BackupImage",
     "create_backup",
     "load_manifest",
     "restore_backup",
+    "SimulatedClock",
     "Cluster",
+    "ClusterSupervisor",
+    "NodeSupervision",
     "Membership",
     "ClusterNode",
     "RebalanceReport",

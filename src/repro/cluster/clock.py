@@ -1,0 +1,41 @@
+"""Simulated monotonic cluster time (the failure detector's clock).
+
+The availability machinery of section 5.3 — heartbeats, failure
+detection timeouts, recovery backoff — is inherently *temporal*, but
+wall-clock time would make every chaos run non-reproducible: a slow CI
+machine would eject nodes a fast laptop keeps.  The reproduction
+therefore runs all cluster timing off this simulated clock: an integer
+tick counter advanced explicitly by :meth:`ClusterSupervisor.tick` (or
+by tests), never by ``time.time()``.  replint rule R8 enforces that no
+wall-clock call sneaks back into ``cluster/``, ``faults/`` or
+``tuple_mover/``.
+
+One tick is "one heartbeat interval" — the clock deliberately has no
+unit conversion to seconds, so nothing downstream can be tempted to
+compare it against real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+
+@dataclass
+class SimulatedClock:
+    """A monotonic integer tick counter, advanced explicitly."""
+
+    #: Current tick.  Starts at 0; the first :meth:`advance` makes it 1.
+    now: int = 0
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move time forward by ``ticks`` (>= 1); returns the new now."""
+        if ticks < 1:
+            raise ClusterError(f"clock can only move forward, not by {ticks}")
+        self.now += ticks
+        return self.now
+
+    def elapsed_since(self, tick: int) -> int:
+        """Ticks elapsed since ``tick`` (clamped at 0 for future marks)."""
+        return max(self.now - tick, 0)

@@ -27,7 +27,7 @@ from ..errors import (
     SqlAnalysisError,
     UnknownObjectError,
 )
-from ..monitor import METRICS
+from ..monitor import METRICS, FailoverLog
 from ..storage import ScavengeReport, StorageManager
 from ..projections import (
     HashSegmentation,
@@ -40,6 +40,7 @@ from ..projections import (
 )
 from ..tuple_mover import MergePolicy
 from ..txn import EpochManager, LockManager
+from .clock import SimulatedClock
 from .membership import Membership
 from .node import ClusterNode
 
@@ -80,6 +81,18 @@ class Cluster:
             )
             for index in range(node_count)
         ]
+        #: Simulated monotonic time every cluster timing runs off
+        #: (heartbeats, recovery backoff) — never the wall clock, so
+        #: chaos runs stay seed-reproducible (replint R8 enforces it).
+        self.clock = SimulatedClock()
+        #: Availability incident log served by
+        #: ``v_monitor.failover_events``.
+        self.failover_log = FailoverLog()
+        from .supervisor import ClusterSupervisor
+
+        #: The auto-recovery supervisor; :meth:`ClusterSupervisor.tick`
+        #: detects failures and drives down nodes back to currency.
+        self.supervisor = ClusterSupervisor(self)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -320,7 +333,10 @@ class Cluster:
         if primary.segmentation.replicated:
             up = self.membership.up_nodes()
             if not up:
-                raise DataUnavailableError("no node up for replicated projection")
+                raise DataUnavailableError(
+                    f"no node up for replicated projection family "
+                    f"{primary.name}"
+                )
             return [(up[0], primary.name)]
         sources: list[tuple[int, str]] = []
         for base in range(self.node_count):
@@ -333,11 +349,20 @@ class Cluster:
                     break
             if chosen is None:
                 raise DataUnavailableError(
-                    f"segment {base} of {primary.name} unavailable; "
-                    "cluster would shut down"
+                    f"segment {base} of projection family {primary.name} "
+                    f"(table {primary.anchor_table}) has no reachable "
+                    "copy; cluster would shut down"
                 )
             sources.append(chosen)
         return sources
+
+    def require_family_available(self, family: ProjectionFamily) -> None:
+        """Fail fast with :class:`DataUnavailableError` (naming the
+        segment and family) when some segment of ``family`` has no
+        reachable copy.  The executor calls this for every scanned
+        family before running a query, so an unavailable table never
+        returns partial rows from whichever copies happen to resolve."""
+        self.scan_sources(family)
 
     def read_table(self, table_name: str, epoch: int) -> list[dict]:
         """All visible rows of a table at ``epoch`` (coordinator-side
@@ -420,11 +445,12 @@ class Cluster:
             or node_index in self.membership.late_receivers
         )
 
-    def _node_crashed(self, node_index: int, reason: str) -> None:
-        """Handle a node dying mid-operation (injected or simulated):
-        eject it, freeze its epoch bookkeeping and drop its volatile
-        WOS state.  Commit-or-eject means the cluster keeps going as
-        long as quorum holds."""
+    def _eject_and_freeze(self, node_index: int, reason: str) -> None:
+        """Bookkeeping shared by every node-death path: eject the node,
+        freeze its epoch accounting (AHM holds) and drop its volatile
+        WOS state.  Never checks quorum — callers on the *write* path
+        add :meth:`Membership.require_quorum`; read paths keep
+        answering below quorum as long as data is available."""
         self.membership.eject(node_index, reason)
         self.epochs.node_down(node_index)
         manager = self.nodes[node_index].manager
@@ -434,7 +460,37 @@ class Cluster:
             state.wos_deletes.clear()
         if node_index in self.membership.late_receivers:
             self.membership.late_receivers.remove(node_index)
+
+    def _node_crashed(self, node_index: int, reason: str) -> None:
+        """Handle a node dying mid-*write* (injected or simulated):
+        eject it and raise :class:`QuorumLossError` if the survivors
+        cannot form a quorum.  Commit-or-eject means the cluster keeps
+        going as long as quorum holds."""
+        self._eject_and_freeze(node_index, reason)
         self.membership.require_quorum()
+
+    def note_node_failure(self, node_index: int, reason: str) -> None:
+        """Mark a node down from the *read* path (a query hit it dead
+        mid-scan).  Unlike :meth:`_node_crashed` this never raises on
+        quorum loss: below quorum the cluster rejects writes but keeps
+        answering reads from surviving copies (section 5.3), so the
+        failover loop that calls this must be able to continue."""
+        if not self.membership.is_up(node_index):
+            return
+        self._eject_and_freeze(node_index, reason)
+        METRICS.inc("cluster.nodes_failed")
+        self.failover_log.record(
+            "ejection", node_index, reason, self.clock.now
+        )
+        if not self.membership.has_quorum():
+            METRICS.set_gauge("cluster.has_quorum", 0)
+            self.failover_log.record(
+                "degraded_mode",
+                -1,
+                "quorum lost: writes rejected, reads continue while "
+                "data is available",
+                self.clock.now,
+            )
 
     def fail_node(self, node_index: int) -> None:
         """Take a node down (crash simulation).  Its WOS contents are
@@ -475,12 +531,20 @@ class Cluster:
 
         return scrub(self, repair=repair)
 
+    def require_data_available(self) -> None:
+        """The paper's safety-shutdown criterion, as an assertion: raise
+        :class:`DataUnavailableError` naming the first segment and
+        projection family with no reachable copy.  The executor enforces
+        this before building any query, so an unavailable cluster never
+        returns partial rows."""
+        for _, family in sorted(self.catalog.families.items()):
+            self.scan_sources(family)
+
     def check_data_available(self) -> bool:
         """Whether every projection family still has every segment
         reachable (the paper's shutdown criterion)."""
         try:
-            for _, family in sorted(self.catalog.families.items()):
-                self.scan_sources(family)
+            self.require_data_available()
         except DataUnavailableError:
             return False
         return True

@@ -42,6 +42,14 @@ class Membership:
     #: anyway — recovery truncates it back to the LGE, which is exactly
     #: why eject-don't-retry is safe.
     late_receivers: list[int] = field(default_factory=list)
+    #: Consecutive missed heartbeat ticks a node survives before the
+    #: failure detector ejects it (section 5.3's timeout, in simulated
+    #: clock ticks).
+    heartbeat_timeout: int = 3
+    #: Simulated-clock tick of each node's last received heartbeat.
+    last_heartbeat: dict[int, int] = field(default_factory=dict)
+    #: Consecutive missed heartbeat ticks per node (reset on receipt).
+    missed_heartbeats: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.up:
@@ -76,8 +84,49 @@ class Membership:
             self.ejections.append((node, reason))
 
     def rejoin(self, node: int) -> None:
-        """Re-admit a recovered node."""
+        """Re-admit a recovered node; its heartbeat slate starts clean."""
         self.up.add(node)
+        self.missed_heartbeats.pop(node, None)
+        self.last_heartbeat.pop(node, None)
+
+    # -- the deterministic failure detector -----------------------------
+
+    def heartbeat_round(self, now: int) -> list[tuple[int, str]]:
+        """One failure-detector tick at simulated time ``now``.
+
+        Every up node attempts to deliver a heartbeat; delivery
+        consults the fault layer (point ``membership.heartbeat``), so
+        chaos plans can drop or delay heartbeats per node.  Both
+        verdicts count as a missed tick — a delayed heartbeat arrives
+        after the detector already sampled, exactly like a delayed
+        commit delivery misses the agreement window.  A node missing
+        :attr:`heartbeat_timeout` consecutive ticks is ejected, the
+        same one-way door as commit-or-eject.  Returns the newly
+        ejected nodes as (node, reason) pairs; the caller (the cluster
+        supervisor) freezes their epoch/WOS state.
+        """
+        expired: list[tuple[int, str]] = []
+        for node in sorted(self.up):
+            verdict = faults.inject("membership.heartbeat", node=node)
+            if verdict in ("drop", "delay"):
+                missed = self.missed_heartbeats.get(node, 0) + 1
+                self.missed_heartbeats[node] = missed
+                if missed >= self.heartbeat_timeout:
+                    reason = (
+                        f"missed {missed} consecutive heartbeats "
+                        f"(timeout {self.heartbeat_timeout})"
+                    )
+                    self.eject(node, reason)
+                    expired.append((node, reason))
+            else:
+                self.last_heartbeat[node] = now
+                self.missed_heartbeats[node] = 0
+        return expired
+
+    def heartbeat_age(self, node: int, now: int) -> int:
+        """Ticks since ``node`` last heartbeated (``now`` if never)."""
+        last = self.last_heartbeat.get(node)
+        return now if last is None else max(now - last, 0)
 
     def broadcast_commit(self) -> list[int]:
         """Deliver a commit message to every up node.

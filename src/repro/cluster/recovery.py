@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..errors import ClusterError
+from ..errors import ClusterError, DataUnavailableError
 from ..projections import ProjectionFamily
 from ..txn import LockMode
 from .cluster import Cluster
@@ -52,7 +52,13 @@ def _buddy_records_for_node(
             if source != node_index:
                 yield from cluster.nodes[source].manager.dump_rows(copy.name)
                 return
-        raise ClusterError("no live source for replicated projection")
+        # DataUnavailableError (not a bare ClusterError) so recovery
+        # callers — and the supervisor's retry loop — can distinguish
+        # "no copy of this data is reachable" from protocol faults.
+        raise DataUnavailableError(
+            f"no live source to recover replicated projection "
+            f"{copy.name} on node {node_index}"
+        )
     my_offset = getattr(copy.segmentation, "offset", 0)
     base = (node_index - my_offset) % cluster.node_count
     for other in family.all_copies:
@@ -65,8 +71,10 @@ def _buddy_records_for_node(
             # segment's rows (offset rings line up one-to-one).
             yield from cluster.nodes[host].manager.dump_rows(other.name)
             return
-    raise ClusterError(
-        f"no live buddy to recover {copy.name} on node {node_index}"
+    raise DataUnavailableError(
+        f"no live buddy to recover segment {base} of {copy.name} on "
+        f"node {node_index}; the segment is unrecoverable until a "
+        "buddy host returns"
     )
 
 
@@ -91,8 +99,23 @@ def recover_node(
         for copy in family.all_copies:
             table = cluster.catalog.table(copy.anchor_table)
             lge = cluster.epochs.lge(node_index, copy.name)
+            if lge >= current:
+                # Nothing was committed after this copy's ROS was
+                # certified complete, so the scavenged disk already
+                # holds everything and no buddy needs to be reachable.
+                # This is what lets a cluster that lost BOTH buddies of
+                # a segment (no data lost, no quorum, so no new
+                # commits either) heal itself: each node rejoins from
+                # its own disk instead of deadlocking on the other.
+                report.per_projection[copy.name] = (0, 0)
+                continue
             # 1. truncate to the LGE: WOS contents died with the node
-            #    and post-LGE ROS state may be incomplete.
+            #    and post-LGE ROS state may be incomplete.  Truncation
+            #    rebuilds the containers wholesale, so the LGE is
+            #    invalidated *first*: if this attempt crashes mid-
+            #    rebuild, the retry must re-replay everything instead
+            #    of trusting an LGE whose data is gone.
+            cluster.epochs.invalidate_lge(node_index, copy.name)
             report.truncated_rows += manager.truncate_after_epoch(copy.name, lge)
             records = list(
                 _buddy_records_for_node(cluster, family, node_index, copy)
@@ -117,8 +140,7 @@ def recover_node(
                 _replay_deletes(manager, copy.name, records, boundary, current)
             finally:
                 cluster.locks.release(RECOVERY_TXN_ID, table.name)
-            if current > lge:
-                cluster.epochs.set_lge(node_index, copy.name, current)
+            cluster.epochs.set_lge(node_index, copy.name, current)
             report.historical_rows += len(historical)
             report.current_rows += len(current_records)
             report.per_projection[copy.name] = (

@@ -81,6 +81,17 @@ class DataUnavailableError(ClusterError):
     """Raised when node failures make some segment of data unreachable."""
 
 
+class NodeDownError(ClusterError):
+    """Raised when an executing query touches a node that has died or
+    been ejected mid-flight.  Carries the node index so the executor's
+    failover loop can mark the node down and retry the query against
+    surviving buddy copies at the same snapshot epoch."""
+
+    def __init__(self, message: str, node_index: int):
+        super().__init__(message)
+        self.node_index = node_index
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

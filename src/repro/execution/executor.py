@@ -22,7 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ExecutionError, PlanningError
+from .. import faults
+from ..errors import (
+    DataUnavailableError,
+    InjectedFaultError,
+    NodeDownError,
+    PlanningError,
+)
+from ..monitor import METRICS
 from .aggregates import AggregateSpec
 from .expressions import ColumnRef, substitute_columns
 from .operators import (
@@ -134,12 +141,59 @@ class DistributedExecutor:
         return self._collect(built)
 
     def run(self, plan) -> list[dict]:
-        """Execute and materialize the result rows."""
-        operator = self.operator(plan)
-        self.root_operator = operator
-        rows = operator.rows()
-        self.stats.finalize()
-        return rows
+        """Execute and materialize the result rows, failing over to
+        buddy copies when a node dies mid-query.
+
+        A scan or exchange that hits a dead/ejected node (or an armed
+        ``executor.scan`` / ``executor.exchange`` fault) raises
+        :class:`NodeDownError`; the executor marks the node down,
+        re-resolves scan sources against the surviving buddies at the
+        *same* snapshot epoch and retries the whole query (section
+        5.2's "queries keep answering through node deaths").  The
+        attempt budget is bounded by the node count — every retry
+        removes one node — and a query only surfaces
+        :class:`DataUnavailableError` when no copy of some segment is
+        reachable.
+        """
+        attempts = 0
+        budget = max(self.cluster.node_count, 1)
+        while True:
+            # fail fast, naming the missing segment and family, before
+            # any operator is built: a query over unavailable data must
+            # return zero rows, never the partial set that the still
+            # reachable copies could produce.
+            self._require_availability(plan)
+            try:
+                # broadcast joins materialize their inner side during
+                # the build, so the build runs inside the failover net.
+                operator = self.operator(plan)
+                self.root_operator = operator
+                rows = operator.rows()
+            except NodeDownError as exc:
+                attempts += 1
+                self.cluster.note_node_failure(
+                    exc.node_index, f"died mid-query: {exc}"
+                )
+                if attempts >= budget:
+                    raise DataUnavailableError(
+                        f"query failed over {attempts} times without "
+                        f"finding a stable set of copies: {exc}"
+                    ) from exc
+                METRICS.inc("executor.query_retries")
+                self.cluster.failover_log.record(
+                    "query_retry",
+                    exc.node_index,
+                    f"retrying at epoch {self.epoch} on surviving "
+                    f"buddies: {exc}",
+                    self.cluster.clock.now,
+                    attempt=attempts,
+                )
+                # fresh counters: the aborted attempt's partial scans
+                # must not inflate the profile of the retry that wins.
+                self.stats = ExecutorStats()
+                continue
+            self.stats.finalize()
+            return rows
 
     # -- helpers ----------------------------------------------------------
 
@@ -197,6 +251,66 @@ class DistributedExecutor:
             return transform(built)
         return built.map(transform)
 
+    def _require_availability(self, plan) -> None:
+        """Enforce the availability contract before building anything:
+        every family the plan scans must be fully reachable (the error
+        names the first missing segment and its family), and the cluster
+        as a whole must pass :meth:`Cluster.check_data_available` — a
+        cluster with *any* unreachable segment performs a safety
+        shutdown (section 5.3), it does not keep serving the tables
+        that happen to survive."""
+        from ..optimizer import physical as P
+
+        stack = [plan]
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if isinstance(node, P.PhysScan) and node.family_name not in seen:
+                seen.add(node.family_name)
+                family = self.cluster.catalog.family(node.family_name)
+                self.cluster.require_family_available(family)
+            stack.extend(node.children)
+        try:
+            self.cluster.require_data_available()
+        except DataUnavailableError:
+            METRICS.set_gauge("cluster.data_available", 0)
+            raise
+        METRICS.set_gauge("cluster.data_available", 1)
+
+    # -- node-death probes ------------------------------------------------
+
+    def _check_node(self, host: int, point: str, where: str) -> None:
+        """Raise :class:`NodeDownError` when ``host`` is no longer a
+        cluster member or an armed fault kills it at ``point``."""
+        if not self.cluster.membership.is_up(host):
+            raise NodeDownError(f"node {host} went down {where}", host)
+        try:
+            faults.inject(point, node=host)
+        except InjectedFaultError as exc:
+            raise NodeDownError(
+                f"node {host} crashed {where}: {exc}", host
+            ) from exc
+
+    def _scan_probe(self, host: int):
+        def probe():
+            self._check_node(host, "executor.scan", "mid-scan")
+
+        return probe
+
+    def _attach_exchange_probe(self, sender: SendOperator) -> None:
+        """Give a Send operator a probe bound to the node hosting its
+        fragment's scan, so a death mid-exchange is attributed to the
+        right node."""
+        for op in sender.children[0].walk():
+            if isinstance(op, ScanOperator) and op.node_index is not None:
+                host = op.node_index
+
+                def probe(host=host):
+                    self._check_node(host, "executor.exchange", "mid-exchange")
+
+                sender.failure_probe = probe
+                return
+
     # -- scans -------------------------------------------------------------
 
     def _build_scan(self, node):
@@ -222,6 +336,8 @@ class DistributedExecutor:
                 raw_columns,
                 predicate=raw_predicate,
                 extra_rows=extra,
+                node_index=host,
+                failure_probe=self._scan_probe(host),
             )
             self.stats._scans.append(scan)
             out: Operator = scan
@@ -238,7 +354,10 @@ class DistributedExecutor:
         if family.primary.segmentation.replicated:
             up = self.cluster.membership.up_nodes()
             if not up:
-                raise ExecutionError("no up node for replicated scan")
+                raise DataUnavailableError(
+                    f"no node up for replicated projection family "
+                    f"{family.primary.name} (table {node.table})"
+                )
 
             def factory(base: int):
                 host = base if base in up else up[0]
@@ -422,6 +541,8 @@ class DistributedExecutor:
             )
             for base in (right_frag.bases() or [0])
         ]
+        for sender in (*left_senders, *right_senders):
+            self._attach_exchange_probe(sender)
         return _Fragments(
             {
                 destination: self._make_join_op(

@@ -84,6 +84,7 @@ class SendOperator(Operator):
         exchange: Exchange,
         segment_exprs: list[Expr] | None = None,
         broadcast: bool = False,
+        failure_probe=None,
     ):
         super().__init__([child])
         if broadcast == (segment_exprs is not None):
@@ -91,6 +92,11 @@ class SendOperator(Operator):
         self.exchange = exchange
         self.segment_exprs = segment_exprs
         self.broadcast = broadcast
+        #: Zero-argument callable consulted per drained block; the
+        #: distributed executor wires one that raises
+        #: :class:`repro.errors.NodeDownError` when the node hosting
+        #: this sender's fragment dies mid-exchange.
+        self.failure_probe = failure_probe
         self._ran = False
 
     def run(self) -> None:
@@ -102,11 +108,15 @@ class SendOperator(Operator):
         destinations = self.exchange.destinations
         if self.broadcast:
             for block in self.children[0].blocks():
+                if self.failure_probe is not None:
+                    self.failure_probe()
                 for destination in range(destinations):
                     self.exchange.push(destination, block)
             return
         runs = [expr.compiled() for expr in self.segment_exprs]
         for block in self.children[0].blocks():
+            if self.failure_probe is not None:
+                self.failure_probe()
             key_columns = [run(block) for run in runs]
             buckets: dict[int, list[int]] = {}
             for index in range(block.row_count):

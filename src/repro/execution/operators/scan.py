@@ -34,6 +34,8 @@ class ScanOperator(Operator):
         predicate: Expr | None = None,
         sip_filters: list[SipFilter] | None = None,
         extra_rows: list[dict] | None = None,
+        node_index: int | None = None,
+        failure_probe=None,
     ):
         super().__init__()
         self.manager = manager
@@ -45,6 +47,14 @@ class ScanOperator(Operator):
         #: Rows visible only to the scanning transaction (its own
         #: uncommitted inserts), appended after storage rows.
         self.extra_rows = extra_rows or []
+        #: Cluster node hosting this scan (None outside a cluster).
+        self.node_index = node_index
+        #: Zero-argument callable consulted before every batch; the
+        #: distributed executor wires one that raises
+        #: :class:`repro.errors.NodeDownError` when the hosting node
+        #: has died or an armed fault kills it mid-scan, driving the
+        #: buddy-failover retry (section 5.2).
+        self.failure_probe = failure_probe
         self.rows_scanned = 0
         self.rows_after_predicate = 0
 
@@ -73,9 +83,13 @@ class ScanOperator(Operator):
                 return block.project(self.columns)
             return None
 
+        if self.failure_probe is not None:
+            self.failure_probe()
         for batch in self.manager.scan(
             self.projection_name, self.epoch, columns=needed, prune=prune or None
         ):
+            if self.failure_probe is not None:
+                self.failure_probe()
             block = RowBlock(columns=batch.columns, row_count=batch.row_count)
             out = emit(block)
             if out is not None:

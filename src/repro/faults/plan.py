@@ -115,6 +115,25 @@ register_point(
     "per-node commit-message delivery; drop or delay verdicts both "
     "eject the node (section 5: no 2PC retry)",
 )
+register_point(
+    "membership.heartbeat", "delivery",
+    "per-node heartbeat delivery at each failure-detector tick; drop "
+    "and delay verdicts both count as a missed tick, and a node "
+    "missing heartbeat_timeout consecutive ticks is ejected "
+    "(section 5.3's deterministic failure detector)",
+)
+register_point(
+    "executor.scan", "control",
+    "per-batch during a distributed scan, scoped to the hosting node; "
+    "a crash here simulates the node dying mid-query and drives the "
+    "executor's buddy-failover retry (section 5.2)",
+)
+register_point(
+    "executor.exchange", "control",
+    "while a Send operator drains its fragment into the interconnect, "
+    "scoped to the node hosting the fragment's scan; a crash here "
+    "simulates a node dying mid-exchange",
+)
 
 
 @dataclass

@@ -14,6 +14,7 @@ from . import mutation  # noqa: F401  R4
 from . import hygiene  # noqa: F401  R5
 from . import api_docs  # noqa: F401  R6
 from . import atomic_io  # noqa: F401  R7
+from . import wallclock  # noqa: F401  R8
 
 __all__ = [
     "operators",
@@ -23,4 +24,5 @@ __all__ = [
     "hygiene",
     "api_docs",
     "atomic_io",
+    "wallclock",
 ]

@@ -1,0 +1,100 @@
+"""R8: no wall-clock time in the self-healing runtime.
+
+Chaos reproducibility (and the supervisor acceptance tests) depend on
+the failure detector, the recovery state machine and the fault layer
+being driven *only* by :class:`repro.cluster.clock.SimulatedClock` —
+an integer tick counter a seed replays exactly.  One ``time.time()``
+in an ejection path, one ``time.sleep()`` in a backoff loop, or one
+``datetime.now()`` stamped into an event makes a chaos failure
+unreplayable: the same seed takes a different branch on a slower
+machine.  This rule forbids wall-clock reads and sleeps in the
+packages that make up that runtime (``cluster/``, ``faults/``,
+``tuple_mover/``).
+
+Only the argless ``datetime.now()`` / ``datetime.today()`` spellings
+are flagged (an explicit ``tz=`` argument marks a deliberate,
+reviewed clock read), and ``time.perf_counter()`` remains allowed:
+duration *measurement* (tuple-mover event timings, profiles) does not
+influence control flow — only clock reads that *branch* break replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, attribute_chain, register_checker
+
+#: Package path fragments where wall-clock calls are forbidden.
+_PROTECTED = ("repro/cluster/", "repro/faults/", "repro/tuple_mover/")
+
+#: Forbidden calls, as dotted-name suffixes (matched against the full
+#: attribute chain so both ``time.time()`` and ``from time import
+#: time`` spellings are caught).
+_FORBIDDEN = {
+    ("time", "time"): "time.time() reads the wall clock",
+    ("time", "sleep"): "time.sleep() stalls on the wall clock",
+    ("datetime", "now"): "datetime.now() reads the wall clock",
+    ("datetime", "utcnow"): "datetime.utcnow() reads the wall clock",
+    ("datetime", "today"): "datetime.today() reads the wall clock",
+}
+
+#: Bare names that are forbidden when imported from their module
+#: (``from time import sleep`` -> ``sleep(...)``).
+_FORBIDDEN_BARE = {
+    "sleep": ("time", "sleep"),
+    "utcnow": ("datetime", "utcnow"),
+}
+
+
+#: Suffixes flagged only when called with no arguments at all — an
+#: explicit ``tz=`` argument marks a deliberate, reviewed clock read.
+_ARGLESS_ONLY = {("datetime", "now"), ("datetime", "today")}
+
+
+def _violation(node: ast.Call) -> str | None:
+    """The reason string if this call reads/stalls on the wall clock."""
+    chain = attribute_chain(node.func)
+    suffix: tuple[str, ...] | None = None
+    if len(chain) >= 2:
+        suffix = tuple(chain[-2:])
+    elif len(chain) == 1:
+        # bare-name call: only the unambiguous ``from time import
+        # sleep`` / ``utcnow`` spellings are attributable to a module.
+        suffix = _FORBIDDEN_BARE.get(chain[0])
+    if suffix not in _FORBIDDEN:
+        return None
+    if suffix in _ARGLESS_ONLY and (node.args or node.keywords):
+        return None
+    return _FORBIDDEN[suffix]
+
+
+@register_checker
+class WallClockChecker(Checker):
+    """R8: cluster/, faults/ and tuple_mover/ run on simulated time."""
+
+    rule = "R8"
+    title = (
+        "the self-healing runtime (cluster/, faults/, tuple_mover/) must "
+        "use the simulated clock, never time.time()/time.sleep()/"
+        "datetime.now() — wall-clock reads break chaos-seed replay"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            if not any(part in module.norm_path for part in _PROTECTED):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _violation(node)
+                if reason is None:
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{reason}; drive this code from "
+                    "repro.cluster.clock.SimulatedClock ticks instead",
+                )

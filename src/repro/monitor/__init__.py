@@ -15,7 +15,7 @@ this package's registry — keeping them out of ``__init__`` avoids the
 cycle).
 """
 
-from .events import EVENTS, EventLog, TupleMoverEvent
+from .events import EVENTS, EventLog, FailoverEvent, FailoverLog, TupleMoverEvent
 from .profile import (
     PROFILES,
     OperatorProfile,
@@ -29,6 +29,8 @@ from .registry import METRICS, Histogram, MetricsRegistry, counter_delta
 __all__ = [
     "EVENTS",
     "EventLog",
+    "FailoverEvent",
+    "FailoverLog",
     "TupleMoverEvent",
     "PROFILES",
     "OperatorProfile",

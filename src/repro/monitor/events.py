@@ -1,4 +1,4 @@
-"""Bounded event log for tuple-mover operations.
+"""Bounded event logs for background cluster activity.
 
 Moveout and mergeout are background jobs, so their costs never show up
 in a query profile; Vertica surfaces them through
@@ -6,6 +6,14 @@ in a query profile; Vertica surfaces them through
 equivalent is this log: the tuple mover appends one
 :class:`TupleMoverEvent` per completed moveout/mergeout and
 ``v_monitor.tuple_mover_events`` reads them back through SQL.
+
+The availability machinery is background work too: ejections by the
+failure detector, mid-query buddy-failover retries and the recovery
+supervisor's phase transitions all land in a per-cluster
+:class:`FailoverLog`, served through ``v_monitor.failover_events``.
+Unlike :data:`EVENTS` it is *not* process-wide — chaos tests run an
+oracle cluster and a system-under-test side by side, and their
+availability histories must not interleave.
 """
 
 from __future__ import annotations
@@ -87,3 +95,65 @@ class EventLog:
 
 #: The process-wide tuple-mover event log.
 EVENTS = EventLog()
+
+
+@dataclass
+class FailoverEvent:
+    """One availability-relevant incident on a cluster."""
+
+    event_id: int
+    #: Simulated-clock tick the event was recorded at.
+    tick: int
+    #: "ejection" | "query_retry" | "recovery_transition" |
+    #: "quarantine" | "degraded_mode".
+    kind: str
+    #: Node the event concerns (-1 for cluster-wide events).
+    node_index: int
+    #: Free-form context: ejection reason, retry attempt, the
+    #: ``OLD->NEW`` supervisor transition, the degraded mode entered.
+    detail: str
+    #: Recovery attempt count at the time (0 where not applicable).
+    attempt: int = 0
+
+
+class FailoverLog:
+    """Bounded FIFO of :class:`FailoverEvent` records, per cluster."""
+
+    def __init__(self, capacity: int = EVENT_CAPACITY):
+        self._capacity = capacity
+        self._events: list[FailoverEvent] = []
+        self._next_id = 1
+
+    def record(
+        self,
+        kind: str,
+        node_index: int,
+        detail: str,
+        tick: int,
+        attempt: int = 0,
+    ) -> FailoverEvent:
+        """Append one event, evicting the oldest past capacity."""
+        event = FailoverEvent(
+            event_id=self._next_id,
+            tick=tick,
+            kind=kind,
+            node_index=node_index,
+            detail=detail,
+            attempt=attempt,
+        )
+        self._next_id += 1
+        self._events.append(event)
+        if len(self._events) > self._capacity:
+            del self._events[0]
+        return event
+
+    def events(self, kind: str | None = None) -> list[FailoverEvent]:
+        """Retained events, oldest first, optionally of one kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def reset(self) -> None:
+        """Drop all events and restart ids from 1."""
+        self._events.clear()
+        self._next_id = 1

@@ -2,7 +2,7 @@
 
 Vertica ships its monitoring as ordinary tables in the ``v_monitor``
 schema so operators can use plain SQL against them.  This module does
-the same for the reproduction's four tables:
+the same for the reproduction's six tables:
 
 * ``v_monitor.query_profiles`` — one row per operator per profiled
   query (the tabular twin of ``EXPLAIN ANALYZE``);
@@ -10,7 +10,13 @@ the same for the reproduction's four tables:
   accounting;
 * ``v_monitor.tuple_mover_events`` — completed moveout/mergeout
   operations with durations and strata;
-* ``v_monitor.locks`` — currently granted table locks.
+* ``v_monitor.locks`` — currently granted table locks;
+* ``v_monitor.node_states`` — per-node view of the self-healing
+  runtime: membership, supervisor state machine, heartbeat age and
+  recovery backoff/attempt bookkeeping;
+* ``v_monitor.failover_events`` — the cluster's failover log
+  (ejections, mid-query retries, recovery transitions, quarantines,
+  degraded-mode changes), stamped with the simulated-clock tick.
 
 Virtual tables never reach the optimizer or the distributed executor:
 their rows are tiny, in-memory and node-local, so
@@ -78,6 +84,27 @@ _COLUMNS = {
         "object_name",
         "txn_id",
         "mode",
+    ],
+    "node_states": [
+        "node_name",
+        "node_index",
+        "is_up",
+        "supervisor_state",
+        "recovery_attempts",
+        "next_attempt_tick",
+        "last_transition_tick",
+        "heartbeat_age",
+        "missed_heartbeats",
+        "last_error",
+    ],
+    "failover_events": [
+        "event_id",
+        "tick",
+        "kind",
+        "node_index",
+        "node_name",
+        "attempt",
+        "detail",
     ],
 }
 
@@ -183,11 +210,59 @@ def _locks_rows(db) -> list[dict]:
     return rows
 
 
+def _node_states_rows(db) -> list[dict]:
+    cluster = db.cluster
+    now = cluster.clock.now
+    rows = []
+    for index, record in sorted(cluster.supervisor.states().items()):
+        rows.append(
+            {
+                "node_name": cluster.nodes[index].name,
+                "node_index": index,
+                "is_up": cluster.membership.is_up(index),
+                "supervisor_state": record.state,
+                "recovery_attempts": record.recovery_attempts,
+                "next_attempt_tick": record.next_attempt_tick,
+                "last_transition_tick": record.last_transition_tick,
+                "heartbeat_age": cluster.membership.heartbeat_age(index, now),
+                "missed_heartbeats": cluster.membership.missed_heartbeats.get(
+                    index, 0
+                ),
+                "last_error": record.last_error,
+            }
+        )
+    return rows
+
+
+def _failover_events_rows(db) -> list[dict]:
+    cluster = db.cluster
+    rows = []
+    for event in cluster.failover_log.events():
+        if 0 <= event.node_index < cluster.node_count:
+            node_name = cluster.nodes[event.node_index].name
+        else:
+            node_name = "*"  # cluster-wide events (degraded modes)
+        rows.append(
+            {
+                "event_id": event.event_id,
+                "tick": event.tick,
+                "kind": event.kind,
+                "node_index": event.node_index,
+                "node_name": node_name,
+                "attempt": event.attempt,
+                "detail": event.detail,
+            }
+        )
+    return rows
+
+
 _PRODUCERS = {
     "query_profiles": _query_profiles_rows,
     "projection_storage": _projection_storage_rows,
     "tuple_mover_events": _tuple_mover_events_rows,
     "locks": _locks_rows,
+    "node_states": _node_states_rows,
+    "failover_events": _failover_events_rows,
 }
 
 

@@ -76,6 +76,16 @@ class EpochManager:
             raise TransactionError("LGE cannot move backwards")
         self._lge[key] = epoch
 
+    def invalidate_lge(self, node: int, projection: str) -> None:
+        """Reset a projection's LGE to 0 ("nothing durable") — the one
+        sanctioned backwards move.  Recovery's truncate rebuilds the
+        node's containers wholesale, so from the moment it starts until
+        the replay completes the recorded LGE certifies state that is
+        being destroyed; a recovery attempt that crashes in between
+        must not leave the old LGE claiming data the disk no longer
+        holds (the retry would then skip replaying it)."""
+        self._lge[(node, projection)] = 0
+
     def lge(self, node: int, projection: str) -> int:
         """Last Good Epoch of a projection on a node (0 = nothing durable)."""
         return self._lge.get((node, projection), 0)

@@ -455,6 +455,71 @@ class TestR7AtomicIO:
         assert lint(tmp_path, "R7") == []
 
 
+class TestR8WallClock:
+    def test_wallclock_reads_in_cluster_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/cluster/bad.py",
+            """
+            import time
+            from datetime import datetime
+
+            def detect(nodes):
+                deadline = time.time() + 5
+                time.sleep(0.1)
+                stamp = datetime.now()
+                return deadline, stamp
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R8")]
+        assert len(messages) == 3
+        assert all("SimulatedClock" in m for m in messages)
+
+    def test_bare_imported_sleep_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/faults/bad.py",
+            """
+            from time import sleep
+
+            def backoff():
+                sleep(1)
+            """,
+        )
+        findings = lint(tmp_path, "R8")
+        assert len(findings) == 1
+        assert "time.sleep()" in findings[0].message
+
+    def test_timezone_aware_now_and_perf_counter_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/tuple_mover/fine.py",
+            """
+            import time
+            from datetime import datetime, timezone
+
+            def measure():
+                start = time.perf_counter()
+                stamp = datetime.now(timezone.utc)
+                return time.perf_counter() - start, stamp
+            """,
+        )
+        assert lint(tmp_path, "R8") == []
+
+    def test_other_packages_and_test_code_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/monitor/fine.py",
+            "import time\n\ndef stamp():\n    return time.time()\n",
+        )
+        write(
+            tmp_path,
+            "tests/cluster/test_thing.py",
+            "import time\n\ndef test_x():\n    time.sleep(0)\n",
+        )
+        assert lint(tmp_path, "R8") == []
+
+
 class TestSuppression:
     def test_line_suppression_silences_rule(self, tmp_path):
         write(

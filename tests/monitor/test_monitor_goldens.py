@@ -53,6 +53,15 @@ GOLDEN_SCHEMAS = {
         "rows_purged", "stratum", "duration_ms",
     ],
     "v_monitor.locks": ["object_name", "txn_id", "mode"],
+    "v_monitor.node_states": [
+        "node_name", "node_index", "is_up", "supervisor_state",
+        "recovery_attempts", "next_attempt_tick", "last_transition_tick",
+        "heartbeat_age", "missed_heartbeats", "last_error",
+    ],
+    "v_monitor.failover_events": [
+        "event_id", "tick", "kind", "node_index", "node_name",
+        "attempt", "detail",
+    ],
 }
 
 

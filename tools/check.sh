@@ -22,6 +22,23 @@ REPRO_SANITIZE=1 python -m pytest -q
 echo "== chaos suite: fault injection + crash recovery (pytest -m chaos) =="
 REPRO_SANITIZE=1 python -m pytest -q -m chaos
 
+echo "== chaos seeds: two fixed + one fresh from the git SHA =="
+# The self-healing scenarios re-run on pinned seeds (regression
+# anchors) plus one seed derived from the current commit, so every
+# commit explores a fresh point of the fault space deterministically.
+GIT_SEED=$(python - <<'EOF'
+import subprocess
+proc = subprocess.run(
+    ["git", "rev-parse", "HEAD"], capture_output=True, text=True
+)
+sha = proc.stdout.strip() or "0"
+print(int(sha[:8], 16) % 100000)
+EOF
+)
+echo "   seeds: 101, 202, ${GIT_SEED} (git-derived)"
+REPRO_CHAOS_SEEDS="101,202,${GIT_SEED}" REPRO_SANITIZE=1 \
+    python -m pytest -q -m chaos tests/chaos/test_self_healing.py
+
 echo "== Cluster.scrub() smoke =="
 python - <<'EOF'
 import shutil, tempfile
@@ -49,18 +66,20 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR3.json =="
+echo "== perf smoke: bench harness writes BENCH_PR4.json =="
 # One scaled-down bench through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
-# decoded, mergeouts, ...) per bench into BENCH_PR3.json at the repo
-# root.  The full report comes from the same command without the
-# scale-down env vars:  python -m pytest benchmarks/ -q
-REPRO_T4B_ROWS=20000 python -m pytest benchmarks/bench_figure3_plan.py -q
-test -s BENCH_PR3.json
+# decoded, mergeouts, failover retries, ...) per bench into
+# BENCH_PR4.json at the repo root.  The full report comes from the
+# same command without the scale-down env vars:
+#     python -m pytest benchmarks/ -q
+REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 python -m pytest \
+    benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py -q
+test -s BENCH_PR4.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR3.json"))
-assert report["benches"], "BENCH_PR3.json has no bench entries"
+report = json.load(open("BENCH_PR4.json"))
+assert report["benches"], "BENCH_PR4.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

@@ -18,9 +18,9 @@ import time
 
 import pytest
 
-from repro.monitor import METRICS, counter_delta
+from repro.monitor import METRICS
 
-#: Counters recorded per bench in BENCH_PR4.json — the ones whose
+#: Counters recorded per bench in BENCH_PR5.json — the ones whose
 #: movement the paper's evaluation section argues about, plus the
 #: self-healing runtime's failover/recovery activity.
 TRACKED_COUNTERS = (
@@ -39,7 +39,7 @@ TRACKED_COUNTERS = (
     "supervisor.recoveries",
 )
 
-BENCH_REPORT = "BENCH_PR4.json"
+BENCH_REPORT = "BENCH_PR5.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -98,19 +98,18 @@ def report():
     return print_table
 
 
-# -- BENCH_PR4.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR5.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     """Wrap every bench body: wall time plus the registry's movement."""
-    before = METRICS.snapshot()
-    started = time.perf_counter()
-    yield
-    elapsed = time.perf_counter() - started
-    after = METRICS.snapshot()
+    with METRICS.capture(TRACKED_COUNTERS) as captured:
+        started = time.perf_counter()
+        yield
+        elapsed = time.perf_counter() - started
     _RESULTS[item.nodeid] = {
         "seconds": round(elapsed, 6),
-        "metrics": counter_delta(before, after, TRACKED_COUNTERS),
+        "metrics": captured.deltas,
     }
 
 

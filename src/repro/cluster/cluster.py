@@ -38,6 +38,7 @@ from ..projections import (
     make_buddy,
     super_projection,
 )
+from ..trace import TRACER
 from ..tuple_mover import MergePolicy
 from ..txn import EpochManager, LockManager
 from .clock import SimulatedClock
@@ -553,26 +554,37 @@ class Cluster:
 
     def run_tuple_movers(self, advance_ahm: bool = True) -> None:
         """One tuple mover cycle on every up node: moveout (advancing
-        each projection's LGE), then mergeout at the current AHM."""
-        if advance_ahm:
-            self.epochs.advance_ahm()
-        durable_epoch = self.epochs.latest_queryable_epoch
-        for node_index in self.membership.up_nodes():
-            node = self.nodes[node_index]
-            try:
-                for projection_name in node.manager.projection_names():
-                    node.mover.moveout(projection_name)
-                    node.manager.persist_delete_vectors(projection_name)
-                    if durable_epoch > self.epochs.lge(node_index, projection_name):
-                        self.epochs.set_lge(
-                            node_index, projection_name, durable_epoch
-                        )
-                    node.mover.mergeout(projection_name, self.epochs.ahm)
-            except InjectedFaultError:
-                # the tuple mover is node-local: one node dying mid
-                # moveout/mergeout never blocks the others.  Its LGE
-                # stays behind, so recovery replays the lost tail.
-                self._node_crashed(node_index, "crashed in tuple mover")
+        each projection's LGE), then mergeout at the current AHM.
+
+        Each cycle is its own trace (not a child of whatever statement
+        happened to trigger the commit): tuple mover work is background
+        maintenance, "not centrally coordinated", and reads as such in
+        the exported timeline."""
+        trace = TRACER.start_trace(
+            "tuple_mover.cycle", attrs={"advance_ahm": advance_ahm}
+        )
+        try:
+            if advance_ahm:
+                self.epochs.advance_ahm()
+            durable_epoch = self.epochs.latest_queryable_epoch
+            for node_index in self.membership.up_nodes():
+                node = self.nodes[node_index]
+                try:
+                    for projection_name in node.manager.projection_names():
+                        node.mover.moveout(projection_name)
+                        node.manager.persist_delete_vectors(projection_name)
+                        if durable_epoch > self.epochs.lge(node_index, projection_name):
+                            self.epochs.set_lge(
+                                node_index, projection_name, durable_epoch
+                            )
+                        node.mover.mergeout(projection_name, self.epochs.ahm)
+                except InjectedFaultError:
+                    # the tuple mover is node-local: one node dying mid
+                    # moveout/mergeout never blocks the others.  Its LGE
+                    # stays behind, so recovery replays the lost tail.
+                    self._node_crashed(node_index, "crashed in tuple mover")
+        finally:
+            TRACER.end_trace(trace)
 
     # -- introspection -----------------------------------------------------------
 

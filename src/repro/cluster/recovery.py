@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ClusterError, DataUnavailableError
 from ..projections import ProjectionFamily
+from ..trace import TRACER
 from ..txn import LockMode
 from .cluster import Cluster
 
@@ -91,6 +92,18 @@ def recover_node(
     """
     if cluster.membership.is_up(node_index):
         raise ClusterError(f"node {node_index} is not down")
+    trace = TRACER.start_trace(
+        "recovery", attrs={"node": node_index, "historical_lag": historical_lag}
+    )
+    try:
+        return _recover_node(cluster, node_index, historical_lag)
+    finally:
+        TRACER.end_trace(trace)
+
+
+def _recover_node(
+    cluster: Cluster, node_index: int, historical_lag: int
+) -> RecoveryReport:
     report = RecoveryReport(node=node_index)
     manager = cluster.nodes[node_index].manager
     current = cluster.epochs.latest_queryable_epoch
@@ -115,31 +128,60 @@ def recover_node(
             #    invalidated *first*: if this attempt crashes mid-
             #    rebuild, the retry must re-replay everything instead
             #    of trusting an LGE whose data is gone.
-            cluster.epochs.invalidate_lge(node_index, copy.name)
-            report.truncated_rows += manager.truncate_after_epoch(copy.name, lge)
-            records = list(
-                _buddy_records_for_node(cluster, family, node_index, copy)
-            )
+            with TRACER.span(
+                "recovery.truncate",
+                category="recovery",
+                node_index=node_index,
+                projection=copy.name,
+                lge=lge,
+            ):
+                cluster.epochs.invalidate_lge(node_index, copy.name)
+                report.truncated_rows += manager.truncate_after_epoch(
+                    copy.name, lge
+                )
+                records = list(
+                    _buddy_records_for_node(cluster, family, node_index, copy)
+                )
             # 2. historical phase (no locks): (LGE, boundary]
-            historical = [
-                record
-                for record in records
-                if lge < record[1] <= boundary
-            ]
-            manager.load_history(copy.name, historical)
-            _replay_deletes(manager, copy.name, records, lge, boundary)
-            # 3. current phase (Shared lock): (boundary, current]
-            cluster.locks.acquire(RECOVERY_TXN_ID, table.name, LockMode.S)
-            try:
-                current_records = [
+            with TRACER.span(
+                "recovery.historical",
+                category="recovery",
+                node_index=node_index,
+                projection=copy.name,
+            ) as hist_span:
+                historical = [
                     record
                     for record in records
-                    if boundary < record[1] <= current
+                    if lge < record[1] <= boundary
                 ]
-                manager.load_history(copy.name, current_records)
-                _replay_deletes(manager, copy.name, records, boundary, current)
-            finally:
-                cluster.locks.release(RECOVERY_TXN_ID, table.name)
+                manager.load_history(copy.name, historical)
+                _replay_deletes(manager, copy.name, records, lge, boundary)
+                if hist_span is not None:
+                    hist_span.attrs["rows"] = len(historical)
+            # 3. current phase (Shared lock): (boundary, current]
+            with TRACER.span(
+                "recovery.current",
+                category="recovery",
+                node_index=node_index,
+                projection=copy.name,
+            ) as cur_span:
+                cluster.locks.acquire(
+                    RECOVERY_TXN_ID, table.name, LockMode.S
+                )
+                try:
+                    current_records = [
+                        record
+                        for record in records
+                        if boundary < record[1] <= current
+                    ]
+                    manager.load_history(copy.name, current_records)
+                    _replay_deletes(
+                        manager, copy.name, records, boundary, current
+                    )
+                finally:
+                    cluster.locks.release(RECOVERY_TXN_ID, table.name)
+                if cur_span is not None:
+                    cur_span.attrs["rows"] = len(current_records)
             cluster.epochs.set_lge(node_index, copy.name, current)
             report.historical_rows += len(historical)
             report.current_rows += len(current_records)
@@ -147,8 +189,11 @@ def recover_node(
                 len(historical),
                 len(current_records),
             )
-    cluster.membership.rejoin(node_index)
-    cluster.epochs.node_up(node_index)
+    with TRACER.span(
+        "recovery.rejoin", category="recovery", node_index=node_index
+    ):
+        cluster.membership.rejoin(node_index)
+        cluster.epochs.node_up(node_index)
     return report
 
 

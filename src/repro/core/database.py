@@ -62,6 +62,12 @@ class Database:
         self.stats = StatsCatalog()
         self.optimizer_name = optimizer
         self._next_txn_id = 1
+        # traces stamp spans with this cluster's simulated clock; the
+        # last-constructed Database wins, matching METRICS' process-wide
+        # registry semantics.
+        from ..trace import TRACER
+
+        TRACER.bind_clock(self.cluster.clock)
 
     # -- DDL ------------------------------------------------------------
 

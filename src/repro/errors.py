@@ -128,6 +128,12 @@ class DesignError(ReproError):
     """Raised by the Database Designer when no valid design exists."""
 
 
+class TraceError(ReproError):
+    """Raised on tracing-protocol misuse: closing a span twice, asking
+    a finished trace for its open span, or exporting a trace that was
+    never recorded."""
+
+
 class InvariantViolation(ReproError):
     """Raised by the runtime sanitizer (``REPRO_SANITIZE=1``) when a
     physical invariant is broken: non-monotonic position index, block

@@ -30,6 +30,7 @@ from ..errors import (
     PlanningError,
 )
 from ..monitor import METRICS
+from ..trace import TRACER, record_plan_spans
 from .aggregates import AggregateSpec
 from .expressions import ColumnRef, substitute_columns
 from .operators import (
@@ -163,12 +164,24 @@ class DistributedExecutor:
             # return zero rows, never the partial set that the still
             # reachable copies could produce.
             self._require_availability(plan)
+            attempt_cm = TRACER.span(
+                "executor.attempt",
+                category="executor",
+                attempt=attempts + 1,
+                epoch=self.epoch,
+            )
             try:
-                # broadcast joins materialize their inner side during
-                # the build, so the build runs inside the failover net.
-                operator = self.operator(plan)
-                self.root_operator = operator
-                rows = operator.rows()
+                with attempt_cm as attempt_span:
+                    # broadcast joins materialize their inner side
+                    # during the build, so the build runs inside the
+                    # failover net (and inside the attempt span).
+                    operator = self.operator(plan)
+                    self.root_operator = operator
+                    rows = operator.rows()
+                    if attempt_span is not None:
+                        record_plan_spans(
+                            TRACER.active, operator, attempt_span
+                        )
             except NodeDownError as exc:
                 attempts += 1
                 self.cluster.note_node_failure(
@@ -188,6 +201,17 @@ class DistributedExecutor:
                     self.cluster.clock.now,
                     attempt=attempts,
                 )
+                with TRACER.span(
+                    "failover.retry",
+                    category="failover",
+                    dead_node=exc.node_index,
+                    attempt=attempts,
+                    epoch=self.epoch,
+                ) as retry_span:
+                    if retry_span is not None:
+                        retry_span.attrs["resolved_sources"] = (
+                            self._resolved_sources(plan)
+                        )
                 # fresh counters: the aborted attempt's partial scans
                 # must not inflate the profile of the retry that wins.
                 self.stats = ExecutorStats()
@@ -277,6 +301,32 @@ class DistributedExecutor:
             raise
         METRICS.set_gauge("cluster.data_available", 1)
 
+    def _resolved_sources(self, plan) -> dict:
+        """After a failover: the (node, projection copy) each scanned
+        family re-resolves to on the surviving buddies.  Annotated onto
+        the ``failover.retry`` span so a trace names not just the dead
+        node but who took over its segments."""
+        from ..optimizer import physical as P
+
+        resolved: dict = {}
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, P.PhysScan) and node.family_name not in resolved:
+                family = self.cluster.catalog.family(node.family_name)
+                if family.primary.segmentation.replicated:
+                    resolved[node.family_name] = "replicated"
+                else:
+                    try:
+                        resolved[node.family_name] = [
+                            [host, projection_name]
+                            for host, projection_name in self.cluster.scan_sources(family)
+                        ]
+                    except DataUnavailableError as exc:
+                        resolved[node.family_name] = f"unavailable: {exc}"
+            stack.extend(node.children)
+        return resolved
+
     # -- node-death probes ------------------------------------------------
 
     def _check_node(self, host: int, point: str, where: str) -> None:
@@ -300,7 +350,7 @@ class DistributedExecutor:
     def _attach_exchange_probe(self, sender: SendOperator) -> None:
         """Give a Send operator a probe bound to the node hosting its
         fragment's scan, so a death mid-exchange is attributed to the
-        right node."""
+        right node (the same host becomes the sender's trace node)."""
         for op in sender.children[0].walk():
             if isinstance(op, ScanOperator) and op.node_index is not None:
                 host = op.node_index
@@ -309,6 +359,7 @@ class DistributedExecutor:
                     self._check_node(host, "executor.exchange", "mid-exchange")
 
                 sender.failure_probe = probe
+                sender.trace_node = host
                 return
 
     # -- scans -------------------------------------------------------------
@@ -501,8 +552,13 @@ class DistributedExecutor:
 
     def _join_broadcast(self, node, left, right):
         inner = self._collect(right)
-        blocks = list(inner.blocks())
-        inner_rows = sum(block.row_count for block in blocks)
+        with TRACER.span(
+            "exchange.broadcast", category="exchange"
+        ) as bc_span:
+            blocks = list(inner.blocks())
+            inner_rows = sum(block.row_count for block in blocks)
+            if bc_span is not None:
+                bc_span.attrs["rows_materialized"] = inner_rows
         if isinstance(left, Operator):
             return self._make_join_op(node, left, SourceBlocks(iter(blocks)))
         bases = left.bases() if not left.replicated else [0]
@@ -541,14 +597,27 @@ class DistributedExecutor:
             )
             for base in (right_frag.bases() or [0])
         ]
+        # cross-node context propagation: every Send/Recv carries the
+        # handle of the span that requested this exchange (the current
+        # open span at plan-build time), and the node its half runs on.
+        handle = TRACER.handle()
         for sender in (*left_senders, *right_senders):
             self._attach_exchange_probe(sender)
+            sender.trace_parent = handle
+        up = self.cluster.membership.up_nodes()
+
+        def make_recv(exchange, destination, senders):
+            recv = RecvOperator(exchange, destination, senders)
+            recv.trace_parent = handle
+            recv.trace_node = up[destination] if destination < len(up) else None
+            return recv
+
         return _Fragments(
             {
                 destination: self._make_join_op(
                     node,
-                    RecvOperator(left_exchange, destination, left_senders),
-                    RecvOperator(right_exchange, destination, right_senders),
+                    make_recv(left_exchange, destination, left_senders),
+                    make_recv(right_exchange, destination, right_senders),
                 )
                 for destination in range(destinations)
             }

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ...errors import ExecutionError
 from ...hashing import hash_row
+from ...trace import TRACER
 from ..expressions import Expr
 from ..row_block import RowBlock
 from .base import Operator
@@ -98,6 +99,15 @@ class SendOperator(Operator):
         #: this sender's fragment dies mid-exchange.
         self.failure_probe = failure_probe
         self._ran = False
+        #: Cross-node trace propagation, stamped by the distributed
+        #: executor at plan-build time: the handle names the span that
+        #: requested this fragment, ``trace_node`` is the simulated
+        #: node hosting it.  ``trace_span_id`` records the live span
+        #: this operator opened, so the post-hoc plan walk nests the
+        #: fragment's operator spans under it instead of re-emitting.
+        self.trace_parent = None
+        self.trace_node: int | None = None
+        self.trace_span_id: int | None = None
 
     def run(self) -> None:
         """Drain the child into the exchange (idempotent: several Recv
@@ -105,6 +115,25 @@ class SendOperator(Operator):
         if self._ran:
             return
         self._ran = True
+        sent_before = self.exchange.rows_sent
+        bytes_before = self.exchange.bytes_sent
+        cm = TRACER.span_from(
+            self.trace_parent,
+            "exchange.send",
+            category="exchange",
+            node_index=self.trace_node,
+            broadcast=self.broadcast,
+        )
+        with cm as span:
+            if span is not None:
+                self.trace_span_id = span.span_id
+            self._route()
+            cm.annotate(
+                rows_sent=self.exchange.rows_sent - sent_before,
+                bytes_sent=self.exchange.bytes_sent - bytes_before,
+            )
+
+    def _route(self) -> None:
         destinations = self.exchange.destinations
         if self.broadcast:
             for block in self.children[0].blocks():
@@ -158,12 +187,35 @@ class RecvOperator(Operator):
         super().__init__(list(senders or []))
         self.exchange = exchange
         self.destination = destination
+        #: Cross-node propagation, stamped by the executor (see
+        #: :class:`SendOperator`).  The Recv side of the exchange runs
+        #: on the destination's node; its span covers running the
+        #: senders and draining the channel, and closes before any
+        #: block is yielded so an abandoned pull cannot leak it.
+        self.trace_parent = None
+        self.trace_node: int | None = None
+        self.trace_span_id: int | None = None
 
     def _produce(self):
-        for sender in self.children:
-            if isinstance(sender, SendOperator):
-                sender.run()
-        for block in self.exchange.drain(self.destination):
+        cm = TRACER.span_from(
+            self.trace_parent,
+            "exchange.recv",
+            category="exchange",
+            node_index=self.trace_node,
+            destination=self.destination,
+        )
+        with cm as span:
+            if span is not None:
+                self.trace_span_id = span.span_id
+            for sender in self.children:
+                if isinstance(sender, SendOperator):
+                    sender.run()
+            blocks = self.exchange.drain(self.destination)
+            cm.annotate(
+                blocks_received=len(blocks),
+                rows_received=sum(b.row_count for b in blocks),
+            )
+        for block in blocks:
             if block.row_count:
                 yield block
 

@@ -231,3 +231,70 @@ def check_epoch_advance(previous_epoch: int, new_epoch: int) -> None:
         f"epoch clock moved from {previous_epoch} to {new_epoch}; commits "
         "must strictly advance the epoch",
     )
+
+
+# -- traces ------------------------------------------------------------
+
+#: Wall-clock slack for the nesting check: synthesized operator spans
+#: are clipped to their parent exactly, so only float rounding needs
+#: absorbing.
+_NEST_EPS = 1e-9
+
+
+def check_trace_spans_closed(trace) -> None:
+    """Every span opened during a trace must be closed by its end.
+
+    Called by ``Tracer.end_trace`` after ``TraceContext.finish``; a
+    still-open span at this point means a code path closed the trace
+    while bypassing the span's context manager."""
+    if not enabled():
+        return
+    for span in trace.spans:
+        invariant(
+            span.closed,
+            f"trace {trace.trace_id}: span {span.span_id} "
+            f"({span.name!r}) was opened but never closed",
+        )
+
+
+def check_trace_nesting(trace) -> None:
+    """Every span's interval must nest inside its parent's.
+
+    Checks both clocks: wall offsets (within ``_NEST_EPS``) and the
+    simulated ticks.  A child outside its parent means the span tree's
+    causality story is a lie — the Perfetto rendering would show work
+    attributed to a request that had already finished."""
+    if not enabled():
+        return
+    for span in trace.spans:
+        if span.parent_id is None:
+            continue
+        parent = trace.span_by_id(span.parent_id)
+        invariant(
+            parent is not None,
+            f"trace {trace.trace_id}: span {span.span_id} "
+            f"({span.name!r}) has unknown parent {span.parent_id}",
+        )
+        if not (span.closed and parent.closed):
+            continue
+        invariant(
+            span.start_offset >= parent.start_offset - _NEST_EPS
+            and span.end_offset <= parent.end_offset + _NEST_EPS,
+            f"trace {trace.trace_id}: span {span.span_id} "
+            f"({span.name!r}) interval [{span.start_offset:.9f}, "
+            f"{span.end_offset:.9f}] escapes parent {parent.span_id} "
+            f"({parent.name!r}) [{parent.start_offset:.9f}, "
+            f"{parent.end_offset:.9f}]",
+        )
+        invariant(
+            span.start_tick >= parent.start_tick
+            and (
+                span.end_tick is None
+                or parent.end_tick is None
+                or span.end_tick <= parent.end_tick
+            ),
+            f"trace {trace.trace_id}: span {span.span_id} "
+            f"({span.name!r}) ticks [{span.start_tick}, {span.end_tick}] "
+            f"escape parent {parent.span_id} ({parent.name!r}) ticks "
+            f"[{parent.start_tick}, {parent.end_tick}]",
+        )

@@ -24,9 +24,16 @@ from .profile import (
     build_query_profile,
     profile_plan,
 )
-from .registry import METRICS, Histogram, MetricsRegistry, counter_delta
+from .registry import (
+    METRICS,
+    CounterCapture,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+)
 
 __all__ = [
+    "CounterCapture",
     "EVENTS",
     "EventLog",
     "FailoverEvent",
@@ -51,3 +58,8 @@ def reset_all() -> None:
     METRICS.reset()
     PROFILES.reset()
     EVENTS.reset()
+    # lazy: the tracer lives in its own package and monitoring must
+    # stay importable from the storage layers below it.
+    from ..trace import TRACER
+
+    TRACER.reset()

@@ -149,6 +149,47 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    def capture(self, names: Iterable[str] | None = None) -> "CounterCapture":
+        """Scoped counter-delta measurement::
+
+            with METRICS.capture(("queries.executed",)) as captured:
+                run_workload()
+            captured.deltas  # {"queries.executed": 3}
+
+        ``names`` restricts (and orders) the reported counters; by
+        default every counter that existed at entry or moved during the
+        scope is reported.  Unlike hand-diffing :meth:`snapshot`, the
+        capture never resets the registry, so scopes nest safely.
+        """
+        return CounterCapture(self, tuple(names) if names is not None else None)
+
+
+class CounterCapture:
+    """Context manager recording counter deltas across a scope."""
+
+    def __init__(self, registry: MetricsRegistry, names: tuple | None):
+        self._registry = registry
+        self._names = names
+        self._before: dict[str, int] = {}
+        #: Per-counter movement, populated at scope exit.
+        self.deltas: dict[str, int] = {}
+
+    def __enter__(self) -> "CounterCapture":
+        self._before = dict(self._registry._counters)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        after = self._registry._counters
+        names = (
+            self._names
+            if self._names is not None
+            else sorted(set(self._before) | set(after))
+        )
+        self.deltas = {
+            name: after.get(name, 0) - self._before.get(name, 0)
+            for name in names
+        }
+
 
 def counter_delta(
     before: dict[str, Any], after: dict[str, Any], names: Iterable[str]

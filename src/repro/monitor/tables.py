@@ -2,7 +2,7 @@
 
 Vertica ships its monitoring as ordinary tables in the ``v_monitor``
 schema so operators can use plain SQL against them.  This module does
-the same for the reproduction's six tables:
+the same for the reproduction's nine tables:
 
 * ``v_monitor.query_profiles`` — one row per operator per profiled
   query (the tabular twin of ``EXPLAIN ANALYZE``);
@@ -16,7 +16,14 @@ the same for the reproduction's six tables:
   recovery backoff/attempt bookkeeping;
 * ``v_monitor.failover_events`` — the cluster's failover log
   (ejections, mid-query retries, recovery transitions, quarantines,
-  degraded-mode changes), stamped with the simulated-clock tick.
+  degraded-mode changes), stamped with the simulated-clock tick;
+* ``v_monitor.metrics`` — the raw MetricsRegistry, one row per
+  counter/gauge/histogram, so new instrumentation is queryable the
+  moment it exists without a curated table;
+* ``v_monitor.query_traces`` / ``v_monitor.trace_spans`` — the
+  distributed tracer's retained traces (``REPRO_TRACE=1``): one row
+  per trace, and one row per span with parent ids, node attribution
+  and both clocks (simulated ticks + wall durations).
 
 Virtual tables never reach the optimizer or the distributed executor:
 their rows are tiny, in-memory and node-local, so
@@ -105,6 +112,49 @@ _COLUMNS = {
         "node_name",
         "attempt",
         "detail",
+    ],
+    # min/max/count/sum are SQL-adjacent words; the column names here
+    # deliberately avoid anything the parser treats as a keyword.
+    "metrics": [
+        "name",
+        "kind",
+        "value",
+        "observations",
+        "total",
+        "min_value",
+        "max_value",
+        "mean",
+        "p50",
+        "p95",
+    ],
+    "query_traces": [
+        "trace_id",
+        "name",
+        "statement",
+        "sql",
+        "start_tick",
+        "end_tick",
+        "duration_ms",
+        "span_count",
+        "node_count",
+        # not "nodes": NODES is a SQL keyword (ALL NODES) in this
+        # dialect and could never be named in a select list.
+        "node_list",
+    ],
+    "trace_spans": [
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "node_index",
+        "node_name",
+        "start_tick",
+        "end_tick",
+        "start_ms",
+        "duration_ms",
+        "error",
+        "attrs",
     ],
 }
 
@@ -256,6 +306,95 @@ def _failover_events_rows(db) -> list[dict]:
     return rows
 
 
+def _metrics_rows(db) -> list[dict]:
+    from .registry import METRICS
+
+    snapshot = METRICS.snapshot()
+    template = {name: None for name in _COLUMNS["metrics"]}
+    rows = []
+    for name, value in snapshot["counters"].items():
+        rows.append({**template, "name": name, "kind": "counter", "value": value})
+    for name, value in snapshot["gauges"].items():
+        rows.append({**template, "name": name, "kind": "gauge", "value": value})
+    for name, stats in snapshot["histograms"].items():
+        rows.append(
+            {
+                **template,
+                "name": name,
+                "kind": "histogram",
+                "observations": stats["count"],
+                "total": stats["sum"],
+                "min_value": stats["min"],
+                "max_value": stats["max"],
+                "mean": stats["mean"],
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+            }
+        )
+    rows.sort(key=lambda row: (row["kind"], row["name"]))
+    return rows
+
+
+def _trace_node_name(node_index) -> str:
+    return "coordinator" if node_index is None else f"node{node_index:02d}"
+
+
+def _query_traces_rows(db) -> list[dict]:
+    from ..trace import TRACER
+
+    rows = []
+    for trace in TRACER.finished:
+        nodes = trace.nodes()
+        rows.append(
+            {
+                "trace_id": trace.trace_id,
+                "name": trace.name,
+                "statement": trace.root.attrs.get("statement"),
+                "sql": trace.root.attrs.get("sql"),
+                "start_tick": trace.root.start_tick,
+                "end_tick": trace.root.end_tick,
+                "duration_ms": trace.duration_seconds * 1000.0,
+                "span_count": len(trace.spans),
+                "node_count": len(nodes),
+                "node_list": ",".join(str(node) for node in nodes),
+            }
+        )
+    return rows
+
+
+def _trace_spans_rows(db) -> list[dict]:
+    import json
+
+    from ..trace import TRACER
+
+    rows = []
+    for trace in TRACER.finished:
+        for span in trace.spans:
+            attrs = {
+                key: value
+                for key, value in sorted(span.attrs.items())
+                if key != "error"
+            }
+            rows.append(
+                {
+                    "trace_id": trace.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "name": span.name,
+                    "category": span.category,
+                    "node_index": span.node_index,
+                    "node_name": _trace_node_name(span.node_index),
+                    "start_tick": span.start_tick,
+                    "end_tick": span.end_tick,
+                    "start_ms": span.start_offset * 1000.0,
+                    "duration_ms": (span.duration_seconds or 0.0) * 1000.0,
+                    "error": span.attrs.get("error"),
+                    "attrs": json.dumps(attrs, sort_keys=True, default=repr),
+                }
+            )
+    return rows
+
+
 _PRODUCERS = {
     "query_profiles": _query_profiles_rows,
     "projection_storage": _projection_storage_rows,
@@ -263,6 +402,9 @@ _PRODUCERS = {
     "locks": _locks_rows,
     "node_states": _node_states_rows,
     "failover_events": _failover_events_rows,
+    "metrics": _metrics_rows,
+    "query_traces": _query_traces_rows,
+    "trace_spans": _trace_spans_rows,
 }
 
 

@@ -105,8 +105,15 @@ class PlannerBase:
         """
         import copy
 
-        logical = rewrite(copy.deepcopy(logical))
-        return self._plan_node(logical)
+        from ..trace import TRACER
+
+        with TRACER.span(
+            "optimizer.plan",
+            category="optimizer",
+            optimizer=type(self).__name__,
+        ):
+            logical = rewrite(copy.deepcopy(logical))
+            return self._plan_node(logical)
 
     # -- dispatch ------------------------------------------------------------
 

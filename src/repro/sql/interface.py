@@ -44,9 +44,31 @@ def execute_sql(
     Returns rows for SELECT, a plan string for EXPLAIN, a
     :class:`CopyResult` for COPY, and ``None`` / counts for other
     statements.
+
+    This is where a statement's trace begins and ends: when tracing is
+    enabled (``REPRO_TRACE=1`` or ``TRACER.configure``), the whole
+    statement runs inside one :class:`repro.trace.TraceContext` whose
+    spans — parse, analyze, plan, per-node execution, exchanges,
+    failover retries — are retained for ``v_monitor.query_traces`` /
+    ``v_monitor.trace_spans`` and Chrome trace-event export.
     """
+    from ..trace import TRACER
+
+    trace = TRACER.start_trace("statement", attrs={"sql": text})
+    try:
+        return _execute_statement(session, text, copy_rows, trace)
+    finally:
+        TRACER.end_trace(trace)
+
+
+def _execute_statement(session, text, copy_rows, trace):
     db = session.db
-    statement = parse(text)
+    from ..trace import TRACER
+
+    with TRACER.span("sql.parse", category="sql"):
+        statement = parse(text)
+    if trace is not None:
+        trace.root.attrs["statement"] = type(statement).__name__
     analyzer = Analyzer(db.cluster.catalog)
 
     if isinstance(statement, ast.SelectStatement):
@@ -54,7 +76,8 @@ def execute_sql(
             from ..monitor.tables import execute_monitor_select
 
             return execute_monitor_select(session, statement)
-        plan = analyzer.analyze_select(statement)
+        with TRACER.span("sql.analyze", category="sql"):
+            plan = analyzer.analyze_select(statement)
         return session.query(plan, at_epoch=statement.at_epoch, sql_text=text)
 
     if isinstance(statement, ast.ExplainStatement):

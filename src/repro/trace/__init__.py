@@ -1,0 +1,40 @@
+"""Deterministic distributed tracing for the simulated cluster.
+
+The paper's query lifecycle crosses every layer of the system — parse,
+plan, per-node execution fragments stitched by Send/Recv exchanges,
+the tuple mover running behind queries, lock waits, recovery and
+mid-query failover.  ``v_monitor`` counters say *how much* of each
+happened; a trace says *which statement caused which work on which
+node, in what order*.  This package is that causal layer:
+
+* :class:`TraceContext` / :class:`Span` — the data model
+  (``span.py``): per-statement trace with seeded ids, spans carrying
+  both SimulatedClock ticks and wall durations;
+* :class:`Tracer` / ``TRACER`` — the process-wide recorder
+  (``tracer.py``): kill switch (``REPRO_TRACE`` or ``configure()``),
+  head-based sampling, near-zero-cost disabled path;
+* :class:`TraceHandle` — the (trace id, span id) pair carried across
+  simulated node boundaries by the exchange operators;
+* :class:`TraceSink` — the read side (``export.py``): Chrome
+  trace-event JSON (one pid per node) for Perfetto, and the rows
+  behind ``v_monitor.query_traces`` / ``v_monitor.trace_spans``;
+* :func:`record_plan_spans` — post-hoc per-operator spans synthesized
+  from a finished plan tree (``plan_spans.py``).
+"""
+
+from .export import COORDINATOR_PID, TraceSink
+from .plan_spans import record_plan_spans
+from .span import Span, TraceContext, TraceHandle
+from .tracer import TRACE_ENV, TRACER, Tracer
+
+__all__ = [
+    "COORDINATOR_PID",
+    "Span",
+    "TRACE_ENV",
+    "TRACER",
+    "TraceContext",
+    "TraceHandle",
+    "TraceSink",
+    "Tracer",
+    "record_plan_spans",
+]

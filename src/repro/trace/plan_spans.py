@@ -1,0 +1,103 @@
+"""Post-hoc operator spans: a finished plan tree → per-operator spans.
+
+Operators cannot carry live spans safely: the pull model means a
+``LimitOperator`` abandons its upstream generators mid-stream, which
+would leak open spans, and a lazy generator's exit runs at GC time,
+not at a deterministic point.  Instead the executor calls
+:func:`record_plan_spans` after an attempt finishes, synthesizing one
+*closed* span per operator from the accounting the base class already
+keeps (``wall_seconds``, rows/blocks/pulls).
+
+Two rules keep the synthesized tree honest:
+
+* **DAG dedup** — shared Send subtrees under several Recvs are emitted
+  once, by ``id()``, exactly like ``Operator.walk()``/``explain()``;
+* **live spans win** — Send/Recv operators that recorded a real span
+  during execution (see ``operators/exchange.py``) are not re-emitted;
+  their live span becomes the parent of their subtree's synthesized
+  spans, which is how operator spans inherit cross-node attribution.
+
+Synthesized intervals start at the parent's start and are clipped to
+the parent's duration, so the sanitizer's nesting invariant holds by
+construction; the operator's true inclusive cost is preserved in the
+span's ``dur`` up to that clip and exactly in its attrs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .span import Span, TraceContext
+
+
+def record_plan_spans(
+    trace: TraceContext | None, root: Any, parent: Span
+) -> int:
+    """Synthesize operator spans for ``root``'s subtree under ``parent``.
+
+    ``root`` is an ``execution.operators.Operator`` (duck-typed: only
+    ``children``, ``op_name``, ``label()``, ``wall_seconds`` and the
+    row/block/pull counters are touched — no import of the execution
+    package, which keeps the dependency arrow pointing the right way).
+    Returns the number of spans emitted.
+    """
+    if trace is None:
+        return 0
+    return _emit(trace, root, parent, None, set())
+
+
+def _budget(trace: TraceContext, parent: Span) -> float:
+    if parent.closed:
+        return parent.duration_seconds or 0.0
+    return max(trace.offset() - parent.start_offset, 0.0)
+
+
+def _emit(
+    trace: TraceContext,
+    op: Any,
+    parent: Span,
+    inherited_node: int | None,
+    seen: set[int],
+) -> int:
+    if id(op) in seen:
+        return 0
+    seen.add(id(op))
+    node = getattr(op, "node_index", None)
+    if node is None:
+        node = getattr(op, "trace_node", None)
+    if node is None:
+        node = inherited_node
+    count = 0
+    live_id = getattr(op, "trace_span_id", None)
+    live = trace.span_by_id(live_id) if live_id is not None else None
+    if live is not None:
+        # the operator already recorded a real span during execution;
+        # its subtree nests under that span (and its node) instead.
+        for child in op.children:
+            count += _emit(trace, child, live, node, seen)
+        return count
+    span = trace.add_closed_span(
+        name=f"op.{op.op_name}",
+        category="operator",
+        node_index=node,
+        parent_id=parent.span_id,
+        start_offset=parent.start_offset,
+        duration_seconds=min(
+            max(op.wall_seconds, 0.0), _budget(trace, parent)
+        ),
+        start_tick=parent.start_tick,
+        end_tick=(
+            parent.end_tick if parent.end_tick is not None else None
+        ),
+        attrs={
+            "label": op.label(),
+            "rows": op.rows_produced,
+            "blocks": op.blocks_produced,
+            "pulls": op.pulls,
+            "wall_seconds": round(op.wall_seconds, 9),
+        },
+    )
+    count += 1
+    for child in op.children:
+        count += _emit(trace, child, span, node, seen)
+    return count

@@ -1,0 +1,241 @@
+"""The trace data model: spans, trace contexts, cross-node handles.
+
+A **trace** is the causal record of one unit of work — a SQL
+statement, a tuple-mover cycle, a node recovery — as a tree of
+**spans**.  Each span carries two clocks, deliberately:
+
+* the **simulated tick** (:class:`repro.cluster.clock.SimulatedClock`)
+  at open and close, which is deterministic and is what chaos tests
+  assert against; and
+* a **wall-time offset/duration** measured with ``perf_counter``,
+  which is what makes the Perfetto rendering legible but never
+  influences control flow (the same discipline replint R8 enforces
+  for the self-healing runtime).
+
+Span ids are small per-trace integers allocated in execution order —
+deterministic for a deterministic workload — and trace ids come from
+the tracer's seeded RNG, so two runs of the same scripted scenario
+produce byte-identical id sequences.
+
+A :class:`TraceHandle` is the serializable ``(trace id, span id)``
+pair that crosses simulated node boundaries: the distributed executor
+stamps one onto each Send/Recv exchange operator at plan-build time,
+and the operator re-attaches to the trace under that exact parent when
+it later drains on another "node" — the reproduction's equivalent of
+propagating trace headers over the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+from ..errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.clock import SimulatedClock
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    ``node_index`` is the simulated node the work ran on; ``None``
+    means the coordinator/initiator.  ``duration_seconds`` is ``None``
+    while the span is open — the sanitizer's closed-span check keys on
+    exactly that.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    node_index: int | None
+    start_tick: int
+    #: Wall seconds since the trace started (monotonic, perf_counter).
+    start_offset: float
+    duration_seconds: float | None = None
+    end_tick: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span has been closed."""
+        return self.duration_seconds is not None
+
+    @property
+    def end_offset(self) -> float:
+        """Wall seconds since trace start at which the span ended."""
+        return self.start_offset + (self.duration_seconds or 0.0)
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """The (trace id, parent span id) pair that crosses node
+    boundaries — what a Send operator carries into the exchange."""
+
+    trace_id: str
+    span_id: int
+
+
+class TraceContext:
+    """One trace being recorded: id, span store, open-span stack.
+
+    The context is created by :meth:`repro.trace.Tracer.start_trace`
+    (which also opens the root span) and finished by
+    :meth:`repro.trace.Tracer.end_trace`.  Spans open and close in
+    stack order except where an explicit parent (a
+    :class:`TraceHandle`) re-attaches work that executes on another
+    node's behalf.
+    """
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        clock: "SimulatedClock | None" = None,
+        attrs: dict[str, Any] | None = None,
+    ):
+        self.trace_id = trace_id
+        self.name = name
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+        self._stack: list[Span] = []
+        self._next_span_id = 1
+        self._started = perf_counter()
+        self.start_tick = self.tick()
+        self.root = self.open_span(name, category="trace", attrs=attrs)
+
+    # -- clocks ----------------------------------------------------------
+
+    def tick(self) -> int:
+        """The simulated-clock tick now (0 when no clock is bound)."""
+        return self.clock.now if self.clock is not None else 0
+
+    def offset(self) -> float:
+        """Wall seconds elapsed since the trace started."""
+        return perf_counter() - self._started
+
+    # -- span lifecycle --------------------------------------------------
+
+    def open_span(
+        self,
+        name: str,
+        category: str = "span",
+        node_index: int | None = None,
+        attrs: dict[str, Any] | None = None,
+        parent_id: int | None = None,
+    ) -> Span:
+        """Open a span; the parent defaults to the innermost open span."""
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        span = Span(
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            node_index=node_index,
+            start_tick=self.tick(),
+            start_offset=self.offset(),
+            attrs=dict(attrs or {}),
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        self._stack.append(span)
+        return span
+
+    def close_span(self, span: Span) -> None:
+        """Close ``span``, recording its duration and end tick."""
+        if span.closed:
+            raise TraceError(
+                f"span {span.span_id} ({span.name!r}) closed twice"
+            )
+        span.duration_seconds = max(self.offset() - span.start_offset, 0.0)
+        span.end_tick = self.tick()
+        if span in self._stack:
+            self._stack.remove(span)
+
+    def add_closed_span(
+        self,
+        name: str,
+        category: str,
+        node_index: int | None,
+        parent_id: int,
+        start_offset: float,
+        duration_seconds: float,
+        attrs: dict[str, Any] | None = None,
+        start_tick: int | None = None,
+        end_tick: int | None = None,
+    ) -> Span:
+        """Record an already-finished span with explicit interval.
+
+        Used for the post-hoc operator spans synthesized from a
+        finished plan tree: their wall costs were measured by the
+        operators themselves, so the span is created closed, clipped
+        by the caller to nest inside its parent (the optional tick
+        overrides let the caller pin it to the parent's tick window
+        when the parent closed before this span was recorded).
+        """
+        span = Span(
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            node_index=node_index,
+            start_tick=self.tick() if start_tick is None else start_tick,
+            start_offset=start_offset,
+            duration_seconds=max(duration_seconds, 0.0),
+            end_tick=self.tick() if end_tick is None else end_tick,
+            attrs=dict(attrs or {}),
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    # -- introspection ---------------------------------------------------
+
+    def span_by_id(self, span_id: int) -> Span | None:
+        """The span with ``span_id``, if it exists in this trace."""
+        return self._by_id.get(span_id)
+
+    def current_span(self) -> Span:
+        """The innermost open span (at minimum the root)."""
+        if not self._stack:
+            raise TraceError(f"trace {self.trace_id} has no open span")
+        return self._stack[-1]
+
+    def open_spans(self) -> list[Span]:
+        """Spans opened but not yet closed, outermost first."""
+        return list(self._stack)
+
+    def handle(self) -> TraceHandle:
+        """A cross-node handle naming the innermost open span."""
+        return TraceHandle(self.trace_id, self.current_span().span_id)
+
+    def finish(self) -> None:
+        """Close the root (and any still-open spans, innermost first).
+
+        Stragglers are annotated ``abandoned`` so the sanitizer's
+        closed-span check still sees a fully closed trace while the
+        leak remains visible in the exported data.
+        """
+        for span in reversed(self._stack[1:]):
+            span.attrs.setdefault("abandoned", True)
+            self.close_span(span)
+        if not self.root.closed:
+            self.close_span(self.root)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total wall duration (root span's, once finished)."""
+        return self.root.duration_seconds or 0.0
+
+    def nodes(self) -> list[int]:
+        """Distinct simulated nodes that contributed spans, sorted."""
+        return sorted(
+            {s.node_index for s in self.spans if s.node_index is not None}
+        )

@@ -1,0 +1,270 @@
+"""The process-wide tracer: kill switch, sampling, span context managers.
+
+The tracer mirrors the layering of the metrics registry (one
+process-wide instance, ``TRACER``, reset between tests by
+``repro.monitor.reset_all``) but unlike metrics it is **off by
+default**: tracing records per-operation objects, not counter bumps,
+so the disabled path must stay near-zero-cost.  The fast path when
+disabled is one attribute read (``self._active is None``) followed by
+returning a preallocated no-op context manager — no allocation, no
+string formatting, no clock reads.
+
+Enablement follows the override-else-environment pattern of
+``repro.lint.sanitizer``:
+
+* ``TRACER.configure(enabled=True)`` (or ``enabled_scope()``) wins;
+* else the ``REPRO_TRACE`` environment variable (``1`` to enable);
+* else disabled.
+
+**Head-based sampling**: the keep/drop decision is made once, when the
+trace would start, by the tracer's seeded RNG (``sample_rate=1.0``
+keeps everything).  A dropped trace costs one RNG draw and nothing
+else — every subsequent ``span()`` call sees ``_active is None`` and
+takes the disabled fast path, exactly as the real system drops trace
+headers at the edge.
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..errors import TraceError
+from .span import Span, TraceContext, TraceHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.clock import SimulatedClock
+
+#: Environment variable enabling tracing outside explicit configure().
+TRACE_ENV = "REPRO_TRACE"
+
+#: Traces kept in the ring buffer before the oldest is dropped.
+RETAIN_TRACES = 64
+
+
+class _NullSpanCM:
+    """The disabled path's context manager: a shared, stateless no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def annotate(self, **attrs: object) -> None:
+        """No-op counterpart of :meth:`_SpanCM.annotate`."""
+
+
+_NULL_SPAN = _NullSpanCM()
+
+
+class _SpanCM:
+    """Context manager that closes its span on exit, recording errors."""
+
+    __slots__ = ("_trace", "span")
+
+    def __init__(self, trace: TraceContext, span: Span):
+        self._trace = trace
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.attrs["error"] = exc_type.__name__
+        self._trace.close_span(self.span)
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the live span."""
+        self.span.attrs.update(attrs)
+
+
+class _EnabledScope:
+    """Context manager flipping the tracer on (or off) for a region."""
+
+    def __init__(self, tracer: "Tracer", enabled: bool):
+        self._tracer = tracer
+        self._enabled = enabled
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "Tracer":
+        self._previous = self._tracer._override
+        self._tracer._override = self._enabled
+        return self._tracer
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._override = self._previous
+
+
+class Tracer:
+    """Records traces when enabled; a cheap no-op otherwise.
+
+    One trace is active at a time (the reproduction is single-threaded;
+    concurrency across "nodes" is simulated by the pull model), but
+    nested units of work — a statement triggering a tuple-mover cycle,
+    recovery running inside a supervisor tick — keep their own traces
+    via :meth:`start_trace`'s stack discipline.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = Random(seed)
+        self._override: bool | None = None
+        self._sample_rate = 1.0
+        self._active: TraceContext | None = None
+        self._trace_stack: list[TraceContext] = []
+        self.finished: list[TraceContext] = []
+        self.clock: "SimulatedClock | None" = None
+
+    # -- configuration ---------------------------------------------------
+
+    def enabled(self) -> bool:
+        """Whether new traces would be recorded right now."""
+        if self._override is not None:
+            return self._override
+        return os.environ.get(TRACE_ENV, "0") not in ("", "0")
+
+    def configure(
+        self,
+        enabled: bool | None = None,
+        sample_rate: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """Set the kill switch, sampling rate and/or id seed."""
+        if enabled is not None:
+            self._override = enabled
+        if sample_rate is not None:
+            self._sample_rate = max(0.0, min(1.0, sample_rate))
+        if seed is not None:
+            self._seed = seed
+            self._rng = Random(seed)
+
+    def enabled_scope(self, enabled: bool = True) -> _EnabledScope:
+        """Force tracing on (or off) within a ``with`` block."""
+        return _EnabledScope(self, enabled)
+
+    def bind_clock(self, clock: "SimulatedClock") -> None:
+        """Use ``clock`` for span ticks in traces started afterwards."""
+        self.clock = clock
+
+    def reset(self) -> None:
+        """Drop all recorded and in-flight traces; reseed the id RNG."""
+        self._active = None
+        self._trace_stack = []
+        self.finished = []
+        self._rng = Random(self._seed)
+
+    # -- trace lifecycle -------------------------------------------------
+
+    def start_trace(
+        self, name: str, attrs: dict[str, Any] | None = None
+    ) -> TraceContext | None:
+        """Begin a trace (or return ``None`` if disabled/sampled out).
+
+        A trace started while another is active is stacked: spans go to
+        the innermost trace until it ends, then the outer one resumes.
+        """
+        if not self.enabled():
+            return None
+        if self._sample_rate < 1.0 and self._rng.random() >= self._sample_rate:
+            return None
+        trace_id = f"{self._rng.getrandbits(64):016x}"
+        trace = TraceContext(trace_id, name, clock=self.clock, attrs=attrs)
+        if self._active is not None:
+            self._trace_stack.append(self._active)
+        self._active = trace
+        return trace
+
+    def end_trace(self, trace: TraceContext | None) -> None:
+        """Finish ``trace``: close stragglers, sanitize, retain."""
+        if trace is None:
+            return
+        if trace is not self._active:
+            raise TraceError(
+                f"end_trace for {trace.trace_id} but active trace is "
+                f"{self._active.trace_id if self._active else None}"
+            )
+        trace.finish()
+        self._active = (
+            self._trace_stack.pop() if self._trace_stack else None
+        )
+        from ..lint import sanitizer
+
+        if sanitizer.enabled():
+            sanitizer.check_trace_spans_closed(trace)
+            sanitizer.check_trace_nesting(trace)
+        self.finished.append(trace)
+        if len(self.finished) > RETAIN_TRACES:
+            del self.finished[: len(self.finished) - RETAIN_TRACES]
+
+    @property
+    def active(self) -> TraceContext | None:
+        """The trace currently recording, if any."""
+        return self._active
+
+    # -- span recording --------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "span",
+        node_index: int | None = None,
+        **attrs: object,
+    ) -> _SpanCM | _NullSpanCM:
+        """Open a child of the innermost open span (``with`` block)."""
+        trace = self._active
+        if trace is None:
+            return _NULL_SPAN
+        span = trace.open_span(
+            name, category=category, node_index=node_index, attrs=attrs
+        )
+        return _SpanCM(trace, span)
+
+    def span_from(
+        self,
+        handle: TraceHandle | None,
+        name: str,
+        category: str = "span",
+        node_index: int | None = None,
+        **attrs: object,
+    ) -> _SpanCM | _NullSpanCM:
+        """Open a span under the explicit parent named by ``handle``.
+
+        This is the cross-node re-attachment point: exchange operators
+        carry a :class:`TraceHandle` instead of relying on the open-span
+        stack, because by the time a Recv drains on another "node" the
+        stack no longer reflects who requested the work.  A handle for
+        a different (or finished) trace is ignored — the remote side
+        just runs untraced, as with a dropped trace header.
+        """
+        trace = self._active
+        if trace is None or handle is None:
+            return _NULL_SPAN
+        if handle.trace_id != trace.trace_id:
+            return _NULL_SPAN
+        parent = trace.span_by_id(handle.span_id)
+        if parent is None:
+            return _NULL_SPAN
+        span = trace.open_span(
+            name,
+            category=category,
+            node_index=node_index,
+            attrs=attrs,
+            parent_id=parent.span_id,
+        )
+        return _SpanCM(trace, span)
+
+    def handle(self) -> TraceHandle | None:
+        """A cross-node handle for the innermost open span, if tracing."""
+        trace = self._active
+        if trace is None:
+            return None
+        return trace.handle()
+
+
+#: The process-wide tracer every subsystem records through.
+TRACER = Tracer()

@@ -30,6 +30,7 @@ from ..lint import sanitizer
 from ..monitor import EVENTS, METRICS
 from ..storage.delete_vector import DeleteVector
 from ..storage.manager import StorageManager
+from ..trace import TRACER
 from .strata import MergePolicy, plan_merges
 
 
@@ -73,6 +74,18 @@ class TupleMover:
         translated from WOS positions into positions in the new
         containers and persisted as DVROS.  Returns new container ids.
         """
+        with TRACER.span(
+            "tuple_mover.moveout",
+            category="tuple_mover",
+            node_index=self.manager.node_index,
+            projection=projection_name,
+        ) as span:
+            created = self._moveout(projection_name)
+            if span is not None:
+                span.attrs["containers_created"] = len(created)
+            return created
+
+    def _moveout(self, projection_name: str) -> list[int]:
         started = perf_counter()
         state = self.manager.storage(projection_name)
         rows, epochs = state.wos.drain()
@@ -172,6 +185,18 @@ class TupleMover:
         self, state, projection_name: str, merge_ids: list[int], ahm: int, result
     ) -> int:
         """K-way merge the input containers into one new container."""
+        with TRACER.span(
+            "tuple_mover.mergeout",
+            category="tuple_mover",
+            node_index=self.manager.node_index,
+            projection=projection_name,
+            containers_in=len(merge_ids),
+        ):
+            return self._merge(state, projection_name, merge_ids, ahm, result)
+
+    def _merge(
+        self, state, projection_name: str, merge_ids: list[int], ahm: int, result
+    ) -> int:
         started = perf_counter()
         # stratum of the largest input, before the inputs are retired.
         stratum = max(

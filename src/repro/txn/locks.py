@@ -101,6 +101,21 @@ class LockManager:
         Returns the mode actually held after the call (conversion can
         strengthen it, e.g. holding I and requesting S yields SI).
         """
+        from ..trace import TRACER
+
+        with TRACER.span(
+            "lock.acquire",
+            category="lock",
+            txn=txn_id,
+            object=obj,
+            mode=mode.value,
+        ) as span:
+            granted = self._acquire(txn_id, obj, mode)
+            if span is not None:
+                span.attrs["granted"] = granted.value
+            return granted
+
+    def _acquire(self, txn_id: int, obj: str, mode: LockMode) -> LockMode:
         state = self._objects.setdefault(obj, _ObjectLocks())
         current = state.holders.get(txn_id)
         target = mode if current is None else convert(mode, current)

@@ -62,6 +62,20 @@ GOLDEN_SCHEMAS = {
         "event_id", "tick", "kind", "node_index", "node_name",
         "attempt", "detail",
     ],
+    "v_monitor.metrics": [
+        "name", "kind", "value", "observations", "total",
+        "min_value", "max_value", "mean", "p50", "p95",
+    ],
+    "v_monitor.query_traces": [
+        "trace_id", "name", "statement", "sql", "start_tick",
+        "end_tick", "duration_ms", "span_count", "node_count",
+        "node_list",
+    ],
+    "v_monitor.trace_spans": [
+        "trace_id", "span_id", "parent_id", "name", "category",
+        "node_index", "node_name", "start_tick", "end_tick",
+        "start_ms", "duration_ms", "error", "attrs",
+    ],
 }
 
 

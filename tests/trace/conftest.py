@@ -1,0 +1,15 @@
+"""Shared fixtures for the tracing test suite."""
+
+import pytest
+
+from repro.trace import TRACER
+
+
+@pytest.fixture
+def tracing():
+    """A clean, force-enabled tracer for one test."""
+    TRACER.reset()
+    TRACER.configure(sample_rate=1.0)
+    with TRACER.enabled_scope(True):
+        yield TRACER
+    TRACER.reset()

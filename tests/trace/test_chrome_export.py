@@ -1,0 +1,171 @@
+"""Golden tests for the trace span tree and its Chrome export.
+
+One scripted 3-node aggregate query drives every check: the exact
+span tree (ids, parents, categories, node attribution — all
+deterministic for a seeded tracer and a fixed data layout), the
+Chrome trace-event rendering Perfetto opens directly (one pid per
+simulated node, coordinator pid 0), and the v_monitor surfacing of
+the same trace.
+"""
+
+import json
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.errors import TraceError
+from repro.trace import COORDINATOR_PID, TraceSink
+
+SQL = "SELECT b, COUNT(*) AS n FROM t GROUP BY b ORDER BY b"
+
+#: The full span tree of SQL on the 3-node fixture: (span_id,
+#: parent_id, category, name, node_index).  Wall durations are the
+#: only nondeterministic part of a trace, so they are absent here.
+GOLDEN_SPANS = [
+    (1, None, "trace", "statement", None),
+    (2, 1, "sql", "sql.parse", None),
+    (3, 1, "sql", "sql.analyze", None),
+    (4, 1, "optimizer", "optimizer.plan", None),
+    (5, 1, "executor", "executor.attempt", None),
+    (6, 5, "operator", "op.Sort", None),
+    (7, 6, "operator", "op.ExprEval", None),
+    (8, 7, "operator", "op.GroupByHash", None),
+    (9, 8, "operator", "op.UnionAll", None),
+    (10, 9, "operator", "op.PrepassGroupBy", None),
+    (11, 10, "operator", "op.Scan", 0),
+    (12, 9, "operator", "op.PrepassGroupBy", None),
+    (13, 12, "operator", "op.Scan", 1),
+    (14, 9, "operator", "op.PrepassGroupBy", None),
+    (15, 14, "operator", "op.Scan", 2),
+]
+
+
+@pytest.fixture
+def traced_query(tmp_path, tracing):
+    db = Database(str(tmp_path / "db"), node_count=3, k_safety=1)
+    db.create_table(
+        TableDefinition(
+            "t",
+            [ColumnDef("a", types.INTEGER), ColumnDef("b", types.INTEGER)],
+            primary_key=("a",),
+        )
+    )
+    db.load("t", [{"a": i, "b": i % 7} for i in range(200)])
+    db.analyze_statistics()
+    rows = db.sql(SQL)
+    assert len(rows) == 7
+    return db, TraceSink()
+
+
+def test_span_tree_golden(traced_query):
+    _, sink = traced_query
+    trace = sink.latest()
+    got = [
+        (s.span_id, s.parent_id, s.category, s.name, s.node_index)
+        for s in trace.spans
+    ]
+    assert got == GOLDEN_SPANS
+    assert trace.root.attrs["sql"] == SQL
+    assert trace.root.attrs["statement"] == "SelectStatement"
+    # parse -> plan -> execute on every participating node.
+    assert trace.nodes() == [0, 1, 2]
+
+
+def test_trace_ids_deterministic(traced_query, tracing):
+    """Same seed, same workload => byte-identical trace id."""
+    db, sink = traced_query
+    first = sink.latest().trace_id
+    tracing.reset()
+    db.sql(SQL)
+    assert TraceSink().latest().trace_id == first
+    assert first == "629f6fbed82c07cd"  # Random(0) id stream, draw 1
+
+
+def test_chrome_export_shape(traced_query):
+    _, sink = traced_query
+    trace = sink.latest()
+    doc = sink.to_chrome_trace([trace.trace_id])
+    assert sorted(doc) == ["displayTimeUnit", "otherData", "traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"exporter": "repro.trace", "traces": 1}
+
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(meta) + len(slices) == len(doc["traceEvents"])
+
+    # one pid per simulated node plus the coordinator, each named.
+    assert [(e["pid"], e["args"]["name"]) for e in meta] == [
+        (COORDINATOR_PID, "coordinator"),
+        (1, "node0"),
+        (2, "node1"),
+        (3, "node2"),
+    ]
+
+    assert len(slices) == len(GOLDEN_SPANS)
+    for event, (span_id, parent_id, category, name, node) in zip(
+        slices, GOLDEN_SPANS
+    ):
+        assert event["name"] == name
+        assert event["cat"] == category
+        assert event["pid"] == (COORDINATOR_PID if node is None else node + 1)
+        assert event["tid"] == 0
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+        args = event["args"]
+        assert args["trace_id"] == trace.trace_id
+        assert args["span_id"] == span_id
+        assert args["parent_id"] == parent_id
+        assert args["start_tick"] is not None
+
+
+def test_chrome_export_is_valid_json_on_disk(traced_query, tmp_path):
+    _, sink = traced_query
+    out = tmp_path / "trace.json"
+    sink.write_chrome_trace(str(out))
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert loaded == json.loads(json.dumps(sink.to_chrome_trace()))
+    assert loaded["traceEvents"]
+
+
+def test_sink_selection_helpers(traced_query):
+    db, sink = traced_query
+    trace = sink.latest()
+    assert sink.trace(trace.trace_id) is trace
+    with pytest.raises(TraceError):
+        sink.trace("no-such-trace")
+    # restricting to an unknown id exports nothing but stays valid.
+    empty = sink.to_chrome_trace(["no-such-trace"])
+    assert empty["traceEvents"] == []
+    assert empty["otherData"]["traces"] == 0
+
+
+def test_v_monitor_tables_surface_the_trace(traced_query):
+    db, sink = traced_query
+    trace = sink.latest()
+    traces = db.sql(
+        "SELECT trace_id, statement, span_count, node_count, node_list "
+        "FROM v_monitor.query_traces"
+    )
+    mine = [r for r in traces if r["trace_id"] == trace.trace_id]
+    assert mine == [
+        {
+            "trace_id": trace.trace_id,
+            "statement": "SelectStatement",
+            "span_count": len(GOLDEN_SPANS),
+            "node_count": 3,
+            "node_list": "0,1,2",
+        }
+    ]
+    spans = db.sql(
+        "SELECT span_id, parent_id, name, category, node_name "
+        "FROM v_monitor.trace_spans "
+        f"WHERE trace_id = '{trace.trace_id}' ORDER BY span_id"
+    )
+    assert [
+        (r["span_id"], r["parent_id"], r["category"], r["name"])
+        for r in spans
+    ] == [(i, p, c, n) for i, p, c, n, _ in GOLDEN_SPANS]
+    by_id = {r["span_id"]: r for r in spans}
+    assert by_id[1]["node_name"] == "coordinator"
+    assert by_id[11]["node_name"] == "node00"
+    assert by_id[15]["node_name"] == "node02"

@@ -1,0 +1,100 @@
+"""Chaos test: a mid-query failover retry shows up in the trace.
+
+A node is crashed mid-scan via deterministic fault injection; the
+distributed executor must fail over and retry, and the statement's
+trace must record that as a ``failover.retry`` child span naming the
+dead node and the re-resolved buddy sources — the observability story
+the tracing subsystem exists for."""
+
+import random
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.faults import FaultPlan
+from repro.trace import TraceSink
+
+pytestmark = pytest.mark.chaos
+
+SELECT = (
+    "SELECT cid, COUNT(*) AS n, SUM(price) AS total "
+    "FROM sales GROUP BY cid ORDER BY cid"
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = Database(str(tmp_path / "db"), node_count=3, k_safety=1)
+    db.create_table(
+        TableDefinition(
+            "sales",
+            [
+                ColumnDef("sale_id", types.INTEGER),
+                ColumnDef("cid", types.INTEGER),
+                ColumnDef("price", types.FLOAT),
+            ],
+            primary_key=("sale_id",),
+        ),
+        sort_order=["sale_id"],
+    )
+    db.load(
+        "sales",
+        [
+            {"sale_id": i, "cid": i % 9, "price": float(i % 50)}
+            for i in range(150)
+        ],
+    )
+    db.analyze_statistics()
+    return db
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_failover_retry_is_a_child_span_naming_dead_node(db, tracing, seed):
+    rng = random.Random(seed)
+    victim = rng.randrange(3)
+    expected = db.sql(SELECT)
+
+    plan = FaultPlan(seed=seed).arm(
+        "executor.scan", "crash", node=victim, skip=rng.randrange(2)
+    )
+    with plan:
+        got = db.sql(SELECT)
+    assert got == expected
+
+    # the crashed query's trace is the one recording the retry.
+    trace = next(
+        t
+        for t in reversed(TraceSink().traces())
+        if any(s.name == "failover.retry" for s in t.spans)
+    )
+    retries = [s for s in trace.spans if s.name == "failover.retry"]
+    assert len(retries) == 1
+    retry = retries[0]
+    assert retry.category == "failover"
+    assert retry.attrs["dead_node"] == victim
+    assert retry.attrs["attempt"] == 1
+    # the re-resolved sources (per scanned family) exclude the ejected
+    # node: the surviving buddies took over its segments.
+    sources = retry.attrs["resolved_sources"]
+    assert list(sources) == ["sales_super"]
+    assert all(host != victim for host, _ in sources["sales_super"])
+
+    # child of the statement trace, not a sibling trace of its own.
+    assert trace.root.name == "statement"
+    assert retry.parent_id is not None
+
+    # the failed first attempt is visible too, with its error recorded.
+    attempts = [s for s in trace.spans if s.name == "executor.attempt"]
+    assert [s.attrs["attempt"] for s in attempts] == [1, 2]
+    assert attempts[0].attrs["error"] == "NodeDownError"
+    assert "error" not in attempts[1].attrs
+
+    # and the same story is queryable through v_monitor.trace_spans.
+    rows = db.sql(
+        "SELECT name, error FROM v_monitor.trace_spans "
+        f"WHERE trace_id = '{trace.trace_id}' ORDER BY span_id"
+    )
+    names = [r["name"] for r in rows]
+    assert "failover.retry" in names
+    errors = {r["name"]: r["error"] for r in rows if r["error"]}
+    assert errors.get("executor.attempt") == "NodeDownError"

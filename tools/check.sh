@@ -66,20 +66,62 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR4.json =="
+echo "== trace smoke: distributed query -> spans on every node -> Perfetto JSON =="
+# A traced 3-node aggregate (tracing + sanitizer both on) must produce
+# one statement trace whose spans cover parse -> plan -> execute on
+# every participating node, export as valid Chrome trace-event JSON
+# (one pid per node plus the coordinator), and be queryable back
+# through v_monitor.trace_spans.
+REPRO_TRACE=1 REPRO_SANITIZE=1 python - <<'EOF'
+import json, shutil, tempfile
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.trace import TraceSink
+
+root = tempfile.mkdtemp(prefix="trace_smoke_")
+try:
+    db = Database(root + "/db", node_count=3, k_safety=1)
+    db.create_table(TableDefinition(
+        "t", [ColumnDef("a", types.INTEGER), ColumnDef("b", types.INTEGER)],
+        primary_key=("a",),
+    ))
+    db.load("t", [{"a": i, "b": i % 5} for i in range(300)])
+    db.analyze_statistics()
+    db.sql("SELECT b, COUNT(*) AS n FROM t GROUP BY b ORDER BY b")
+    sink = TraceSink()
+    trace = sink.latest()
+    assert trace.root.name == "statement", trace.root.name
+    names = {span.name for span in trace.spans}
+    for required in ("sql.parse", "optimizer.plan", "executor.attempt"):
+        assert required in names, f"missing span {required}: {sorted(names)}"
+    assert trace.nodes() == [0, 1, 2], trace.nodes()
+    doc = json.loads(json.dumps(sink.to_chrome_trace([trace.trace_id])))
+    pids = {event["pid"] for event in doc["traceEvents"]}
+    assert pids == {0, 1, 2, 3}, pids
+    spans = db.sql(
+        "SELECT span_id FROM v_monitor.trace_spans "
+        f"WHERE trace_id = '{trace.trace_id}'"
+    )
+    assert len(spans) == len(trace.spans), (len(spans), len(trace.spans))
+    print("trace smoke OK:", len(trace.spans), "spans across nodes",
+          trace.nodes())
+finally:
+    shutil.rmtree(root, ignore_errors=True)
+EOF
+
+echo "== perf smoke: bench harness writes BENCH_PR5.json =="
 # One scaled-down bench through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
 # decoded, mergeouts, failover retries, ...) per bench into
-# BENCH_PR4.json at the repo root.  The full report comes from the
+# BENCH_PR5.json at the repo root.  The full report comes from the
 # same command without the scale-down env vars:
 #     python -m pytest benchmarks/ -q
 REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 python -m pytest \
     benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py -q
-test -s BENCH_PR4.json
+test -s BENCH_PR5.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR4.json"))
-assert report["benches"], "BENCH_PR4.json has no bench entries"
+report = json.load(open("BENCH_PR5.json"))
+assert report["benches"], "BENCH_PR5.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

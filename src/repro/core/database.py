@@ -12,6 +12,7 @@ agreement protocol.
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 
 from ..cluster import Cluster, recover_node
@@ -61,7 +62,8 @@ class Database:
         )
         self.stats = StatsCatalog()
         self.optimizer_name = optimizer
-        self._next_txn_id = 1
+        self._txn_id_lock = threading.Lock()
+        self._next_txn_id = 1  # concurrency: guarded-by(self._txn_id_lock)
         # traces stamp spans with this cluster's simulated clock; the
         # last-constructed Database wins, matching METRICS' process-wide
         # registry semantics.
@@ -101,9 +103,10 @@ class Database:
         return Session(self, isolation)
 
     def _allocate_txn_id(self) -> int:
-        txn_id = self._next_txn_id
-        self._next_txn_id += 1
-        return txn_id
+        with self._txn_id_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            return txn_id
 
     # -- conveniences (autocommit) ---------------------------------------------
 

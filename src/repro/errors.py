@@ -61,6 +61,18 @@ class LockTimeoutError(TransactionError):
     """Raised when a lock request cannot be granted."""
 
 
+class DeadlockError(TransactionError):
+    """Raised when a lock request would close a cycle in the lock
+    manager's waits-for graph.  The victim is deterministic: it is the
+    transaction whose request completed the cycle (a pure function of
+    the request order, never of thread scheduling).  ``cycle`` lists
+    the transaction ids along the cycle, starting with the victim."""
+
+    def __init__(self, message: str, cycle: list[int]):
+        super().__init__(message)
+        self.cycle = cycle
+
+
 class SerializationError(TransactionError):
     """Raised when a transaction must abort to preserve isolation."""
 

@@ -422,7 +422,7 @@ def _date_part(part: str):
     return extract
 
 
-_SCALAR_FUNCTIONS = {
+_SCALAR_FUNCTIONS = {  # concurrency: immutable
     "ABS": abs,
     "LENGTH": len,
     "UPPER": str.upper,

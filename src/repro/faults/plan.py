@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import FaultPlanError, InjectedFaultError
@@ -57,7 +58,7 @@ _ACTIONS_BY_KIND = {
 }
 
 #: Global catalog of registered fault points, by name.
-REGISTRY: dict[str, FaultPoint] = {}
+REGISTRY: dict[str, FaultPoint] = {}  # concurrency: immutable
 
 
 def register_point(name: str, kind: str, description: str) -> FaultPoint:
@@ -294,21 +295,26 @@ class FaultPlan:
         )
 
 
+#: Serializes plan installation across threads.
+_PLAN_LOCK = threading.Lock()
+
 #: The process-wide active plan (None = fault-free operation).
-_ACTIVE: FaultPlan | None = None
+_ACTIVE: FaultPlan | None = None  # concurrency: guarded-by(_PLAN_LOCK)
 
 
 def install(plan: FaultPlan) -> None:
     """Make ``plan`` the active plan consulted by :func:`inject`."""
     global _ACTIVE
-    _ACTIVE = plan
+    with _PLAN_LOCK:
+        _ACTIVE = plan
 
 
 def uninstall(plan: FaultPlan | None = None) -> None:
     """Deactivate the active plan (or ``plan``, if it is the active one)."""
     global _ACTIVE
-    if plan is None or _ACTIVE is plan:
-        _ACTIVE = None
+    with _PLAN_LOCK:
+        if plan is None or _ACTIVE is plan:
+            _ACTIVE = None
 
 
 def active() -> FaultPlan | None:

@@ -2,14 +2,29 @@
 
 Exit status is 0 when no findings survive suppression, 1 otherwise —
 suitable for CI gates (``tools/check.sh``) and the self-clean test.
+The summary line breaks the total down per rule so CI logs show which
+rule regressed; ``--concurrency`` restricts the run to the
+whole-program concurrency analyses (R9 lock-order graph, R10
+guarded-by audit) and ``--json`` emits a machine-readable report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core import CHECKERS, run_lint
+
+
+def _summarize(findings) -> dict[str, int]:
+    """Finding count per rule id, in rule-id order."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(
+        sorted(counts.items(), key=lambda item: (len(item[0]), item[0]))
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,6 +45,18 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated rule ids to run (e.g. R1,R3); default all",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the concurrency analyses (R9 whole-program "
+        "lock-order graph, R10 shared-state guarded-by audit)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON report on stdout",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         dest="list_rules",
@@ -44,16 +71,53 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{checker.rule}  {checker.title}")
         return 0
 
-    rules = args.rules.split(",") if args.rules else None
+    if args.concurrency and args.rules:
+        print(
+            "replint: error: --concurrency and --rules are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.concurrency:
+        from .rules.concurrency import CONCURRENCY_RULES
+
+        rules = list(CONCURRENCY_RULES)
+    else:
+        rules = args.rules.split(",") if args.rules else None
     try:
         findings = run_lint(args.paths, rules=rules)
     except (FileNotFoundError, ValueError) as exc:
         print(f"replint: error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
+    counts = _summarize(findings)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "rule": finding.rule,
+                            "path": finding.path,
+                            "line": finding.line,
+                            "message": finding.message,
+                        }
+                        for finding in findings
+                    ],
+                    "counts": counts,
+                    "total": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
     if findings:
-        print(f"replint: {len(findings)} finding(s)", file=sys.stderr)
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in counts.items())
+        print(
+            f"replint: {len(findings)} finding(s) ({per_rule})",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

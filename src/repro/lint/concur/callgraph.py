@@ -1,0 +1,243 @@
+"""Name-based interprocedural call graph over the lint project.
+
+R9 needs to know, for every function in ``src/repro``, the full set of
+lock modes and tracked mutexes its *callees* may acquire — not just
+the ones it acquires directly.  Python has no static types to resolve
+method calls precisely, so resolution is name-based (the same
+approximation R3 uses within one module, widened to the whole
+project), sharpened by two filters that remove the worst collisions:
+
+* **self binding** — ``self.f(...)`` inside class ``C`` resolves to
+  ``C.f`` alone when ``C`` defines ``f``, instead of every ``f`` in
+  the tree;
+* **signature compatibility** — a call site only reaches functions
+  whose parameter list could accept its argument shape, so
+  ``stats.update(mapping)`` (one argument, a dict method) never links
+  to a three-argument ``Session.update`` that takes table locks.
+
+Both filters only *remove* impossible edges; anything ambiguous stays,
+which is the right bias for a deadlock analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..core import Module, Project
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Shape of one call expression, for signature filtering."""
+
+    name: str
+    npos: int
+    kwnames: frozenset[str]
+    #: ``*args`` / ``**kwargs`` at the call — matches any signature.
+    star: bool
+    #: True for ``self.name(...)`` receivers.
+    self_receiver: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the analyzed tree."""
+
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    name: str
+    #: ``Class.method`` for methods, bare name for module functions.
+    qualname: str
+    #: Enclosing class name, or None for module-level functions.
+    class_name: str | None
+    call_sites: list[CallSite] = field(default_factory=list)
+
+
+def site_of_call(call: ast.Call) -> CallSite | None:
+    """Build a :class:`CallSite` for a call expression, if nameable."""
+    if isinstance(call.func, ast.Name):
+        name, self_receiver = call.func.id, False
+    elif isinstance(call.func, ast.Attribute):
+        name = call.func.attr
+        self_receiver = (
+            isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        )
+    else:
+        return None
+    star = any(isinstance(arg, ast.Starred) for arg in call.args) or any(
+        kw.arg is None for kw in call.keywords
+    )
+    return CallSite(
+        name=name,
+        npos=sum(1 for arg in call.args if not isinstance(arg, ast.Starred)),
+        kwnames=frozenset(
+            kw.arg for kw in call.keywords if kw.arg is not None
+        ),
+        star=star,
+        self_receiver=self_receiver,
+    )
+
+
+#: Method names shared with the builtin container/str/file protocols.
+#: An attribute call with one of these names (``mapping.get(key)``) is
+#: overwhelmingly a builtin call, and because nearly every project
+#: function transitively bumps ``METRICS`` (taking its lock), resolving
+#: them by bare name would hang phantom lock edges off every dict
+#: lookup.  They resolve only through an explicit ``self.`` receiver
+#: whose class defines the method; anything else is treated as builtin.
+BUILTIN_COLLISIONS = frozenset(
+    {
+        "get", "keys", "values", "items", "setdefault", "pop", "popitem",
+        "clear", "copy", "append", "extend", "insert", "remove", "discard",
+        "add", "update", "sort", "reverse", "index", "count", "join",
+        "split", "rsplit", "strip", "lstrip", "rstrip", "startswith",
+        "endswith", "format", "encode", "decode", "read", "write",
+        "readline", "readlines", "seek", "tell", "flush", "close", "open",
+    }
+)
+
+
+def _in_scope(module: Module) -> bool:
+    """Whether a module participates in the whole-program analysis."""
+    return "repro/" in module.norm_path and not module.is_test_code()
+
+
+def collect_functions(project: Project) -> list[FunctionInfo]:
+    """Every function/method in the project's in-scope modules."""
+    functions: list[FunctionInfo] = []
+    for module in project.modules:
+        if not _in_scope(module):
+            continue
+        for node in module.tree.body:
+            functions.extend(_walk_scope(module, node, class_name=None))
+    return functions
+
+
+def _walk_scope(
+    module: Module, node: ast.stmt, class_name: str | None
+) -> list[FunctionInfo]:
+    out: list[FunctionInfo] = []
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        info = FunctionInfo(
+            module=module,
+            node=node,
+            name=node.name,
+            qualname=qual,
+            class_name=class_name,
+        )
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                site = site_of_call(child)
+                if site is not None:
+                    info.call_sites.append(site)
+        out.append(info)
+        # nested defs are analysed as their own functions too.
+        for stmt in node.body:
+            out.extend(_walk_scope(module, stmt, class_name))
+    elif isinstance(node, ast.ClassDef):
+        for stmt in node.body:
+            out.extend(_walk_scope(module, stmt, node.name))
+    return out
+
+
+def _signature(fn: FunctionInfo) -> tuple[int, int, int | None, set[str], bool]:
+    """(required_pos, required_kwonly, max_pos, kw_names, has_kwargs)."""
+    args = fn.node.args
+    positional = [param.arg for param in args.posonlyargs + args.args]
+    is_static = any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in fn.node.decorator_list
+    )
+    if (
+        fn.class_name is not None
+        and not is_static
+        and positional
+        and positional[0] in ("self", "cls")
+    ):
+        positional = positional[1:]
+    required = max(0, len(positional) - len(args.defaults))
+    max_pos = None if args.vararg else len(positional)
+    kw_names = set(positional) | {param.arg for param in args.kwonlyargs}
+    required_kwonly = sum(
+        1 for default in args.kw_defaults if default is None
+    )
+    return required, required_kwonly, max_pos, kw_names, args.kwarg is not None
+
+
+def _compatible(site: CallSite, fn: FunctionInfo) -> bool:
+    """Whether ``site``'s argument shape could invoke ``fn``."""
+    if site.star:
+        return True
+    required, required_kwonly, max_pos, kw_names, has_kwargs = _signature(fn)
+    if max_pos is not None and site.npos > max_pos:
+        return False
+    if not has_kwargs and not site.kwnames <= kw_names:
+        return False
+    if site.npos + len(site.kwnames) < required + required_kwonly:
+        return False
+    return True
+
+
+class CallGraph:
+    """Name-indexed call graph with transitive acquisition closure."""
+
+    def __init__(self, functions: list[FunctionInfo]):
+        self.functions = functions
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        self.by_class: dict[tuple[str, str], list[FunctionInfo]] = {}
+        for fn in functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+            if fn.class_name is not None:
+                self.by_class.setdefault(
+                    (fn.class_name, fn.name), []
+                ).append(fn)
+
+    def resolve_site(
+        self, site: CallSite, caller_class: str | None
+    ) -> list[FunctionInfo]:
+        """Project functions a call site might reach, post-filtering."""
+        candidates: list[FunctionInfo] | None = None
+        if site.self_receiver and caller_class is not None:
+            candidates = self.by_class.get((caller_class, site.name))
+        if candidates is None:
+            if site.name in BUILTIN_COLLISIONS:
+                return []
+            candidates = self.by_name.get(site.name, [])
+        return [fn for fn in candidates if _compatible(site, fn)]
+
+    def transitive_closure(
+        self, direct: dict[int, frozenset[str]]
+    ) -> dict[int, frozenset[str]]:
+        """Fixpoint of "acquisitions reachable from each function".
+
+        ``direct`` maps ``id(FunctionInfo)`` to the set of acquisition
+        labels the body performs itself; the result adds everything any
+        transitively reachable callee performs.  Plain worklist
+        iteration — the project has a few thousand functions, and each
+        converges in a handful of rounds.
+        """
+        callers_of: dict[int, list[FunctionInfo]] = {}
+        for fn in self.functions:
+            seen: set[int] = set()
+            for site in fn.call_sites:
+                for callee in self.resolve_site(site, fn.class_name):
+                    if id(callee) not in seen and callee is not fn:
+                        seen.add(id(callee))
+                        callers_of.setdefault(id(callee), []).append(fn)
+        result: dict[int, set[str]] = {
+            id(fn): set(direct.get(id(fn), frozenset()))
+            for fn in self.functions
+        }
+        worklist = list(self.functions)
+        while worklist:
+            fn = worklist.pop()
+            acquired = result[id(fn)]
+            for caller in callers_of.get(id(fn), []):
+                target = result[id(caller)]
+                if not acquired <= target:
+                    target |= acquired
+                    worklist.append(caller)
+        return {key: frozenset(value) for key, value in result.items()}

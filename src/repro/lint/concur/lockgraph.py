@@ -1,0 +1,509 @@
+"""Whole-program lock-order graph construction (rule R9).
+
+Promotes the intra-file R3 scan to an interprocedural analysis:
+
+* **Nodes** are either txn lock *ranks* (the canonical R3 classes
+  ``O < X < S/I/SI < T/U`` — equal-rank modes share one node so S→I
+  never reads as a cycle) or concrete *mutexes* (module globals and
+  ``self.attr`` slots initialised with ``threading.Lock`` / ``RLock``
+  / ``Condition`` / ``TrackedLock``, named ``GLOBAL`` or
+  ``Class.attr``).
+
+* **Edges** mean "acquired while holding": ``with`` nesting for
+  mutexes, R3's acquire-after-acquire sequencing for txn modes, and —
+  the interprocedural part — call sites, where everything a callee may
+  transitively acquire (via the name-based call graph's fixpoint) is
+  acquired under whatever the caller holds at that line.
+
+* **Findings**: txn-mode edges that run *down* the canonical rank
+  order; a mutex acquired while already held (self-loop — every mutex
+  here is non-reentrant); and cycles (strongly connected components)
+  in the remaining graph, the classic static deadlock signal.
+
+The walk is branch-aware: statements in different arms of an
+``if``/``elif``/``else`` or ``try``/``except`` never order against
+each other (only one arm runs), which is what keeps dispatchers like
+``execute_sql`` — S-taking SELECT arm textually before the X-taking
+DELETE arm — out of the report.  Loop bodies are walked once with no
+back edge.  Callee acquisitions are assumed balanced (released by
+return), so they order against the caller's held set but do not extend
+it; direct txn-mode acquisitions *do* persist for the rest of the
+function, matching the transaction model where locks live to commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..core import Module, Project
+from .callgraph import CallGraph, FunctionInfo, collect_functions, site_of_call
+from .modes import LOCK_RANK, mode_of_call as _mode_of_call
+
+#: Rank -> display/node label for the collapsed mode classes.
+RANK_LABEL = {0: "O", 1: "X", 2: "S/I/SI", 3: "T/U"}
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "TrackedLock"}
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    """Whether an expression constructs a mutex we should track."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_CTORS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CTORS
+    return False
+
+
+def _mode_node(mode: str) -> str:
+    return f"mode:{RANK_LABEL[LOCK_RANK[mode]]}"
+
+
+def _mode_rank(label: str) -> int | None:
+    """Rank of a ``mode:`` node label, None for mutex nodes."""
+    if not label.startswith("mode:"):
+        return None
+    name = label[len("mode:"):]
+    for rank, display in RANK_LABEL.items():
+        if display == name:
+            return rank
+    return None
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Source location that contributed an edge."""
+
+    path: str
+    line: int
+    function: str
+
+
+@dataclass
+class Order:
+    """One raw analysis result before rendering into lint findings."""
+
+    kind: str  # "down-rank" | "self-loop" | "cycle"
+    message: str
+    witness: Witness
+
+
+class LockInventory:
+    """Every statically known mutex in the project."""
+
+    def __init__(self, project: Project, functions: list[FunctionInfo]):
+        #: module norm_path -> set of module-level lock global names.
+        self.globals: dict[str, set[str]] = {}
+        #: class name -> set of lock attribute names.
+        self.class_attrs: dict[str, set[str]] = {}
+        #: attr name -> classes defining a lock under that attr.
+        self._attr_owners: dict[str, set[str]] = {}
+        for module in project.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.globals.setdefault(
+                                module.norm_path, set()
+                            ).add(target.id)
+        for fn in functions:
+            if fn.class_name is None:
+                continue
+            for child in ast.walk(fn.node):
+                if not isinstance(child, ast.Assign):
+                    continue
+                if not _is_lock_ctor(child.value):
+                    continue
+                for target in child.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self.class_attrs.setdefault(fn.class_name, set()).add(
+                            target.attr
+                        )
+                        self._attr_owners.setdefault(target.attr, set()).add(
+                            fn.class_name
+                        )
+
+    def resolve(
+        self, expr: ast.expr, module: Module, class_name: str | None
+    ) -> str | None:
+        """Node label for an expression denoting a known mutex, if any."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.globals.get(module.norm_path, ()):
+                return f"lock:{expr.id}"
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            attr = expr.attr
+            if expr.value.id == "self" and class_name is not None:
+                if attr in self.class_attrs.get(class_name, ()):
+                    return f"lock:{class_name}.{attr}"
+                return None
+            owners = self._attr_owners.get(attr, set())
+            if len(owners) == 1:
+                return f"lock:{next(iter(owners))}.{attr}"
+            if owners:
+                return f"lock:*.{attr}"
+        return None
+
+
+def _direct_labels(
+    fn: FunctionInfo, inventory: LockInventory
+) -> frozenset[str]:
+    """Acquisition labels performed directly by one function body."""
+    labels: set[str] = set()
+    for child in ast.walk(fn.node):
+        if isinstance(child, ast.With):
+            for item in child.items:
+                label = inventory.resolve(
+                    item.context_expr, fn.module, fn.class_name
+                )
+                if label is not None:
+                    labels.add(label)
+        elif isinstance(child, ast.Call):
+            mode = _mode_of_call(child)
+            if mode is not None:
+                labels.add(_mode_node(mode))
+                continue
+            if (
+                isinstance(child.func, ast.Attribute)
+                and child.func.attr == "acquire"
+            ):
+                label = inventory.resolve(
+                    child.func.value, fn.module, fn.class_name
+                )
+                if label is not None:
+                    labels.add(label)
+    return frozenset(labels)
+
+
+class LockGraph:
+    """The assembled acquired-while-holding graph plus raw findings."""
+
+    def __init__(self):
+        #: (holder, acquired) -> witnesses (first few retained).
+        self.edges: dict[tuple[str, str], list[Witness]] = {}
+        self.orders: list[Order] = []
+
+    def add_edge(self, holder: str, acquired: str, witness: Witness) -> None:
+        if holder == acquired and holder.startswith("mode:"):
+            return  # re-acquiring the same rank class is conversion, not order
+        bucket = self.edges.setdefault((holder, acquired), [])
+        if len(bucket) < 4:
+            bucket.append(witness)
+
+
+class _FunctionWalker:
+    """Branch-aware ordered walk of one function body."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        graph: LockGraph,
+        inventory: LockInventory,
+        callgraph: CallGraph,
+        acquired_all: dict[int, frozenset[str]],
+    ):
+        self.fn = fn
+        self.graph = graph
+        self.inventory = inventory
+        self.callgraph = callgraph
+        self.acquired_all = acquired_all
+
+    def witness(self, line: int) -> Witness:
+        return Witness(self.fn.module.path, line, self.fn.qualname)
+
+    def run(self) -> None:
+        self.walk_body(self.fn.node.body, held=(), mode_ranks=frozenset())
+
+    # -- state propagation -------------------------------------------
+
+    def walk_body(
+        self,
+        stmts: list[ast.stmt],
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+    ) -> frozenset[int]:
+        """Walk statements in order; returns escaping txn-mode ranks."""
+        for stmt in stmts:
+            mode_ranks = self.walk_stmt(stmt, held, mode_ranks)
+        return mode_ranks
+
+    def walk_stmt(
+        self,
+        stmt: ast.stmt,
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+    ) -> frozenset[int]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return mode_ranks  # nested scopes are analysed separately
+        if isinstance(stmt, ast.With):
+            mode_ranks = self.scan_exprs(
+                [item.context_expr for item in stmt.items], held, mode_ranks
+            )
+            inner = held
+            for item in stmt.items:
+                label = self.inventory.resolve(
+                    item.context_expr, self.fn.module, self.fn.class_name
+                )
+                if label is None:
+                    continue
+                self.acquire_lock(label, inner, mode_ranks, item.context_expr.lineno)
+                inner = inner + (label,)
+            return self.walk_body(stmt.body, inner, mode_ranks)
+        if isinstance(stmt, ast.If):
+            mode_ranks = self.scan_exprs([stmt.test], held, mode_ranks)
+            after_body = self.walk_body(stmt.body, held, mode_ranks)
+            after_else = self.walk_body(stmt.orelse, held, mode_ranks)
+            return after_body | after_else
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            mode_ranks = self.scan_exprs([stmt.iter], held, mode_ranks)
+            after = self.walk_body(stmt.body, held, mode_ranks)
+            return self.walk_body(stmt.orelse, held, after)
+        if isinstance(stmt, ast.While):
+            mode_ranks = self.scan_exprs([stmt.test], held, mode_ranks)
+            after = self.walk_body(stmt.body, held, mode_ranks)
+            return self.walk_body(stmt.orelse, held, after)
+        if isinstance(stmt, ast.Try):
+            after_body = self.walk_body(stmt.body, held, mode_ranks)
+            outcomes = [self.walk_body(stmt.orelse, held, after_body)]
+            for handler in stmt.handlers:
+                # an exception may fire before any acquisition in the
+                # body completed, so handlers restart from the pre-try
+                # state rather than ordering after the body.
+                outcomes.append(self.walk_body(handler.body, held, mode_ranks))
+            merged = frozenset().union(*outcomes)
+            return self.walk_body(stmt.finalbody, held, merged)
+        if isinstance(stmt, ast.Match):
+            subject = self.scan_exprs([stmt.subject], held, mode_ranks)
+            outcomes = [
+                self.walk_body(case.body, held, subject) for case in stmt.cases
+            ]
+            return frozenset(subject).union(*outcomes)
+        # simple statement: scan every expression inside it, in order.
+        return self.scan_exprs([stmt], held, mode_ranks)
+
+    def scan_exprs(
+        self,
+        roots: list[ast.AST],
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+    ) -> frozenset[int]:
+        """Process calls inside non-body expressions, in source order."""
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(node, ast.Call):
+                    mode_ranks = self.handle_call(node, held, mode_ranks)
+        return mode_ranks
+
+    # -- events -------------------------------------------------------
+
+    def handle_call(
+        self,
+        call: ast.Call,
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+    ) -> frozenset[int]:
+        mode = _mode_of_call(call)
+        if mode is not None:
+            rank = LOCK_RANK[mode]
+            self.acquire_mode(rank, held, mode_ranks, call.lineno, direct=True)
+            return mode_ranks | {rank}
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "acquire":
+            label = self.inventory.resolve(
+                call.func.value, self.fn.module, self.fn.class_name
+            )
+            if label is not None:
+                self.acquire_lock(label, held, mode_ranks, call.lineno)
+                return mode_ranks
+        # plain call: charge everything the callees may acquire.
+        site = site_of_call(call)
+        labels: set[str] = set()
+        if site is not None:
+            for target in self.callgraph.resolve_site(
+                site, self.fn.class_name
+            ):
+                if target.node is self.fn.node:
+                    continue
+                labels.update(self.acquired_all.get(id(target), ()))
+        for label in sorted(labels):
+            rank = _mode_rank(label)
+            if rank is not None:
+                self.acquire_mode(
+                    rank, held, mode_ranks, call.lineno, direct=False
+                )
+            else:
+                self.acquire_lock(label, held, mode_ranks, call.lineno)
+        return mode_ranks
+
+    def acquire_lock(
+        self,
+        label: str,
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+        line: int,
+    ) -> None:
+        witness = self.witness(line)
+        for holder in held:
+            self.graph.add_edge(holder, label, witness)
+        if label in held:
+            self.graph.orders.append(
+                Order(
+                    "self-loop",
+                    f"{self.fn.qualname}() acquires non-reentrant "
+                    f"{label.removeprefix('lock:')} while already holding it",
+                    witness,
+                )
+            )
+        for rank in mode_ranks:
+            self.graph.add_edge(f"mode:{RANK_LABEL[rank]}", label, witness)
+
+    def acquire_mode(
+        self,
+        rank: int,
+        held: tuple[str, ...],
+        mode_ranks: frozenset[int],
+        line: int,
+        direct: bool,
+    ) -> None:
+        witness = self.witness(line)
+        node = f"mode:{RANK_LABEL[rank]}"
+        for holder in held:
+            self.graph.add_edge(holder, node, witness)
+        worst = max(mode_ranks, default=None)
+        if worst is not None and rank < worst:
+            via = "" if direct else " via a callee"
+            self.graph.orders.append(
+                Order(
+                    "down-rank",
+                    f"{self.fn.qualname}() acquires LockMode rank "
+                    f"{RANK_LABEL[rank]}{via} after rank {RANK_LABEL[worst]}; "
+                    "canonical order is O < X < S/I/SI < T/U",
+                    witness,
+                )
+            )
+        for prior in mode_ranks:
+            if prior != rank:
+                self.graph.add_edge(f"mode:{RANK_LABEL[prior]}", node, witness)
+
+
+def build_lock_graph(project: Project) -> LockGraph:
+    """Run the whole-program analysis; returns graph + raw findings."""
+    functions = collect_functions(project)
+    inventory = LockInventory(project, functions)
+    callgraph = CallGraph(functions)
+    direct = {id(fn): _direct_labels(fn, inventory) for fn in functions}
+    acquired_all = callgraph.transitive_closure(direct)
+    graph = LockGraph()
+    for fn in functions:
+        _FunctionWalker(fn, graph, inventory, callgraph, acquired_all).run()
+    _find_cycles(graph)
+    return graph
+
+
+def _find_cycles(graph: LockGraph) -> None:
+    """Append cycle findings for every non-trivial SCC of the graph.
+
+    Down-rank mode edges are excluded first — they are already reported
+    as order violations, and keeping them would turn every ordering bug
+    into a spurious "cycle" against the canonical up-rank edges.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for (holder, acquired), _ in sorted(graph.edges.items()):
+        if holder == acquired:
+            continue  # self-loops are reported at the acquisition site
+        holder_rank, acquired_rank = _mode_rank(holder), _mode_rank(acquired)
+        if (
+            holder_rank is not None
+            and acquired_rank is not None
+            and acquired_rank < holder_rank
+        ):
+            continue
+        adjacency.setdefault(holder, set()).add(acquired)
+        adjacency.setdefault(acquired, set())
+
+    # iterative Tarjan SCC over the (small) node set.
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adjacency.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+
+    seen: set[tuple[str, ...]] = set()
+    for component in sccs:
+        key = tuple(component)
+        if key in seen:
+            continue
+        seen.add(key)
+        members = set(component)
+        witness = None
+        spots = []
+        for (holder, acquired), witnesses in sorted(graph.edges.items()):
+            if holder in members and acquired in members and witnesses:
+                if witness is None:
+                    witness = witnesses[0]
+                spots.append(
+                    f"{holder.removeprefix('lock:')}->"
+                    f"{acquired.removeprefix('lock:')} at "
+                    f"{witnesses[0].path}:{witnesses[0].line}"
+                )
+        assert witness is not None
+        names = ", ".join(label.removeprefix("lock:") for label in component)
+        graph.orders.append(
+            Order(
+                "cycle",
+                f"lock-order cycle among {{{names}}}: " + "; ".join(spots),
+                witness,
+            )
+        )

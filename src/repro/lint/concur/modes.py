@@ -1,0 +1,29 @@
+"""Canonical txn lock-mode ranking and acquisition-site detection.
+
+Shared by the intra-file R3 rule (:mod:`repro.lint.rules.lock_order`)
+and the whole-program R9 analysis (:mod:`repro.lint.concur.lockgraph`);
+it lives here, dependency-free, so neither package imports the other.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Canonical acquisition rank; acquire low ranks first.
+LOCK_RANK = {"O": 0, "X": 1, "S": 2, "I": 2, "SI": 2, "T": 3, "U": 3}
+
+
+def mode_of_call(node: ast.Call) -> str | None:
+    """The ``LockMode.<M>`` mode name an acquire-style call passes."""
+    if not isinstance(node.func, ast.Attribute) or node.func.attr != "acquire":
+        return None
+    candidates = list(node.args) + [kw.value for kw in node.keywords]
+    for argument in candidates:
+        if (
+            isinstance(argument, ast.Attribute)
+            and isinstance(argument.value, ast.Name)
+            and argument.value.id == "LockMode"
+            and argument.attr in LOCK_RANK
+        ):
+            return argument.attr
+    return None

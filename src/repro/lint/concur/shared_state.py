@@ -1,0 +1,488 @@
+"""Shared-mutable-state audit (rule R10): Eraser-style guarded-by, static.
+
+Inventory: every module-level binding in ``src/repro`` plus every
+``self.attr`` slot of a *singleton class* — a class with a module-level
+instance (``METRICS = MetricsRegistry()``), whose one object is
+process-wide shared state the moment a second thread exists.
+
+A *mutation* of an audited target is any of: a ``global`` rebind, an
+attribute or subscript store (``T.x = v`` / ``T[k] = v`` / ``del``),
+an augmented assignment, or a call to a known mutator method
+(``append``, ``update``, ``pop`` ...).  Mutations are fine in
+single-threaded construction contexts — module top level (import is
+serialized), ``__init__`` / ``__post_init__``, and registration
+functions (any function whose name contains ``register``).  Every
+other mutation site must be covered by a ``# concurrency:`` annotation
+on the target's defining line:
+
+* ``# concurrency: guarded-by(<lock-expr>)`` — each mutation must sit
+  inside ``with <lock-expr>:`` (compared as whitespace-stripped
+  ``ast.unparse`` text against the enclosing ``with`` items);
+* ``# concurrency: immutable`` — the target is only written during
+  import/registration, so a non-exempt mutation is itself the finding;
+* ``# concurrency: thread-local`` — the target holds per-thread state
+  (``threading.local``), so writes need no lock.
+
+Unannotated non-exempt mutation → finding.  Annotated but the guard is
+not held at the write → finding.  The annotation is the contract the
+runtime lockset detector (``concur.runtime``) spot-checks dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from ..core import Module, Project
+
+ANNOTATION_RE = re.compile(
+    r"#\s*concurrency:\s*(immutable|thread-local|guarded-by\(([^)]+)\))"
+)
+
+#: Method names that mutate their receiver in place.
+MUTATORS = {
+    "append", "extend", "insert", "add", "update", "clear", "pop",
+    "popitem", "remove", "discard", "setdefault", "sort", "reverse",
+    "appendleft", "popleft",
+}
+
+#: Constructors whose instances are synchronization primitives or
+#: otherwise self-synchronized — attributes bound to them are not
+#: shared *data* and need no guarded-by annotation.
+_SYNC_CTORS = {
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "TrackedLock", "local", "Queue",
+}
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Parsed ``# concurrency:`` marker from a defining line."""
+
+    kind: str  # "immutable" | "thread-local" | "guarded-by"
+    guard: str | None  # whitespace-stripped lock expression text
+
+    @property
+    def display(self) -> str:
+        if self.kind == "guarded-by":
+            return f"guarded-by({self.guard})"
+        return self.kind
+
+
+def module_annotations(module: Module) -> dict[int, Annotation]:
+    """line number -> parsed annotation, for one module's source."""
+    out: dict[int, Annotation] = {}
+    for lineno, line in enumerate(module.source.splitlines(), start=1):
+        match = ANNOTATION_RE.search(line)
+        if match is None:
+            continue
+        if match.group(2) is not None:
+            out[lineno] = Annotation(
+                "guarded-by", re.sub(r"\s+", "", match.group(2))
+            )
+        else:
+            out[lineno] = Annotation(match.group(1), None)
+    return out
+
+
+@dataclass
+class TargetInfo:
+    """One audited piece of shared state."""
+
+    display: str  # "_ACTIVE" or "MetricsRegistry._counters"
+    annotation: Annotation | None
+
+
+@dataclass
+class MutationReport:
+    """A non-exempt, non-covered mutation — one R10 finding."""
+
+    module: Module
+    line: int
+    message: str
+
+
+def _in_scope(module: Module) -> bool:
+    return "repro/" in module.norm_path and not module.is_test_code()
+
+
+def _is_sync_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name in _SYNC_CTORS
+
+
+class SharedStateAudit:
+    """Builds the target inventory, then walks every function body."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.reports: list[MutationReport] = []
+        #: global name -> TargetInfo (first module to define it wins).
+        self.globals: dict[str, TargetInfo] = {}
+        #: module norm_path -> set of its own module-level names.
+        self.module_globals: dict[str, set[str]] = {}
+        #: class name -> {attr -> TargetInfo} for singleton classes.
+        self.singleton_attrs: dict[str, dict[str, TargetInfo]] = {}
+        #: module-level instance name -> its class ("METRICS" -> "MetricsRegistry").
+        self.instance_of: dict[str, str] = {}
+        self._collect_targets()
+
+    # -- inventory ----------------------------------------------------
+
+    def _collect_targets(self) -> None:
+        class_defs: dict[str, tuple[Module, ast.ClassDef]] = {}
+        instantiated: set[str] = set()
+        for module in self.project.modules:
+            if not _in_scope(module):
+                continue
+            annotations = module_annotations(module)
+            names = self.module_globals.setdefault(module.norm_path, set())
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    class_defs.setdefault(node.name, (module, node))
+                    continue
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    names.add(target.id)
+                    self.globals.setdefault(
+                        target.id,
+                        TargetInfo(target.id, annotations.get(node.lineno)),
+                    )
+                value = node.value
+                if isinstance(value, ast.Call) and isinstance(
+                    value.func, ast.Name
+                ):
+                    instantiated.add(value.func.id)
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            self.instance_of.setdefault(
+                                target.id, value.func.id
+                            )
+        for class_name in sorted(instantiated):
+            if class_name not in class_defs:
+                continue
+            module, node = class_defs[class_name]
+            annotations = module_annotations(module)
+            attrs: dict[str, TargetInfo] = {}
+            for child in ast.walk(node):
+                if isinstance(child, ast.Assign):
+                    child_targets = child.targets
+                elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                    child_targets = [child.target]
+                else:
+                    continue
+                if _is_sync_ctor(child.value):
+                    continue
+                for target in child_targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    annotation = annotations.get(child.lineno)
+                    existing = attrs.get(target.attr)
+                    # the annotated defining line wins over bare stores.
+                    if existing is None or (
+                        existing.annotation is None and annotation is not None
+                    ):
+                        attrs[target.attr] = TargetInfo(
+                            f"{class_name}.{target.attr}", annotation
+                        )
+            if attrs:
+                self.singleton_attrs[class_name] = attrs
+
+    # -- walk ---------------------------------------------------------
+
+    def run(self) -> list[MutationReport]:
+        for module in self.project.modules:
+            if not _in_scope(module):
+                continue
+            walker = _ModuleWalker(self, module)
+            walker.run()
+        return self.reports
+
+    def record(
+        self,
+        module: Module,
+        line: int,
+        target: TargetInfo,
+        verb: str,
+        func_chain: list[str],
+        with_guards: list[str],
+    ) -> None:
+        where = func_chain[-1] + "()" if func_chain else "module scope"
+        annotation = target.annotation
+        if annotation is None:
+            self.reports.append(
+                MutationReport(
+                    module,
+                    line,
+                    f"shared state '{target.display}' is {verb} in {where} "
+                    "without a '# concurrency:' annotation at its "
+                    "definition (guarded-by(<lock>) | immutable | "
+                    "thread-local)",
+                )
+            )
+        elif annotation.kind == "immutable":
+            self.reports.append(
+                MutationReport(
+                    module,
+                    line,
+                    f"'{target.display}' is annotated "
+                    f"'# concurrency: immutable' but {verb} in {where} "
+                    "(outside __init__/registration)",
+                )
+            )
+        elif annotation.kind == "guarded-by":
+            if annotation.guard not in with_guards:
+                held = ", ".join(with_guards) if with_guards else "no locks"
+                self.reports.append(
+                    MutationReport(
+                        module,
+                        line,
+                        f"'{target.display}' is "
+                        f"guarded-by({annotation.guard}) but {verb} in "
+                        f"{where} holding [{held}]; wrap the write in "
+                        f"'with {annotation.guard}:'",
+                    )
+                )
+        # thread-local: writes are per-thread by construction.
+
+
+class _ModuleWalker:
+    """Statement walker tracking function, class and ``with`` context."""
+
+    def __init__(self, audit: SharedStateAudit, module: Module):
+        self.audit = audit
+        self.module = module
+        self.own_globals = audit.module_globals.get(module.norm_path, set())
+
+    def run(self) -> None:
+        for stmt in self.module.tree.body:
+            self.visit(stmt, func_chain=[], class_name=None, guards=[])
+
+    def exempt(self, func_chain: list[str]) -> bool:
+        if not func_chain:
+            return True  # module top level: import is single-threaded
+        for name in func_chain:
+            if name in ("__init__", "__post_init__") or "register" in name:
+                return True
+        return False
+
+    # -- traversal ----------------------------------------------------
+
+    def visit(
+        self,
+        stmt: ast.stmt,
+        func_chain: list[str],
+        class_name: str | None,
+        guards: list[str],
+    ) -> None:
+        if isinstance(stmt, ast.ClassDef):
+            for child in stmt.body:
+                self.visit(child, func_chain, stmt.name, guards)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            chain = func_chain + [stmt.name]
+            for child in stmt.body:
+                self.visit(child, chain, class_name, guards)
+            return
+        if isinstance(stmt, ast.With):
+            inner = guards + [
+                re.sub(r"\s+", "", ast.unparse(item.context_expr))
+                for item in stmt.items
+            ]
+            self.inspect(stmt, func_chain, class_name, guards, shallow=True)
+            for child in stmt.body:
+                self.visit(child, func_chain, class_name, inner)
+            return
+        compound_bodies = []
+        if isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+            compound_bodies = [stmt.body, stmt.orelse]
+        elif isinstance(stmt, ast.Try):
+            compound_bodies = [stmt.body, stmt.orelse, stmt.finalbody]
+            compound_bodies += [handler.body for handler in stmt.handlers]
+        elif isinstance(stmt, ast.Match):
+            compound_bodies = [case.body for case in stmt.cases]
+        if compound_bodies:
+            self.inspect(stmt, func_chain, class_name, guards, shallow=True)
+            for body in compound_bodies:
+                for child in body:
+                    self.visit(child, func_chain, class_name, guards)
+            return
+        self.inspect(stmt, func_chain, class_name, guards, shallow=False)
+
+    def inspect(
+        self,
+        stmt: ast.stmt,
+        func_chain: list[str],
+        class_name: str | None,
+        guards: list[str],
+        shallow: bool,
+    ) -> None:
+        """Check one statement's own (non-body) mutations."""
+        if self.exempt(func_chain):
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self.check_store(target, stmt.lineno, "rebound", func_chain,
+                                 class_name, guards)
+        elif isinstance(stmt, ast.AugAssign):
+            self.check_store(stmt.target, stmt.lineno, "mutated", func_chain,
+                             class_name, guards)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.check_store(stmt.target, stmt.lineno, "rebound", func_chain,
+                             class_name, guards)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.check_store(target, stmt.lineno, "deleted from",
+                                 func_chain, class_name, guards)
+        # mutator method calls can hide anywhere in an expression.
+        for node in ast.walk(stmt) if not shallow else self._shallow(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+            ):
+                target = self.lookup(node.func.value, class_name)
+                if target is not None:
+                    self.audit.record(
+                        self.module, node.lineno, target,
+                        f"mutated ({node.func.attr})", func_chain, guards,
+                    )
+
+    @staticmethod
+    def _shallow(stmt: ast.stmt):
+        """Expression nodes of a compound statement, excluding bodies."""
+        fields = {
+            ast.If: ["test"], ast.While: ["test"],
+            ast.For: ["iter", "target"], ast.AsyncFor: ["iter", "target"],
+            ast.With: ["items"], ast.Match: ["subject"], ast.Try: [],
+        }.get(type(stmt), [])
+        for name in fields:
+            value = getattr(stmt, name)
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                if isinstance(item, ast.withitem):
+                    item = item.context_expr
+                yield from ast.walk(item)
+
+    # -- target resolution --------------------------------------------
+
+    def lookup(
+        self, expr: ast.expr, class_name: str | None
+    ) -> TargetInfo | None:
+        """TargetInfo for an expression denoting audited state, if any."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.own_globals:
+                return self.audit.globals.get(expr.id)
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            base, attr = expr.value.id, expr.attr
+            if base == "self" and class_name is not None:
+                return self.audit.singleton_attrs.get(class_name, {}).get(attr)
+            if base != "self":
+                # a singleton's attr poked from outside
+                # (``METRICS._counters[...] = v``) ...
+                instance_class = self.audit.instance_of.get(base)
+                if instance_class is not None:
+                    owner = self.audit.singleton_attrs.get(instance_class, {})
+                    found = owner.get(attr)
+                    if found is not None:
+                        return found
+                # ... or a cross-module write through an import alias
+                # (``other._REGISTRY[k] = v``): only names actually
+                # bound by an import qualify, so attribute access on
+                # ordinary local objects never matches a global that
+                # happens to share the attribute's name.
+                if base in self._imported_names():
+                    return self.audit.globals.get(attr)
+        return None
+
+    def _imported_names(self) -> set[str]:
+        cached = getattr(self, "_import_cache", None)
+        if cached is None:
+            cached = set()
+            for node in self.module.tree.body:
+                if isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for alias in node.names:
+                        cached.add(alias.asname or alias.name.split(".")[0])
+            self._import_cache = cached
+        return cached
+
+    def check_store(
+        self,
+        target: ast.expr,
+        line: int,
+        verb: str,
+        func_chain: list[str],
+        class_name: str | None,
+        guards: list[str],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.check_store(element, line, verb, func_chain,
+                                 class_name, guards)
+            return
+        if isinstance(target, ast.Name):
+            # plain name stores are locals unless declared global.
+            if target.id in self.own_globals and self._declared_global(
+                target.id, func_chain
+            ):
+                info = self.audit.globals.get(target.id)
+                if info is not None:
+                    self.audit.record(self.module, line, info, verb,
+                                      func_chain, guards)
+            return
+        if isinstance(target, ast.Subscript):
+            info = self.lookup(target.value, class_name)
+            if info is not None:
+                self.audit.record(self.module, line, info,
+                                  verb if verb != "rebound" else "mutated",
+                                  func_chain, guards)
+            return
+        if isinstance(target, ast.Attribute):
+            info = self.lookup(target, class_name)
+            if info is not None:
+                self.audit.record(self.module, line, info, verb,
+                                  func_chain, guards)
+                return
+            # storing through a global object: ``_HELD.names = []``.
+            if isinstance(target.value, ast.Name):
+                info = self.lookup(target.value, class_name)
+                if info is not None:
+                    self.audit.record(self.module, line, info,
+                                      f"mutated (.{target.attr})",
+                                      func_chain, guards)
+
+    def _declared_global(self, name: str, func_chain: list[str]) -> bool:
+        if not func_chain:
+            return True
+        return name in self._global_decls()
+
+    def _global_decls(self) -> set[str]:
+        cached = getattr(self, "_global_decl_cache", None)
+        if cached is None:
+            cached = set()
+            for node in ast.walk(self.module.tree):
+                if isinstance(node, ast.Global):
+                    cached.update(node.names)
+            self._global_decl_cache = cached
+        return cached

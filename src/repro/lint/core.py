@@ -172,7 +172,7 @@ class Checker:
 
 
 #: All registered checkers, in registration (= rule id) order.
-CHECKERS: list[Checker] = []
+CHECKERS: list[Checker] = []  # concurrency: immutable
 
 
 def register_checker(cls: type[Checker]) -> type[Checker]:

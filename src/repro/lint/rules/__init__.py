@@ -15,6 +15,7 @@ from . import hygiene  # noqa: F401  R5
 from . import api_docs  # noqa: F401  R6
 from . import atomic_io  # noqa: F401  R7
 from . import wallclock  # noqa: F401  R8
+from . import concurrency  # noqa: F401  R9, R10
 
 __all__ = [
     "operators",
@@ -25,4 +26,5 @@ __all__ = [
     "api_docs",
     "atomic_io",
     "wallclock",
+    "concurrency",
 ]

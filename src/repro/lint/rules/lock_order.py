@@ -24,26 +24,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from ..concur.modes import LOCK_RANK, mode_of_call as _mode_of_call
 from ..core import Checker, Finding, Module, Project, register_checker
-
-#: Canonical acquisition rank; acquire low ranks first.
-LOCK_RANK = {"O": 0, "X": 1, "S": 2, "I": 2, "SI": 2, "T": 3, "U": 3}
-
-
-def _mode_of_call(node: ast.Call) -> str | None:
-    """The ``LockMode.<M>`` mode name an acquire-style call passes."""
-    if not isinstance(node.func, ast.Attribute) or node.func.attr != "acquire":
-        return None
-    candidates = list(node.args) + [kw.value for kw in node.keywords]
-    for argument in candidates:
-        if (
-            isinstance(argument, ast.Attribute)
-            and isinstance(argument.value, ast.Name)
-            and argument.value.id == "LockMode"
-            and argument.attr in LOCK_RANK
-        ):
-            return argument.attr
-    return None
 
 
 def _called_local_names(node: ast.Call) -> list[str]:

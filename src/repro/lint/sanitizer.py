@@ -30,6 +30,7 @@ naming the violated invariant and the offending values.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
@@ -38,8 +39,12 @@ from ..errors import InvariantViolation
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..storage.ros import ROSContainer
 
+#: Serializes writes to the override flag (a plain ``threading.Lock``,
+#: not a TrackedLock: the race detector itself calls ``enabled()``).
+_OVERRIDE_LOCK = threading.Lock()
+
 #: Tri-state programmatic override; None defers to the environment.
-_OVERRIDE: bool | None = None
+_OVERRIDE: bool | None = None  # concurrency: guarded-by(_OVERRIDE_LOCK)
 
 
 def enabled() -> bool:
@@ -52,7 +57,8 @@ def enabled() -> bool:
 def set_enabled(value: bool | None) -> None:
     """Force the sanitizer on/off; ``None`` restores env control."""
     global _OVERRIDE
-    _OVERRIDE = value
+    with _OVERRIDE_LOCK:
+        _OVERRIDE = value
 
 
 @contextmanager

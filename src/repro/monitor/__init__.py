@@ -63,3 +63,6 @@ def reset_all() -> None:
     from ..trace import TRACER
 
     TRACER.reset()
+    from ..lint.concur.runtime import RACES
+
+    RACES.reset()

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..lint.concur.runtime import TrackedLock
+
 #: Events retained before the oldest are evicted.
 EVENT_CAPACITY = 1024
 
@@ -43,12 +45,19 @@ class TupleMoverEvent:
 
 
 class EventLog:
-    """Bounded FIFO of :class:`TupleMoverEvent` records."""
+    """Bounded FIFO of :class:`TupleMoverEvent` records.
+
+    The process-wide instance (:data:`EVENTS`) may be appended to from
+    any session thread, so the id/append/evict sequence runs under an
+    internal mutex.  (:class:`FailoverLog` below is per-cluster state
+    owned by the cluster's own machinery and needs none.)
+    """
 
     def __init__(self, capacity: int = EVENT_CAPACITY):
         self._capacity = capacity
-        self._events: list[TupleMoverEvent] = []
-        self._next_id = 1
+        self._lock = TrackedLock("EventLog._lock")
+        self._events: list[TupleMoverEvent] = []  # concurrency: guarded-by(self._lock)
+        self._next_id = 1  # concurrency: guarded-by(self._lock)
 
     def record(
         self,
@@ -64,33 +73,36 @@ class EventLog:
         duration_seconds: float,
     ) -> TupleMoverEvent:
         """Append one event, evicting the oldest past capacity."""
-        event = TupleMoverEvent(
-            event_id=self._next_id,
-            kind=kind,
-            node_index=node_index,
-            projection=projection,
-            containers_in=containers_in,
-            containers_out=containers_out,
-            rows_in=rows_in,
-            rows_out=rows_out,
-            rows_purged=rows_purged,
-            stratum=stratum,
-            duration_seconds=duration_seconds,
-        )
-        self._next_id += 1
-        self._events.append(event)
-        if len(self._events) > self._capacity:
-            del self._events[0]
-        return event
+        with self._lock:
+            event = TupleMoverEvent(
+                event_id=self._next_id,
+                kind=kind,
+                node_index=node_index,
+                projection=projection,
+                containers_in=containers_in,
+                containers_out=containers_out,
+                rows_in=rows_in,
+                rows_out=rows_out,
+                rows_purged=rows_purged,
+                stratum=stratum,
+                duration_seconds=duration_seconds,
+            )
+            self._next_id += 1
+            self._events.append(event)
+            if len(self._events) > self._capacity:
+                del self._events[0]
+            return event
 
     def events(self) -> list[TupleMoverEvent]:
         """All retained events, oldest first."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def reset(self) -> None:
         """Drop all events and restart ids from 1."""
-        self._events.clear()
-        self._next_id = 1
+        with self._lock:
+            self._events.clear()
+            self._next_id = 1
 
 
 #: The process-wide tuple-mover event log.

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from ..lint.concur.runtime import RACES, TrackedLock
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..execution.operators.base import Operator
 
@@ -75,37 +77,48 @@ class QueryProfile:
 
 
 class ProfileLog:
-    """Bounded FIFO of completed :class:`QueryProfile` objects."""
+    """Bounded FIFO of completed :class:`QueryProfile` objects.
+
+    One instance (:data:`PROFILES`) serves every session thread, so id
+    allocation and the append/evict pair run under an internal mutex.
+    """
 
     def __init__(self, capacity: int = PROFILE_CAPACITY):
         self._capacity = capacity
-        self._profiles: list[QueryProfile] = []
-        self._next_id = 1
+        self._lock = TrackedLock("ProfileLog._lock")
+        self._profiles: list[QueryProfile] = []  # concurrency: guarded-by(self._lock)
+        self._next_id = 1  # concurrency: guarded-by(self._lock)
 
     def next_query_id(self) -> int:
         """Allocate the next monotonically increasing query id."""
-        query_id = self._next_id
-        self._next_id += 1
-        return query_id
+        with self._lock:
+            query_id = self._next_id
+            self._next_id += 1
+            RACES.note_write("PROFILES._next_id", "ProfileLog.next_query_id")
+            return query_id
 
     def record(self, profile: QueryProfile) -> None:
         """Append ``profile``, evicting the oldest past capacity."""
-        self._profiles.append(profile)
-        if len(self._profiles) > self._capacity:
-            del self._profiles[0]
+        with self._lock:
+            self._profiles.append(profile)
+            if len(self._profiles) > self._capacity:
+                del self._profiles[0]
 
     def profiles(self) -> list[QueryProfile]:
         """All retained profiles, oldest first."""
-        return list(self._profiles)
+        with self._lock:
+            return list(self._profiles)
 
     def last(self) -> QueryProfile | None:
         """The most recently recorded profile, if any."""
-        return self._profiles[-1] if self._profiles else None
+        with self._lock:
+            return self._profiles[-1] if self._profiles else None
 
     def reset(self) -> None:
         """Drop all profiles and restart query ids from 1."""
-        self._profiles.clear()
-        self._next_id = 1
+        with self._lock:
+            self._profiles.clear()
+            self._next_id = 1
 
 
 def profile_plan(root: "Operator") -> list[OperatorProfile]:

@@ -9,9 +9,16 @@ cluster — increments as it works.
 
 Design constraints, in order:
 
-* **Near-zero cost.**  ``inc`` is one dict lookup and an integer add;
-  hot paths bump once per *block*, never per row.  Instrumentation is
-  on unconditionally — there is no "enabled" flag to check.
+* **Near-zero cost.**  ``inc`` is one dict lookup and an integer add
+  under an uncontended mutex; hot paths bump once per *block*, never
+  per row.  Instrumentation is on unconditionally — there is no
+  "enabled" flag to check.
+* **Thread safe.**  One registry serves every session thread, so all
+  mutation and every read-modify-write snapshot runs under a single
+  internal lock (a :class:`~repro.lint.concur.runtime.TrackedLock`, so
+  the ``REPRO_SANITIZE=1`` lockset race detector can verify the
+  guarded-by discipline at runtime).  Single-threaded behaviour is
+  unchanged.
 * **Deterministic snapshots.**  Histograms keep exact count/sum/min/max
   plus a bounded reservoir sample.  Reservoir replacement uses a
   ``random.Random`` seeded from the registry seed and the metric name
@@ -29,12 +36,19 @@ import zlib
 from random import Random
 from typing import Any, Iterable
 
+from ..lint.concur.runtime import RACES, TrackedLock
+
 #: Bounded sample kept per histogram for percentile estimates.
 RESERVOIR_SIZE = 256
 
 
 class Histogram:
-    """Exact count/sum/min/max plus a seeded reservoir sample."""
+    """Exact count/sum/min/max plus a seeded reservoir sample.
+
+    Mutation happens only through :meth:`MetricsRegistry.observe`,
+    which holds the registry lock — the histogram itself carries no
+    synchronization.
+    """
 
     __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
 
@@ -87,67 +101,82 @@ class MetricsRegistry:
 
     def __init__(self, seed: int = 0):
         self._seed = seed
-        self._counters: dict[str, int] = {}
-        self._gauges: dict[str, float] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._lock = TrackedLock("MetricsRegistry._lock")
+        self._counters: dict[str, int] = {}  # concurrency: guarded-by(self._lock)
+        self._gauges: dict[str, float] = {}  # concurrency: guarded-by(self._lock)
+        self._histograms: dict[str, Histogram] = {}  # concurrency: guarded-by(self._lock)
 
     # -- write side ------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at 0)."""
-        counters = self._counters
-        counters[name] = counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+            RACES.note_write("METRICS._counters", "MetricsRegistry.inc")
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into histogram ``name``."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            seed = self._seed ^ zlib.crc32(name.encode("utf-8"))
-            histogram = self._histograms[name] = Histogram(seed)
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                seed = self._seed ^ zlib.crc32(name.encode("utf-8"))
+                histogram = self._histograms[name] = Histogram(seed)
+            histogram.observe(value)
 
     # -- read side -------------------------------------------------------
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never bumped)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def gauge(self, name: str) -> float | None:
         """Current value of gauge ``name``, if set."""
-        return self._gauges.get(name)
+        with self._lock:
+            return self._gauges.get(name)
 
     def histogram(self, name: str) -> Histogram | None:
         """The histogram object for ``name``, if any observation exists."""
-        return self._histograms.get(name)
+        with self._lock:
+            return self._histograms.get(name)
 
     def counters_with_prefix(self, prefix: str) -> dict[str, int]:
         """All counters whose name starts with ``prefix``."""
-        return {
-            name: value
-            for name, value in self._counters.items()
-            if name.startswith(prefix)
-        }
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Consistent copy of every counter, for delta capture."""
+        with self._lock:
+            return dict(self._counters)
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministic point-in-time dump of every metric."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
 
     def reset(self) -> None:
         """Zero everything; the next measurement starts clean."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def capture(self, names: Iterable[str] | None = None) -> "CounterCapture":
         """Scoped counter-delta measurement::
@@ -175,11 +204,11 @@ class CounterCapture:
         self.deltas: dict[str, int] = {}
 
     def __enter__(self) -> "CounterCapture":
-        self._before = dict(self._registry._counters)
+        self._before = self._registry.counters_snapshot()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        after = self._registry._counters
+        after = self._registry.counters_snapshot()
         names = (
             self._names
             if self._names is not None

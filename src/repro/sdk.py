@@ -65,7 +65,7 @@ class UserAggregate:
 
 
 #: name -> accumulator factory for user aggregates.
-_USER_AGGREGATES: dict[str, Callable[[], object]] = {}
+_USER_AGGREGATES: dict[str, Callable[[], object]] = {}  # concurrency: immutable
 
 
 def register_aggregate(name: str, factory: Callable[[], object]) -> None:

@@ -48,7 +48,7 @@ class Encoding(ABC):
 
 
 #: name -> Encoding instance, populated by :func:`register`.
-ENCODINGS: dict[str, Encoding] = {}
+ENCODINGS: dict[str, Encoding] = {}  # concurrency: immutable
 
 
 def register(encoding: Encoding) -> Encoding:

@@ -46,8 +46,13 @@ def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
 
 def zigzag(value: int) -> int:
     """Map a signed integer to an unsigned one with small absolute values
-    mapping to small codes (0->0, -1->1, 1->2, -2->3, ...)."""
-    return (value << 1) ^ (value >> 127) if value < 0 else value << 1
+    mapping to small codes (0->0, -1->1, 1->2, -2->3, ...).
+
+    Python ints are arbitrary-precision, so the negative branch XORs
+    with -1 (bitwise NOT) rather than the fixed-width ``value >> 127``
+    idiom, which under-shifts for magnitudes of 2**127 and beyond.
+    """
+    return (value << 1) ^ -1 if value < 0 else value << 1
 
 
 def unzigzag(value: int) -> int:

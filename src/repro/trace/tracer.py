@@ -31,6 +31,7 @@ from random import Random
 from typing import TYPE_CHECKING, Any, Iterator
 
 from ..errors import TraceError
+from ..lint.concur.runtime import TrackedLock
 from .span import Span, TraceContext, TraceHandle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -92,33 +93,40 @@ class _EnabledScope:
         self._previous: bool | None = None
 
     def __enter__(self) -> "Tracer":
-        self._previous = self._tracer._override
-        self._tracer._override = self._enabled
+        with self._tracer._lock:
+            self._previous = self._tracer._override
+            self._tracer._override = self._enabled
         return self._tracer
 
     def __exit__(self, *exc: object) -> None:
-        self._tracer._override = self._previous
+        with self._tracer._lock:
+            self._tracer._override = self._previous
 
 
 class Tracer:
     """Records traces when enabled; a cheap no-op otherwise.
 
-    One trace is active at a time (the reproduction is single-threaded;
+    One trace is active at a time (statements execute one at a time;
     concurrency across "nodes" is simulated by the pull model), but
     nested units of work — a statement triggering a tuple-mover cycle,
     recovery running inside a supervisor tick — keep their own traces
-    via :meth:`start_trace`'s stack discipline.
+    via :meth:`start_trace`'s stack discipline.  All lifecycle and
+    configuration mutation runs under an internal mutex; the disabled
+    fast path (``self._active is None`` in :meth:`span`) stays a single
+    unlocked read, which is a benign race — the worst outcome is one
+    span missing from a trace that started on another thread.
     """
 
     def __init__(self, seed: int = 0):
-        self._seed = seed
-        self._rng = Random(seed)
-        self._override: bool | None = None
-        self._sample_rate = 1.0
-        self._active: TraceContext | None = None
-        self._trace_stack: list[TraceContext] = []
-        self.finished: list[TraceContext] = []
-        self.clock: "SimulatedClock | None" = None
+        self._lock = TrackedLock("Tracer._lock")
+        self._seed = seed  # concurrency: guarded-by(self._lock)
+        self._rng = Random(seed)  # concurrency: guarded-by(self._lock)
+        self._override: bool | None = None  # concurrency: guarded-by(self._lock)
+        self._sample_rate = 1.0  # concurrency: guarded-by(self._lock)
+        self._active: TraceContext | None = None  # concurrency: guarded-by(self._lock)
+        self._trace_stack: list[TraceContext] = []  # concurrency: guarded-by(self._lock)
+        self.finished: list[TraceContext] = []  # concurrency: guarded-by(self._lock)
+        self.clock: "SimulatedClock | None" = None  # concurrency: guarded-by(self._lock)
 
     # -- configuration ---------------------------------------------------
 
@@ -135,13 +143,14 @@ class Tracer:
         seed: int | None = None,
     ) -> None:
         """Set the kill switch, sampling rate and/or id seed."""
-        if enabled is not None:
-            self._override = enabled
-        if sample_rate is not None:
-            self._sample_rate = max(0.0, min(1.0, sample_rate))
-        if seed is not None:
-            self._seed = seed
-            self._rng = Random(seed)
+        with self._lock:
+            if enabled is not None:
+                self._override = enabled
+            if sample_rate is not None:
+                self._sample_rate = max(0.0, min(1.0, sample_rate))
+            if seed is not None:
+                self._seed = seed
+                self._rng = Random(seed)
 
     def enabled_scope(self, enabled: bool = True) -> _EnabledScope:
         """Force tracing on (or off) within a ``with`` block."""
@@ -149,14 +158,16 @@ class Tracer:
 
     def bind_clock(self, clock: "SimulatedClock") -> None:
         """Use ``clock`` for span ticks in traces started afterwards."""
-        self.clock = clock
+        with self._lock:
+            self.clock = clock
 
     def reset(self) -> None:
         """Drop all recorded and in-flight traces; reseed the id RNG."""
-        self._active = None
-        self._trace_stack = []
-        self.finished = []
-        self._rng = Random(self._seed)
+        with self._lock:
+            self._active = None
+            self._trace_stack = []
+            self.finished = []
+            self._rng = Random(self._seed)
 
     # -- trace lifecycle -------------------------------------------------
 
@@ -170,36 +181,41 @@ class Tracer:
         """
         if not self.enabled():
             return None
-        if self._sample_rate < 1.0 and self._rng.random() >= self._sample_rate:
-            return None
-        trace_id = f"{self._rng.getrandbits(64):016x}"
-        trace = TraceContext(trace_id, name, clock=self.clock, attrs=attrs)
-        if self._active is not None:
-            self._trace_stack.append(self._active)
-        self._active = trace
-        return trace
+        with self._lock:
+            if (
+                self._sample_rate < 1.0
+                and self._rng.random() >= self._sample_rate
+            ):
+                return None
+            trace_id = f"{self._rng.getrandbits(64):016x}"
+            trace = TraceContext(trace_id, name, clock=self.clock, attrs=attrs)
+            if self._active is not None:
+                self._trace_stack.append(self._active)
+            self._active = trace
+            return trace
 
     def end_trace(self, trace: TraceContext | None) -> None:
         """Finish ``trace``: close stragglers, sanitize, retain."""
         if trace is None:
             return
-        if trace is not self._active:
-            raise TraceError(
-                f"end_trace for {trace.trace_id} but active trace is "
-                f"{self._active.trace_id if self._active else None}"
+        with self._lock:
+            if trace is not self._active:
+                raise TraceError(
+                    f"end_trace for {trace.trace_id} but active trace is "
+                    f"{self._active.trace_id if self._active else None}"
+                )
+            trace.finish()
+            self._active = (
+                self._trace_stack.pop() if self._trace_stack else None
             )
-        trace.finish()
-        self._active = (
-            self._trace_stack.pop() if self._trace_stack else None
-        )
-        from ..lint import sanitizer
+            from ..lint import sanitizer
 
-        if sanitizer.enabled():
-            sanitizer.check_trace_spans_closed(trace)
-            sanitizer.check_trace_nesting(trace)
-        self.finished.append(trace)
-        if len(self.finished) > RETAIN_TRACES:
-            del self.finished[: len(self.finished) - RETAIN_TRACES]
+            if sanitizer.enabled():
+                sanitizer.check_trace_spans_closed(trace)
+                sanitizer.check_trace_nesting(trace)
+            self.finished.append(trace)
+            if len(self.finished) > RETAIN_TRACES:
+                del self.finished[: len(self.finished) - RETAIN_TRACES]
 
     @property
     def active(self) -> TraceContext | None:

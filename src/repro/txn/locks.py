@@ -19,10 +19,12 @@ and DDL.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..errors import LockTimeoutError, TransactionError
+from ..errors import DeadlockError, LockTimeoutError, TransactionError
 from ..monitor import METRICS
 
 
@@ -86,20 +88,45 @@ class _ObjectLocks:
 class LockManager:
     """Grants, converts and releases table locks for transactions.
 
-    The simulation is single-threaded, so lock acquisition either
-    succeeds immediately or raises :class:`LockTimeoutError` — the
-    effect a blocked-then-timed-out request would have.  That keeps the
-    protocol (and its tests) exact without modelling thread scheduling.
+    Incompatible requests either fail fast (the default,
+    ``block=False`` — a wait that has already timed out, which keeps
+    single-threaded protocol tests exact) or block on an internal
+    condition variable until the conflicting holders release or
+    ``timeout`` elapses.
+
+    Either way, every incompatible request first runs **waits-for-graph
+    deadlock detection**: if granting would make the requester wait on
+    a transaction that is (transitively) already waiting on the
+    requester, the request raises :class:`DeadlockError` instead of
+    waiting.  Victim selection is deterministic — the transaction whose
+    request *closes* the cycle is the victim; the transactions already
+    parked keep waiting and are woken when the victim's locks are
+    released by its rollback.
     """
 
     def __init__(self):
-        self._objects: dict[str, _ObjectLocks] = {}
+        self._cond = threading.Condition()
+        self._objects: dict[str, _ObjectLocks] = {}  # concurrency: guarded-by(self._cond)
+        #: txn id -> (object, target mode) it is currently parked on.
+        self._waiting: dict[int, tuple[str, LockMode]] = {}  # concurrency: guarded-by(self._cond)
 
-    def acquire(self, txn_id: int, obj: str, mode: LockMode) -> LockMode:
+    def acquire(
+        self,
+        txn_id: int,
+        obj: str,
+        mode: LockMode,
+        *,
+        block: bool = False,
+        timeout: float = 1.0,
+    ) -> LockMode:
         """Acquire (or convert to) ``mode`` on ``obj`` for ``txn_id``.
 
         Returns the mode actually held after the call (conversion can
         strengthen it, e.g. holding I and requesting S yields SI).
+        Raises :class:`DeadlockError` if waiting would close a cycle in
+        the waits-for graph, :class:`LockTimeoutError` if the request
+        stays blocked (immediately when ``block=False``, after
+        ``timeout`` seconds otherwise).
         """
         from ..trace import TRACER
 
@@ -110,56 +137,184 @@ class LockManager:
             object=obj,
             mode=mode.value,
         ) as span:
-            granted = self._acquire(txn_id, obj, mode)
+            granted = self._acquire(txn_id, obj, mode, block, timeout)
             if span is not None:
                 span.attrs["granted"] = granted.value
             return granted
 
-    def _acquire(self, txn_id: int, obj: str, mode: LockMode) -> LockMode:
-        state = self._objects.setdefault(obj, _ObjectLocks())
-        current = state.holders.get(txn_id)
-        target = mode if current is None else convert(mode, current)
-        METRICS.inc("locks.requests")
-        if current is not None and target is not current:
-            METRICS.inc("locks.conversions")
-        for other_txn, other_mode in state.holders.items():
-            if other_txn == txn_id:
-                continue
-            if not compatible(target, other_mode):
-                # single-threaded simulation: an incompatible request is
-                # a wait that has already timed out.
+    def _acquire(
+        self,
+        txn_id: int,
+        obj: str,
+        mode: LockMode,
+        block: bool,
+        timeout: float,
+    ) -> LockMode:
+        with self._cond:
+            state = self._objects.setdefault(obj, _ObjectLocks())
+            current = state.holders.get(txn_id)
+            target = mode if current is None else convert(mode, current)
+            METRICS.inc("locks.requests")
+            if current is not None and target is not current:
+                METRICS.inc("locks.conversions")
+            blocker = self._blocking_holder(state, txn_id, target)
+            if blocker is not None:
                 METRICS.inc("locks.waits")
                 if current is not None:
                     METRICS.inc("locks.upgrade_conflicts")
-                raise LockTimeoutError(
-                    f"txn {txn_id} cannot take {target.value} on {obj!r}: "
-                    f"txn {other_txn} holds {other_mode.value}"
+                self._check_deadlock(txn_id, obj, target)
+                if block:
+                    blocker = self._wait_for_grant(
+                        txn_id, obj, target, timeout
+                    )
+                if blocker is not None:
+                    other_txn, other_mode = blocker
+                    raise LockTimeoutError(
+                        f"txn {txn_id} cannot take {target.value} on "
+                        f"{obj!r}: txn {other_txn} holds {other_mode.value}"
+                    )
+                # woken and grantable: recompute the conversion target
+                # against whatever the txn still holds.
+                current = state.holders.get(txn_id)
+                target = mode if current is None else convert(mode, current)
+            state.holders[txn_id] = target
+            METRICS.inc(f"locks.granted.{target.value}")
+            return target
+
+    @staticmethod
+    def _blocking_holder(
+        state: _ObjectLocks, txn_id: int, target: LockMode
+    ) -> tuple[int, LockMode] | None:
+        """First (txn, mode) holder incompatible with ``target``, if any."""
+        for other_txn in sorted(state.holders):
+            if other_txn == txn_id:
+                continue
+            other_mode = state.holders[other_txn]
+            if not compatible(target, other_mode):
+                return other_txn, other_mode
+        return None
+
+    def _wait_for_grant(
+        self, txn_id: int, obj: str, target: LockMode, timeout: float
+    ) -> tuple[int, LockMode] | None:
+        """Park on the condition until grantable or ``timeout`` elapses.
+
+        Returns None once grantable, else the still-blocking holder.
+        Caller holds ``self._cond``.
+        """
+        state = self._objects[obj]
+        self._waiting[txn_id] = (obj, target)
+        try:
+            deadline = time.monotonic() + timeout
+            while True:
+                blocker = self._blocking_holder(state, txn_id, target)
+                if blocker is None:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    return blocker
+        finally:
+            del self._waiting[txn_id]
+
+    # -- deadlock detection ---------------------------------------------
+
+    def _waits_for(self, txn_id: int, obj: str, target: LockMode) -> list[int]:
+        """Transactions ``txn_id`` would wait on for ``target`` on ``obj``."""
+        state = self._objects.get(obj)
+        if state is None:
+            return []
+        return sorted(
+            other_txn
+            for other_txn, other_mode in state.holders.items()
+            if other_txn != txn_id and not compatible(target, other_mode)
+        )
+
+    def _check_deadlock(
+        self, txn_id: int, obj: str, target: LockMode
+    ) -> None:
+        """Raise :class:`DeadlockError` if waiting would close a cycle.
+
+        DFS over the waits-for graph starting from the transactions the
+        new request would wait on; neighbours are visited in sorted
+        order, so the reported cycle is deterministic.  Caller holds
+        ``self._cond``.
+        """
+        path: list[int] = []
+        seen: set[int] = set()
+
+        def edges(waiter: int) -> list[int]:
+            if waiter == txn_id:
+                return self._waits_for(txn_id, obj, target)
+            parked = self._waiting.get(waiter)
+            if parked is None:
+                return []
+            return self._waits_for(waiter, parked[0], parked[1])
+
+        def visit(waiter: int) -> list[int] | None:
+            if waiter == txn_id:
+                return [txn_id] + path
+            if waiter in seen:
+                return None
+            seen.add(waiter)
+            path.append(waiter)
+            for nxt in edges(waiter):
+                cycle = visit(nxt)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            return None
+
+        for first in edges(txn_id):
+            cycle = visit(first)
+            if cycle is not None:
+                METRICS.inc("locks.deadlocks")
+                chain = " -> ".join(f"txn {t}" for t in cycle + [cycle[0]])
+                raise DeadlockError(
+                    f"deadlock detected: txn {txn_id} waiting for "
+                    f"{target.value} on {obj!r} would close the cycle "
+                    f"{chain}; txn {txn_id} chosen as victim",
+                    cycle=cycle,
                 )
-        state.holders[txn_id] = target
-        METRICS.inc(f"locks.granted.{target.value}")
-        return target
+
+    # -- release / introspection ----------------------------------------
 
     def release(self, txn_id: int, obj: str) -> None:
         """Release the lock ``txn_id`` holds on ``obj``."""
-        state = self._objects.get(obj)
-        if state is None or txn_id not in state.holders:
-            raise TransactionError(f"txn {txn_id} holds no lock on {obj!r}")
-        del state.holders[txn_id]
+        with self._cond:
+            state = self._objects.get(obj)
+            if state is None or txn_id not in state.holders:
+                raise TransactionError(
+                    f"txn {txn_id} holds no lock on {obj!r}"
+                )
+            del state.holders[txn_id]
+            self._cond.notify_all()
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock held by ``txn_id`` (commit/rollback)."""
-        for state in self._objects.values():
-            state.holders.pop(txn_id, None)
+        with self._cond:
+            for state in self._objects.values():
+                state.holders.pop(txn_id, None)
+            self._cond.notify_all()
 
     def held(self, txn_id: int, obj: str) -> LockMode | None:
         """Mode ``txn_id`` currently holds on ``obj``, if any."""
-        state = self._objects.get(obj)
-        return state.holders.get(txn_id) if state else None
+        with self._cond:
+            state = self._objects.get(obj)
+            return state.holders.get(txn_id) if state else None
 
     def holders_of(self, obj: str) -> dict[int, LockMode]:
         """All current holders of ``obj`` (for monitoring)."""
-        state = self._objects.get(obj)
-        return dict(state.holders) if state else {}
+        with self._cond:
+            state = self._objects.get(obj)
+            return dict(state.holders) if state else {}
+
+    def waiting(self) -> dict[int, tuple[str, str]]:
+        """Parked waiters: txn id -> (object, requested mode)."""
+        with self._cond:
+            return {
+                txn: (obj, target.value)
+                for txn, (obj, target) in self._waiting.items()
+            }
 
     # -- matrix rendering (Table 1 / Table 2 benches) -------------------
 

@@ -1,0 +1,392 @@
+"""Tests for the whole-program concurrency analyses (R9 and R10).
+
+Each fixture writes a minimal ``repro/``-shaped tree into ``tmp_path``
+that seeds exactly one concurrency hazard — a lock-order cycle, a
+down-rank acquisition, an unannotated shared-state mutation — and
+asserts the analysis reports it (and that the disciplined equivalent
+is clean).  These are the negative fixtures the self-clean test can't
+provide: the real tree must lint at zero findings, so the proof that
+the analyses *catch* anything lives here.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.__main__ import main
+
+pytestmark = pytest.mark.lint
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint(tmp_path, rule):
+    return run_lint([str(tmp_path)], rules=[rule])
+
+
+class TestR9LockOrderGraph:
+    def test_injected_lock_order_cycle(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/cycle.py",
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def ab():
+                with A:
+                    with B:
+                        pass
+
+            def ba():
+                with B:
+                    with A:
+                        pass
+            """,
+        )
+        findings = lint(tmp_path, "R9")
+        assert findings, "injected A<->B cycle must be reported"
+        assert any("cycle" in f.message for f in findings)
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/ordered.py",
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def ab():
+                with A:
+                    with B:
+                        pass
+
+            def also_ab():
+                with A:
+                    with B:
+                        pass
+            """,
+        )
+        assert lint(tmp_path, "R9") == []
+
+    def test_down_rank_mode_acquisition(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/modes.py",
+            """
+            from repro.txn import LockMode
+
+            def f(mgr, txn):
+                mgr.acquire(txn, "t", LockMode.X)
+                mgr.acquire(txn, "t", LockMode.O)
+            """,
+        )
+        findings = lint(tmp_path, "R9")
+        assert findings
+        assert any("O" in f.message and "X" in f.message for f in findings)
+
+    def test_down_rank_through_a_callee(self, tmp_path):
+        # the whole-program promotion of R3: the violation is split
+        # across two functions and only visible interprocedurally.
+        write(
+            tmp_path,
+            "repro/inner/interproc.py",
+            """
+            from repro.txn import LockMode
+
+            def take_ddl(mgr, txn):
+                mgr.acquire(txn, "t", LockMode.O)
+
+            def f(mgr, txn):
+                mgr.acquire(txn, "t", LockMode.X)
+                take_ddl(mgr, txn)
+            """,
+        )
+        findings = lint(tmp_path, "R9")
+        assert findings
+        assert any("callee" in f.message for f in findings)
+
+    def test_non_reentrant_self_acquisition_via_callee(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/reenter.py",
+            """
+            import threading
+
+            A = threading.Lock()
+
+            def helper():
+                with A:
+                    pass
+
+            def f():
+                with A:
+                    helper()
+            """,
+        )
+        findings = lint(tmp_path, "R9")
+        assert findings
+        assert any("already" in f.message or "self" in f.message
+                   for f in findings)
+
+    def test_branches_never_order_against_each_other(self, tmp_path):
+        # if/else arms are exclusive: taking A in one arm and B in the
+        # other is not an ordering between A and B.
+        write(
+            tmp_path,
+            "repro/inner/branches.py",
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def one(flag):
+                if flag:
+                    with A:
+                        with B:
+                            pass
+
+            def other(flag):
+                if flag:
+                    with A:
+                        pass
+                else:
+                    with B:
+                        pass
+            """,
+        )
+        assert lint(tmp_path, "R9") == []
+
+
+class TestR10SharedState:
+    def test_unannotated_global_mutation(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _CACHE = {}
+
+            def poke():
+                _CACHE["k"] = 1
+            """,
+        )
+        findings = lint(tmp_path, "R10")
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+        assert "annotation" in findings[0].message
+
+    def test_guarded_write_under_its_lock_is_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}  # concurrency: guarded-by(_LOCK)
+
+            def poke():
+                with _LOCK:
+                    _CACHE["k"] = 1
+            """,
+        )
+        assert lint(tmp_path, "R10") == []
+
+    def test_guarded_write_without_the_lock(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _OTHER = threading.Lock()
+            _CACHE = {}  # concurrency: guarded-by(_LOCK)
+
+            def poke():
+                with _OTHER:
+                    _CACHE["k"] = 1
+            """,
+        )
+        findings = lint(tmp_path, "R10")
+        assert len(findings) == 1
+        assert "guarded-by(_LOCK)" in findings[0].message
+        assert "_OTHER" in findings[0].message
+
+    def test_immutable_mutated_outside_registration(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            REG = {}  # concurrency: immutable
+
+            def register_thing(k):
+                REG[k] = 1
+
+            def poke(k):
+                REG[k] = 2
+            """,
+        )
+        findings = lint(tmp_path, "R10")
+        assert len(findings) == 1
+        assert "immutable" in findings[0].message
+        assert findings[0].line == 8
+
+    def test_thread_local_writes_are_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            import threading
+
+            _TLS = threading.local()  # concurrency: thread-local
+
+            def poke():
+                _TLS.value = 1
+            """,
+        )
+        assert lint(tmp_path, "R10") == []
+
+    def test_global_rebind_and_mutator_call(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _ACTIVE = None
+            _ITEMS = []
+
+            def set_active(value):
+                global _ACTIVE
+                _ACTIVE = value
+
+            def poke():
+                _ITEMS.append(1)
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R10")]
+        assert len(messages) == 2
+        assert any("_ACTIVE" in m for m in messages)
+        assert any("_ITEMS" in m and "append" in m for m in messages)
+
+    def test_init_is_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _SLOTS = {}
+
+            class Thing:
+                def __init__(self):
+                    _SLOTS[id(self)] = self
+            """,
+        )
+        assert lint(tmp_path, "R10") == []
+
+    def test_singleton_attribute_guard_checked(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/reg.py",
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}  # concurrency: guarded-by(self._lock)
+
+                def put(self, k, v):
+                    self._data[k] = v
+
+                def put_locked(self, k, v):
+                    with self._lock:
+                        self._data[k] = v
+
+            REG = Registry()
+            """,
+        )
+        findings = lint(tmp_path, "R10")
+        assert len(findings) == 1
+        assert "Registry._data" in findings[0].message
+        assert findings[0].line == 10
+
+    def test_suppression_comment(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _CACHE = {}
+
+            def poke():
+                _CACHE["k"] = 1  # replint: disable=R10
+            """,
+        )
+        assert lint(tmp_path, "R10") == []
+
+
+class TestConcurrencyCli:
+    def test_per_rule_counts_in_summary(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _CACHE = {}
+
+            def poke(x=[]):
+                _CACHE["k"] = 1
+                return x
+            """,
+        )
+        assert main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "R5=1" in err and "R10=1" in err
+
+    def test_concurrency_flag_runs_only_r9_r10(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _CACHE = {}
+
+            def poke(x=[]):
+                _CACHE["k"] = 1
+                return x
+            """,
+        )
+        assert main(["--concurrency", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "R10" in captured.out
+        assert "R5" not in captured.out
+
+    def test_concurrency_conflicts_with_rules(self, tmp_path, capsys):
+        assert main(["--concurrency", "--rules", "R9", str(tmp_path)]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_json_report(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "repro/inner/state.py",
+            """
+            _CACHE = {}
+
+            def poke():
+                _CACHE["k"] = 1
+            """,
+        )
+        assert main(["--concurrency", "--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 1
+        assert report["counts"] == {"R10": 1}
+        assert report["findings"][0]["rule"] == "R10"
+        assert report["findings"][0]["line"] == 5

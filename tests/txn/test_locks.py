@@ -1,8 +1,11 @@
 """Exact verification of Table 1 and Table 2, plus lock manager behaviour."""
 
+import threading
+import time
+
 import pytest
 
-from repro.errors import LockTimeoutError, TransactionError
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
 from repro.txn import LockManager, LockMode, compatible, convert
 
 S, I, SI, X, T, U, O = (
@@ -140,6 +143,147 @@ class TestLockManager:
         assert len(LockManager.compatibility_matrix()) == 49
         assert len(LockManager.conversion_matrix()) == 49
         assert LockManager.modes() == ["S", "I", "SI", "X", "T", "U", "O"]
+
+
+def park(manager, txn_id, obj, mode, results, timeout=5.0):
+    """Block ``txn_id`` on ``obj`` from a worker thread; returns it."""
+
+    def run():
+        try:
+            results[txn_id] = manager.acquire(
+                txn_id, obj, mode, block=True, timeout=timeout
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            results[txn_id] = exc
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    deadline = time.monotonic() + 5.0
+    while txn_id not in manager.waiting():
+        if time.monotonic() > deadline or txn_id in results:
+            break
+        time.sleep(0.001)
+    return worker
+
+
+class TestDeadlockDetection:
+    def test_two_party_cycle(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        manager.acquire(2, "b", X)
+        results = {}
+        worker = park(manager, 2, "a", X, results)
+        # txn 1's request for "b" closes the cycle 1 -> 2 -> 1 and is
+        # the deterministic victim; txn 2 stays parked.
+        with pytest.raises(DeadlockError) as exc_info:
+            manager.acquire(1, "b", X)
+        assert exc_info.value.cycle[0] == 1
+        assert set(exc_info.value.cycle) == {1, 2}
+        assert "txn 1" in str(exc_info.value)
+        assert "txn 2" in str(exc_info.value)
+        # the victim rolls back; the survivor's parked request is granted.
+        manager.release_all(1)
+        worker.join(timeout=5.0)
+        assert results[2] is X
+
+    def test_three_party_cycle(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        manager.acquire(2, "b", X)
+        manager.acquire(3, "c", X)
+        results = {}
+        worker2 = park(manager, 2, "a", X, results)
+        worker3 = park(manager, 3, "b", X, results)
+        with pytest.raises(DeadlockError) as exc_info:
+            manager.acquire(1, "c", X)
+        assert exc_info.value.cycle[0] == 1
+        assert set(exc_info.value.cycle) == {1, 2, 3}
+        # the victim's rollback unblocks txn 2; txn 3 follows once txn 2
+        # commits and releases in turn.
+        manager.release_all(1)
+        worker2.join(timeout=5.0)
+        assert results[2] is X
+        manager.release_all(2)
+        worker3.join(timeout=5.0)
+        assert results[3] is X
+
+    def test_usage_to_owner_upgrade_deadlock(self):
+        # both hold U; each requests O, which U blocks — the classic
+        # symmetric upgrade deadlock Table 2 makes possible.
+        manager = LockManager()
+        manager.acquire(1, "t", U)
+        manager.acquire(2, "t", U)
+        results = {}
+        worker = park(manager, 2, "t", O, results)
+        with pytest.raises(DeadlockError) as exc_info:
+            manager.acquire(1, "t", O)
+        assert set(exc_info.value.cycle) == {1, 2}
+        assert manager.held(1, "t") is U  # failed upgrade left mode intact
+        manager.release_all(1)
+        worker.join(timeout=5.0)
+        assert results[2] is O
+
+    def test_deadlock_beats_timeout_without_blocking(self):
+        # the cycle check runs before the block/timeout decision, so a
+        # non-blocking request that closes a cycle reports the deadlock
+        # rather than a generic timeout.
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        manager.acquire(2, "b", X)
+        results = {}
+        worker = park(manager, 2, "a", X, results)
+        with pytest.raises(DeadlockError):
+            manager.acquire(1, "b", X, block=False)
+        manager.release_all(1)
+        worker.join(timeout=5.0)
+        assert results[2] is X
+
+    def test_blocking_wait_times_out(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        with pytest.raises(LockTimeoutError, match="txn 1 holds X"):
+            manager.acquire(2, "a", S, block=True, timeout=0.05)
+        assert manager.waiting() == {}
+
+    def test_blocking_wait_granted_on_release(self):
+        manager = LockManager()
+        manager.acquire(1, "a", X)
+        results = {}
+        worker = park(manager, 2, "a", S, results)
+        assert manager.waiting() == {2: ("a", "S")}
+        manager.release(1, "a")
+        worker.join(timeout=5.0)
+        assert results[2] is S
+        assert manager.waiting() == {}
+
+    def test_no_false_deadlock_on_plain_contention(self):
+        manager = LockManager()
+        before = METRICS_DEADLOCKS()
+        manager.acquire(1, "a", X)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(2, "a", X)
+        assert METRICS_DEADLOCKS() == before
+
+    def test_deadlock_bumps_metric(self):
+        manager = LockManager()
+        before = METRICS_DEADLOCKS()
+        manager.acquire(1, "a", X)
+        manager.acquire(2, "b", X)
+        results = {}
+        worker = park(manager, 2, "a", X, results)
+        with pytest.raises(DeadlockError):
+            manager.acquire(1, "b", X)
+        assert METRICS_DEADLOCKS() == before + 1
+        manager.release_all(1)
+        worker.join(timeout=5.0)
+
+
+def METRICS_DEADLOCKS():
+    from repro.monitor import METRICS
+
+    return METRICS.counters_with_prefix("locks.deadlocks").get(
+        "locks.deadlocks", 0
+    )
 
 
 class TestMatrixInternalConsistency:

@@ -13,6 +13,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== replint static analysis (src/repro, tests) =="
 python -m repro.lint src/repro tests
 
+echo "== concurrency lint: lock-order graph + guarded-by audit (R9/R10) =="
+python -m repro.lint --concurrency src/repro
+
+echo "== thread-stress smoke: 8 threads x SELECTs under the race detector =="
+REPRO_SANITIZE=1 python -m pytest -q tests/lint/test_thread_stress.py
+
 echo "== lint + sanitizer suite (pytest -m lint) =="
 REPRO_SANITIZE=1 python -m pytest -q -m lint
 

@@ -20,7 +20,7 @@ import pytest
 
 from repro.monitor import METRICS
 
-#: Counters recorded per bench in BENCH_PR5.json — the ones whose
+#: Counters recorded per bench in BENCH_PR6.json — the ones whose
 #: movement the paper's evaluation section argues about, plus the
 #: self-healing runtime's failover/recovery activity.
 TRACKED_COUNTERS = (
@@ -37,9 +37,15 @@ TRACKED_COUNTERS = (
     "cluster.nodes_failed",
     "supervisor.ticks",
     "supervisor.recoveries",
+    "service.statements",
+    "service.admitted",
+    "service.admission_queued",
+    "service.admission_rejected",
+    "service.admission_timeouts",
+    "service.statement_errors",
 )
 
-BENCH_REPORT = "BENCH_PR5.json"
+BENCH_REPORT = "BENCH_PR6.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -98,7 +104,7 @@ def report():
     return print_table
 
 
-# -- BENCH_PR5.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR6.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):

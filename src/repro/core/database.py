@@ -64,6 +64,17 @@ class Database:
         self.optimizer_name = optimizer
         self._txn_id_lock = threading.Lock()
         self._next_txn_id = 1  # concurrency: guarded-by(self._txn_id_lock)
+        #: Serializes commit application across sessions: the storage
+        #: substrate (WOS lists, delete vectors, epoch advance) is
+        #: written by exactly one committer at a time, mirroring
+        #: Vertica's global catalog lock held for the commit's critical
+        #: section.  Readers take no lock — snapshot isolation below
+        #: the committed epoch keeps them consistent.
+        self._commit_lock = threading.Lock()
+        #: Back-reference set by :class:`repro.service.SqlService` when
+        #: a service wraps this database; the ``v_monitor.sessions`` /
+        #: ``resource_pools`` producers read it (None = no service).
+        self.service = None
         # traces stamp spans with this cluster's simulated clock; the
         # last-constructed Database wins, matching METRICS' process-wide
         # registry semantics.
@@ -204,6 +215,22 @@ class Session:
         self.last_pool: ResourcePool | None = None
         #: Operator profile of the most recent query (EXPLAIN ANALYZE).
         self.last_profile: QueryProfile | None = None
+        #: Cooperative cancel flag for the running statement
+        #: (:class:`repro.service.CancelToken`); installed by the
+        #: service layer per statement, checked by operators between
+        #: blocks and by lock waits between wakeups.
+        self.cancel_token = None
+        #: Per-session workload policy override; when set (by the
+        #: resource governor, sized to the statement's pool grant) it
+        #: replaces the database-wide default for this session's pools.
+        self.workload_policy: WorkloadPolicy | None = None
+        #: Lock acquisition discipline.  Standalone sessions keep the
+        #: historical fail-fast behaviour (``block=False`` keeps the
+        #: single-threaded protocol tests exact); service sessions set
+        #: ``lock_block=True`` so concurrent writers park on the lock
+        #: manager's condition variable instead of erroring.
+        self.lock_block = False
+        self.lock_timeout = 1.0
 
     # -- transaction control ------------------------------------------------
 
@@ -225,6 +252,19 @@ class Session:
             txn.snapshot_epoch = self.db.latest_epoch
         return txn
 
+    def _acquire_lock(self, txn: Transaction, table: str, mode: LockMode):
+        """One lock acquisition under this session's discipline:
+        fail-fast for standalone sessions, blocking (with the session's
+        timeout and cancel flag) for service sessions."""
+        return self.db.cluster.locks.acquire(
+            txn.txn_id,
+            table,
+            mode,
+            block=self.lock_block,
+            timeout=self.lock_timeout,
+            cancel=self.cancel_token.check if self.cancel_token else None,
+        )
+
     def commit(self) -> int:
         """Commit; returns the commit epoch (or the current snapshot
         epoch when the transaction had no DML)."""
@@ -232,12 +272,13 @@ class Session:
         txn.check_active()
         try:
             if txn.has_dml:
-                epoch = self.db.cluster.commit_dml(
-                    txn.pending_inserts,
-                    [(d.table, d.predicate) for d in txn.pending_deletes],
-                    snapshot_epoch=txn.snapshot_epoch,
-                    direct_to_ros=txn.direct_to_ros,
-                )
+                with self.db._commit_lock:
+                    epoch = self.db.cluster.commit_dml(
+                        txn.pending_inserts,
+                        [(d.table, d.predicate) for d in txn.pending_deletes],
+                        snapshot_epoch=txn.snapshot_epoch,
+                        direct_to_ros=txn.direct_to_ros,
+                    )
             else:
                 epoch = txn.snapshot_epoch
             txn.status = TxnStatus.COMMITTED
@@ -262,7 +303,7 @@ class Session:
         hold it concurrently)."""
         txn = self._active()
         self.db.cluster.catalog.table(table)  # must exist
-        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.I)
+        self._acquire_lock(txn, table, LockMode.I)
         txn.buffer_insert(table, rows)
         if direct_to_ros:
             txn.direct_to_ros = True
@@ -271,14 +312,14 @@ class Session:
         """Buffer a delete (Exclusive lock).  ``predicate`` is a
         callable over row dicts or an :class:`Expr`."""
         txn = self._active()
-        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.X)
+        self._acquire_lock(txn, table, LockMode.X)
         txn.buffer_delete(table, _as_callable(predicate))
 
     def update(self, table: str, assignments: dict[str, object], predicate) -> int:
         """SQL UPDATE: delete matching rows and insert updated copies
         (section 3.7.1).  Returns the number of rows updated."""
         txn = self._active()
-        self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.X)
+        self._acquire_lock(txn, table, LockMode.X)
         matcher = _as_callable(predicate)
         current = self.db.cluster.read_table(table, txn.snapshot_epoch)
         updated = []
@@ -318,16 +359,17 @@ class Session:
                 for scan in logical.walk()
                 if type(scan).__name__ == "ScanNode"
             }:
-                self.db.cluster.locks.acquire(txn.txn_id, table, LockMode.S)
+                self._acquire_lock(txn, table, LockMode.S)
         epoch = at_epoch if at_epoch is not None else txn.snapshot_epoch
         planner = self.db.planner(optimizer)
         plan = planner.plan(logical)
-        pool = ResourcePool(self.db.workload_policy)
+        pool = ResourcePool(self.workload_policy or self.db.workload_policy)
         executor = DistributedExecutor(
             self.db.cluster,
             epoch,
             pool=pool,
             pending_inserts=txn.pending_inserts if at_epoch is None else {},
+            cancel_token=self.cancel_token,
         )
         started = perf_counter()
         rows = executor.run(plan)

@@ -77,12 +77,43 @@ class SerializationError(TransactionError):
     """Raised when a transaction must abort to preserve isolation."""
 
 
+class QueryCancelledError(TransactionError):
+    """Raised when a statement observes its cancel flag: an explicit
+    ``Session.cancel()``, a service shutdown, or (via the
+    :class:`StatementTimeoutError` subclass) an expired statement
+    deadline.  Cancellation is cooperative — operators check the flag
+    between blocks, lock waits check it between wakeups — and the
+    raising path releases every lock, pool grant and open trace span
+    on the way out."""
+
+
+class StatementTimeoutError(QueryCancelledError):
+    """Raised when a statement runs past its deadline on the simulated
+    clock.  A subclass of :class:`QueryCancelledError` so every
+    cancellation cleanup path handles timeouts for free."""
+
+
+class AdmissionTimeoutError(TransactionError):
+    """Raised by the resource governor when a statement cannot be
+    admitted to its resource pool: the pool's queue is already full
+    (immediate rejection) or the statement queued and its queue
+    timeout elapsed before a slot freed.  Nothing is held when this
+    raises — admission happens before locks or memory grants."""
+
+
 class ClusterError(ReproError):
     """Raised for cluster membership and distribution errors."""
 
 
 class QuorumLossError(ClusterError):
     """Raised when fewer than N/2+1 nodes remain up (split-brain guard)."""
+
+
+class ReadOnlyModeError(ClusterError):
+    """Raised when a write statement reaches a service that has
+    degraded to read-only after quorum loss.  Reads keep answering;
+    writes fail fast with this error until quorum returns and the
+    service steps back up."""
 
 
 class KSafetyError(ClusterError):

@@ -122,10 +122,14 @@ class DistributedExecutor:
         epoch: int,
         pool: ResourcePool | None = None,
         pending_inserts: dict[str, list[dict]] | None = None,
+        cancel_token=None,
     ):
         self.cluster = cluster
         self.epoch = epoch
         self.pool = pool
+        #: Cooperative cancel flag installed on every built operator
+        #: (service-layer statement timeouts and ``Session.cancel()``).
+        self.cancel_token = cancel_token
         #: table -> uncommitted rows of the running transaction, which
         #: must be visible to its own queries.
         self.pending_inserts = pending_inserts or {}
@@ -139,7 +143,11 @@ class DistributedExecutor:
     def operator(self, plan) -> Operator:
         """Build the coordinator-side operator for a plan."""
         built = self._build(plan)
-        return self._collect(built)
+        root = self._collect(built)
+        if self.cancel_token is not None:
+            for op in root.walk():
+                op.cancel_token = self.cancel_token
+        return root
 
     def run(self, plan) -> list[dict]:
         """Execute and materialize the result rows, failing over to
@@ -159,6 +167,9 @@ class DistributedExecutor:
         attempts = 0
         budget = max(self.cluster.node_count, 1)
         while True:
+            if self.cancel_token is not None:
+                # a cancelled statement must not burn a failover retry.
+                self.cancel_token.check()
             # fail fast, naming the missing segment and family, before
             # any operator is built: a query over unavailable data must
             # return zero rows, never the partial set that the still
@@ -552,6 +563,12 @@ class DistributedExecutor:
 
     def _join_broadcast(self, node, left, right):
         inner = self._collect(right)
+        if self.cancel_token is not None:
+            # the build side materializes during plan construction,
+            # before operator() installs tokens on the finished tree —
+            # install here so the build is cancellable too.
+            for op in inner.walk():
+                op.cancel_token = self.cancel_token
         with TRACER.span(
             "exchange.broadcast", category="exchange"
         ) as bc_span:

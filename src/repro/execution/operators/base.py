@@ -33,15 +33,28 @@ class Operator:
         #: profiler derives per-operator self time by subtracting the
         #: children's inclusive totals.
         self.wall_seconds = 0.0
+        #: Cooperative cancellation hook (section 7 workload
+        #: management): when set by the executor, every pull first
+        #: calls ``cancel_token.check()``, which raises
+        #: :class:`repro.errors.QueryCancelledError` (or its timeout
+        #: subclass) once the statement is cancelled.  Checked per
+        #: *block*, never per row, so the enabled cost is one attribute
+        #: read and a method call per few thousand rows.
+        self.cancel_token = None
 
     # -- data flow -------------------------------------------------------
 
     def blocks(self):
         """Generator of output RowBlocks; subclasses implement
         :meth:`_produce` and get accounting (rows, blocks, pulls,
-        wall time) for free."""
+        wall time) for free.  Cancellation is observed here, between
+        blocks: a cancelled statement stops pulling at the next block
+        boundary no matter which operator the plan is currently inside."""
         source = self._produce()
+        token = self.cancel_token
         while True:
+            if token is not None:
+                token.check()
             self.pulls += 1
             started = perf_counter()
             try:

@@ -16,6 +16,7 @@ from . import api_docs  # noqa: F401  R6
 from . import atomic_io  # noqa: F401  R7
 from . import wallclock  # noqa: F401  R8
 from . import concurrency  # noqa: F401  R9, R10
+from . import service  # noqa: F401  R11
 
 __all__ = [
     "operators",
@@ -27,4 +28,5 @@ __all__ = [
     "atomic_io",
     "wallclock",
     "concurrency",
+    "service",
 ]

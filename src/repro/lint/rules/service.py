@@ -1,0 +1,89 @@
+"""R11: service-layer statements must go through the governor.
+
+The workload-management invariant of the service layer
+(``repro/service/``) is that *every* statement a session runs is
+admitted by the :class:`repro.service.ResourceGovernor` first: the
+grant carries the statement's memory budget, the admission queue is
+where overload sheds load, and the release in ``finally`` is what the
+no-leak acceptance test audits.  A service-layer call that reaches the
+SQL front end directly — ``Database.sql(...)``, ``db.sql(...)`` or a
+bare ``execute_sql(...)`` — bypasses all of that: it runs ungoverned,
+unbudgeted and uncancellable, and ``v_monitor.resource_pools`` never
+sees it.
+
+This rule flags any such call inside ``repro/service/`` modules except
+the one sanctioned site: ``ServiceSession._run_governed`` in
+``service/session.py``, which is reached only after an admission
+ticket is granted and is where the cancel token and workload policy
+are installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, attribute_chain, register_checker
+
+#: The one function allowed to enter the SQL front end from the
+#: service layer (it holds a granted admission ticket when it does).
+_SANCTIONED_MODULE = "repro/service/session.py"
+_SANCTIONED_FUNC = "_run_governed"
+
+
+def _ungoverned_entry(node: ast.Call) -> str | None:
+    """The reason string if this call enters the SQL front end."""
+    chain = attribute_chain(node.func)
+    if not chain:
+        return None
+    if chain[-1] == "execute_sql":
+        return "execute_sql() enters the SQL front end"
+    if chain[-1] == "sql" and len(chain) >= 2:
+        return f"{'.'.join(chain)}() runs a statement on the Database"
+    return None
+
+
+@register_checker
+class GovernedServiceChecker(Checker):
+    """R11: repro/service/ statements route through the governor."""
+
+    rule = "R11"
+    title = (
+        "service-layer code must reach the SQL front end only through "
+        "ServiceSession._run_governed (admission ticket granted, cancel "
+        "token installed) — never Database.sql()/execute_sql() directly"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            if "repro/service/" not in module.norm_path:
+                continue
+            sanctioned_spans: list[tuple[int, int]] = []
+            if module.norm_path.endswith(_SANCTIONED_MODULE):
+                for node in ast.walk(module.tree):
+                    if (
+                        isinstance(node, ast.FunctionDef)
+                        and node.name == _SANCTIONED_FUNC
+                    ):
+                        sanctioned_spans.append(
+                            (node.lineno, node.end_lineno or node.lineno)
+                        )
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _ungoverned_entry(node)
+                if reason is None:
+                    continue
+                if any(
+                    lo <= node.lineno <= hi for lo, hi in sanctioned_spans
+                ):
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{reason} without admission control; route it "
+                    "through ServiceSession._run_governed so the "
+                    "governor grants, budgets and can cancel it",
+                )

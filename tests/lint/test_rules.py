@@ -520,6 +520,62 @@ class TestR8WallClock:
         assert lint(tmp_path, "R8") == []
 
 
+class TestR11GovernedService:
+    def test_direct_sql_in_service_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/shortcut.py",
+            """
+            def sneak(db, text):
+                return db.sql(text)
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R11")]
+        assert len(messages) == 1
+        assert "admission control" in messages[0]
+
+    def test_bare_execute_sql_in_service_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/shortcut.py",
+            """
+            from repro.sql import execute_sql
+
+            def sneak(core, text):
+                return execute_sql(core, text)
+            """,
+        )
+        assert len(lint(tmp_path, "R11")) == 1
+
+    def test_run_governed_site_sanctioned(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/session.py",
+            """
+            from repro.sql import execute_sql
+
+            class ServiceSession:
+                def _run_governed(self, text):
+                    return execute_sql(self._core, text)
+            """,
+        )
+        assert lint(tmp_path, "R11") == []
+
+    def test_execute_sql_outside_service_not_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/core/database.py",
+            """
+            from repro.sql import execute_sql
+
+            class Database:
+                def sql(self, text):
+                    return execute_sql(self.session(), text)
+            """,
+        )
+        assert lint(tmp_path, "R11") == []
+
+
 class TestSuppression:
     def test_line_suppression_silences_rule(self, tmp_path):
         write(

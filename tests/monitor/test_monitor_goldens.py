@@ -76,6 +76,18 @@ GOLDEN_SCHEMAS = {
         "node_index", "node_name", "start_tick", "end_tick",
         "start_ms", "duration_ms", "error", "attrs",
     ],
+    "v_monitor.sessions": [
+        "session_id", "state", "pool_name", "isolation", "txn_id",
+        "current_statement", "statements_run", "statements_failed",
+        "last_error",
+    ],
+    "v_monitor.resource_pools": [
+        "pool_name", "memory_budget_rows", "memory_in_use_rows",
+        "max_concurrency", "running", "queue_depth", "queued",
+        "queue_timeout_ticks", "admitted_total", "queued_total",
+        "rejected_total", "timed_out_total", "cancelled_total",
+        "peak_running",
+    ],
 }
 
 

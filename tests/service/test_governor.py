@@ -1,0 +1,217 @@
+"""Deterministic unit tests for the resource governor.
+
+Everything here drives :meth:`ResourceGovernor.submit` /
+:meth:`release` / :meth:`on_tick` single-threaded: admission is a pure
+function of governor state and call order, so each scenario replays
+exactly (no threads, no sleeps, no wall clock).
+"""
+
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+from repro.errors import AdmissionTimeoutError, ResourceExceededError
+from repro.service import PoolConfig, ResourceGovernor
+from repro.service.governor import (
+    CANCELLED,
+    GRANTED,
+    QUEUED,
+    REJECTED,
+    RELEASED,
+    TIMED_OUT,
+)
+
+
+def make_governor(**overrides):
+    clock = SimulatedClock()
+    config = dict(
+        name="p",
+        memory_budget_rows=100,
+        max_concurrency=2,
+        queue_depth=2,
+        queue_timeout_ticks=5,
+    )
+    config.update(overrides)
+    return clock, ResourceGovernor(clock, [PoolConfig(**config)])
+
+
+class TestSubmit:
+    def test_grant_queue_reject_ladder(self):
+        _, governor = make_governor()
+        states = [governor.submit("p").state for _ in range(6)]
+        # 2 run, 2 queue, the rest are turned away at the door.
+        assert states == [GRANTED, GRANTED, QUEUED, QUEUED, REJECTED, REJECTED]
+
+    def test_same_sequence_replays_identically(self):
+        first = [make_governor()[1].submit("p").state for _ in range(6)]
+        second = [make_governor()[1].submit("p").state for _ in range(6)]
+        assert first == second
+
+    def test_memory_limits_concurrency(self):
+        # budget 100, each statement asks 60: the second fits the
+        # concurrency slot but not the memory budget -> queued.
+        _, governor = make_governor()
+        assert governor.submit("p", memory_rows=60).state == GRANTED
+        assert governor.submit("p", memory_rows=60).state == QUEUED
+
+    def test_default_grant_is_budget_over_concurrency(self):
+        _, governor = make_governor()
+        ticket = governor.submit("p")
+        assert ticket.memory_rows == 50
+
+    def test_oversized_request_rejected_outright(self):
+        _, governor = make_governor()
+        with pytest.raises(ResourceExceededError):
+            governor.submit("p", memory_rows=101)
+
+    def test_unknown_pool_raises(self):
+        _, governor = make_governor()
+        with pytest.raises(AdmissionTimeoutError, match="unknown resource pool"):
+            governor.submit("nope")
+
+    def test_arrival_behind_queue_never_jumps_it(self):
+        # a statement that would fit must still queue behind earlier
+        # arrivals: FIFO admission, no sly overtaking.
+        _, governor = make_governor()
+        governor.submit("p", memory_rows=60)  # granted
+        big = governor.submit("p", memory_rows=60)  # queued (memory)
+        small = governor.submit("p", memory_rows=1)  # would fit, queues anyway
+        assert big.state == QUEUED
+        assert small.state == QUEUED
+
+
+class TestReleaseAndPump:
+    def test_release_promotes_fifo(self):
+        _, governor = make_governor()
+        first = governor.submit("p")
+        second = governor.submit("p")
+        third = governor.submit("p")
+        fourth = governor.submit("p")
+        governor.release(first)
+        assert third.state == GRANTED
+        assert fourth.state == QUEUED
+        governor.release(second)
+        assert fourth.state == GRANTED
+        assert first.state == RELEASED
+
+    def test_release_is_idempotent(self):
+        _, governor = make_governor()
+        ticket = governor.submit("p")
+        governor.release(ticket)
+        governor.release(ticket)  # no-op, no error
+        governor.assert_idle()
+
+    def test_release_of_never_granted_ticket_is_noop(self):
+        _, governor = make_governor()
+        governor.submit("p")
+        governor.submit("p")
+        queued = governor.submit("p")
+        governor.release(queued)
+        assert queued.state == QUEUED  # still waiting; nothing corrupted
+
+    def test_grant_tick_and_queued_ticks(self):
+        clock, governor = make_governor()
+        blocker = governor.submit("p")
+        governor.submit("p")
+        waiter = governor.submit("p")
+        clock.advance(3)
+        governor.release(blocker)
+        assert waiter.state == GRANTED
+        assert waiter.queued_ticks == 3
+
+
+class TestTickExpiry:
+    def test_queued_ticket_times_out_at_deadline(self):
+        clock, governor = make_governor()
+        governor.submit("p")
+        governor.submit("p")
+        waiter = governor.submit("p")
+        clock.advance(4)
+        governor.on_tick()
+        assert waiter.state == QUEUED  # deadline is submit + 5
+        clock.advance(1)
+        governor.on_tick()
+        assert waiter.state == TIMED_OUT
+        assert "deadline tick" in waiter.detail
+
+    def test_expiry_frees_queue_slots_for_new_arrivals(self):
+        clock, governor = make_governor()
+        for _ in range(4):
+            governor.submit("p")
+        assert governor.submit("p").state == REJECTED
+        clock.advance(5)
+        governor.on_tick()
+        assert governor.submit("p").state == QUEUED
+
+    def test_cancel_queued_withdraws(self):
+        _, governor = make_governor()
+        governor.submit("p")
+        governor.submit("p")
+        waiter = governor.submit("p")
+        governor.cancel_queued(waiter)
+        assert waiter.state == CANCELLED
+        rows = governor.pool_rows()[0]
+        assert rows["cancelled_total"] == 1
+        assert rows["queued"] == 0
+
+
+class TestObservability:
+    def test_pool_rows_accounting(self):
+        clock, governor = make_governor()
+        tickets = [governor.submit("p") for _ in range(6)]
+        clock.advance(5)
+        governor.on_tick()
+        rows = governor.pool_rows()[0]
+        assert rows["pool_name"] == "p"
+        assert rows["running"] == 2
+        assert rows["queued"] == 0
+        assert rows["admitted_total"] == 2
+        assert rows["queued_total"] == 2
+        assert rows["rejected_total"] == 2
+        assert rows["timed_out_total"] == 2
+        assert rows["peak_running"] == 2
+        assert rows["memory_in_use_rows"] == 100
+        for ticket in tickets:
+            governor.release(ticket)
+        governor.assert_idle()
+
+    def test_assert_idle_raises_on_leak(self):
+        _, governor = make_governor()
+        governor.submit("p")
+        with pytest.raises(AssertionError, match="not idle"):
+            governor.assert_idle()
+
+    def test_add_pool_and_names(self):
+        _, governor = make_governor()
+        governor.add_pool(PoolConfig("batch", max_concurrency=1))
+        assert governor.pool_names() == ["batch", "p"]
+        assert governor.submit("batch").state == GRANTED
+
+
+class TestAdmitBlocking:
+    def test_admit_returns_granted_immediately(self):
+        _, governor = make_governor()
+        ticket = governor.admit("p")
+        assert ticket.state == GRANTED
+
+    def test_admit_raises_on_full_queue(self):
+        _, governor = make_governor()
+        for _ in range(4):
+            governor.submit("p")
+        with pytest.raises(AdmissionTimeoutError, match="saturated"):
+            governor.admit("p")
+
+    def test_admit_cancel_callback_unwinds_cleanly(self):
+        from repro.errors import QueryCancelledError
+
+        _, governor = make_governor()
+        governor.submit("p")
+        governor.submit("p")
+
+        def cancel():
+            raise QueryCancelledError("client went away")
+
+        with pytest.raises(QueryCancelledError):
+            governor.admit("p", cancel=cancel)
+        rows = governor.pool_rows()[0]
+        assert rows["queued"] == 0
+        assert rows["cancelled_total"] == 1

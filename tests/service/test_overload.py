@@ -1,0 +1,142 @@
+"""The ISSUE acceptance scenario: graceful overload degradation.
+
+A pool of max-concurrency 4 whose slots are all occupied receives 64
+concurrent statements.  Exactly ``queue_depth`` of them wait in the
+admission queue; every other one is rejected at the door.  When the
+simulated clock passes the queue deadline the waiters give up too — so
+all 64 end in :class:`AdmissionTimeoutError`, and afterwards *nothing*
+is leaked: no pool grant, no lock-manager entry, no open trace span,
+no stuck session.  The run executes under the runtime sanitizer (the
+repo-root conftest turns it on for every test).
+
+Counts are deterministic even though thread interleaving is not: no
+grant is released until the storm has fully settled, so the first
+``queue_depth`` submissions queue and every later one rejects — which
+threads land where varies, how many land where does not.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.errors import AdmissionTimeoutError
+from repro.service import PoolConfig, SqlService
+from repro.trace import TRACER
+
+MAX_CONCURRENCY = 4
+QUEUE_DEPTH = 8
+QUEUE_TIMEOUT_TICKS = 10
+STATEMENTS = 64
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = Database(str(tmp_path / "db"), node_count=3)
+    db.create_table(
+        TableDefinition(
+            "t", [ColumnDef("k", types.INTEGER), ColumnDef("v", types.INTEGER)]
+        ),
+        sort_order=["k"],
+    )
+    db.load("t", [{"k": i, "v": i % 5} for i in range(100)])
+    return db
+
+
+def wait_until(predicate, what, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"never observed: {what}")
+        time.sleep(0.001)
+
+
+class TestOverloadAcceptance:
+    def test_64_statements_against_a_full_pool(self, db):
+        service = SqlService(
+            db,
+            pools=[
+                PoolConfig(
+                    "general",
+                    max_concurrency=MAX_CONCURRENCY,
+                    queue_depth=QUEUE_DEPTH,
+                    queue_timeout_ticks=QUEUE_TIMEOUT_TICKS,
+                )
+            ],
+        )
+        governor = service.governor
+        # occupy every slot: four long-running statements in flight.
+        blockers = [governor.submit("general") for _ in range(MAX_CONCURRENCY)]
+        assert all(t.state == "granted" for t in blockers)
+
+        outcomes: list[BaseException | str] = []
+        outcome_lock = threading.Lock()
+        barrier = threading.Barrier(STATEMENTS)
+
+        def client(i):
+            session = service.connect()
+            try:
+                barrier.wait(timeout=30)
+                session.execute("SELECT count(*) AS n FROM t")
+                result = "ran"
+            except BaseException as exc:  # noqa: BLE001 - audited below
+                result = exc
+            finally:
+                session.close()
+            with outcome_lock:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(STATEMENTS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # the storm settles: every statement is either parked in the
+        # queue (exactly QUEUE_DEPTH of them) or already rejected.
+        def settled():
+            rows = governor.pool_rows()[0]
+            return (
+                rows["queued"] == QUEUE_DEPTH
+                and rows["rejected_total"] == STATEMENTS - QUEUE_DEPTH
+            )
+
+        wait_until(settled, "queue full and the rest rejected")
+        rows = governor.pool_rows()[0]
+        assert rows["queued"] == QUEUE_DEPTH
+        assert rows["rejected_total"] == STATEMENTS - QUEUE_DEPTH
+        assert rows["running"] == MAX_CONCURRENCY  # blockers only
+
+        # the clock passes the queue deadline: the waiters give up too.
+        service.clock.advance(QUEUE_TIMEOUT_TICKS)
+        governor.on_tick()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+        # every one of the 64 statements was turned away, none ran.
+        assert len(outcomes) == STATEMENTS
+        assert all(
+            isinstance(outcome, AdmissionTimeoutError) for outcome in outcomes
+        ), [o for o in outcomes if not isinstance(o, AdmissionTimeoutError)]
+        rows = governor.pool_rows()[0]
+        assert rows["timed_out_total"] == QUEUE_DEPTH
+        assert rows["rejected_total"] == STATEMENTS - QUEUE_DEPTH
+
+        # nothing leaked: grants, locks, sessions, traces.
+        assert rows["queued"] == 0
+        assert db.cluster.locks.waiting() == {}
+        assert db.cluster.locks.holders_of("t") == {}
+        assert service.sessions() == []  # every client closed cleanly
+        assert TRACER.active is None
+        for blocker in blockers:
+            governor.release(blocker)
+        governor.assert_idle()
+
+        # the service is healthy again: a fresh statement runs at once.
+        survivor = service.connect()
+        assert survivor.execute("SELECT count(*) AS n FROM t") == [{"n": 100}]
+        service.shutdown()
+        governor.assert_idle()

@@ -286,6 +286,102 @@ def METRICS_DEADLOCKS():
     )
 
 
+class TestWaiterCleanup:
+    """A waiter that leaves by timeout or cancellation must take its
+    waits-for edges and CV registration with it — otherwise a later
+    deadlock search can pick a transaction that is no longer waiting."""
+
+    def test_timed_out_waiter_cannot_become_deadlock_victim(self):
+        # txn 2 times out waiting for "t" (held by txn 1), then txn 1
+        # requests "u" (held by txn 2).  Were txn 2's stale wait edge
+        # still in the graph, 1→u→2→t→1 would read as a cycle and txn 1
+        # would be spuriously killed; the real outcome is a plain
+        # timeout because nobody is actually waiting on txn 1.
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+        manager.acquire(2, "u", X)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(2, "t", S, block=True, timeout=0.05)
+        assert manager.waiting() == {}
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(1, "u", S, block=True, timeout=0.05)
+
+    def test_cancelled_waiter_deregisters(self):
+        from repro.errors import QueryCancelledError
+
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+
+        calls = {"n": 0}
+
+        def cancel():
+            calls["n"] += 1
+            if calls["n"] > 1:  # let the first registration happen
+                raise QueryCancelledError("client cancelled")
+
+        with pytest.raises(QueryCancelledError):
+            manager.acquire(
+                2, "t", S, block=True, timeout=5.0, cancel=cancel
+            )
+        assert manager.waiting() == {}
+        # the lock table is undisturbed: txn 1 still holds X, and a
+        # third party sees ordinary contention, not a phantom waiter.
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(3, "t", S, block=False)
+
+    def test_cancelled_waiter_cannot_become_deadlock_victim(self):
+        from repro.errors import QueryCancelledError
+
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+        manager.acquire(2, "u", X)
+
+        def cancel():
+            if 2 in manager.waiting():
+                raise QueryCancelledError("client cancelled")
+
+        with pytest.raises(QueryCancelledError):
+            manager.acquire(2, "t", S, block=True, timeout=5.0, cancel=cancel)
+        with pytest.raises(LockTimeoutError):
+            manager.acquire(1, "u", S, block=True, timeout=0.05)
+
+    def test_wake_waiters_prods_parked_threads(self):
+        # wake_waiters lets an external cancel flag be observed promptly
+        # instead of at the next wake slice.
+        from repro.errors import QueryCancelledError
+
+        manager = LockManager()
+        manager.acquire(1, "t", X)
+        flag = {"cancelled": False}
+
+        def cancel():
+            if flag["cancelled"]:
+                raise QueryCancelledError("flagged")
+
+        results = {}
+
+        def run():
+            try:
+                results[2] = manager.acquire(
+                    2, "t", S, block=True, timeout=30.0, cancel=cancel
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced by the test
+                results[2] = exc
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while 2 not in manager.waiting():
+            if time.monotonic() > deadline:
+                raise AssertionError("waiter never parked")
+            time.sleep(0.001)
+        flag["cancelled"] = True
+        manager.wake_waiters()
+        worker.join(timeout=5.0)
+        assert isinstance(results[2], QueryCancelledError)
+        assert manager.waiting() == {}
+
+
 class TestMatrixInternalConsistency:
     def test_compatibility_is_symmetric(self):
         # Table 1 is symmetric in the paper; verify our copy is too.

@@ -19,6 +19,12 @@ python -m repro.lint --concurrency src/repro
 echo "== thread-stress smoke: 8 threads x SELECTs under the race detector =="
 REPRO_SANITIZE=1 python -m pytest -q tests/lint/test_thread_stress.py
 
+echo "== session-stress: seeded multi-session mixed workload (sanitizer on) =="
+# Eight governed sessions on an undersized pool: admission queueing,
+# lockset race detection and the no-leak postcondition, on a fixed
+# seed so any failure replays exactly.
+REPRO_SANITIZE=1 python -m pytest -q tests/service/test_session_stress.py
+
 echo "== lint + sanitizer suite (pytest -m lint) =="
 REPRO_SANITIZE=1 python -m pytest -q -m lint
 
@@ -114,20 +120,22 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR5.json =="
-# One scaled-down bench through benchmarks/conftest.py, which records
+echo "== perf smoke: bench harness writes BENCH_PR6.json =="
+# Scaled-down benches through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
-# decoded, mergeouts, failover retries, ...) per bench into
-# BENCH_PR5.json at the repo root.  The full report comes from the
-# same command without the scale-down env vars:
+# decoded, mergeouts, failover retries, admission activity, ...) per
+# bench into BENCH_PR6.json at the repo root.  The full report comes
+# from the same command without the scale-down env vars:
 #     python -m pytest benchmarks/ -q
-REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 python -m pytest \
-    benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py -q
-test -s BENCH_PR5.json
+REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 \
+REPRO_SESSION_STATEMENTS=2 python -m pytest \
+    benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py \
+    benchmarks/bench_concurrent_sessions.py -q
+test -s BENCH_PR6.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR5.json"))
-assert report["benches"], "BENCH_PR5.json has no bench entries"
+report = json.load(open("BENCH_PR6.json"))
+assert report["benches"], "BENCH_PR6.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

@@ -20,12 +20,14 @@ import pytest
 
 from repro.monitor import METRICS
 
-#: Counters recorded per bench in BENCH_PR6.json — the ones whose
+#: Counters recorded per bench in BENCH_PR7.json — the ones whose
 #: movement the paper's evaluation section argues about, plus the
-#: self-healing runtime's failover/recovery activity.
+#: self-healing runtime's failover/recovery activity and the
+#: vectorized engine's kernel-vs-row block split.
 TRACKED_COUNTERS = (
     "storage.blocks_decoded",
     "storage.bytes_decoded",
+    "storage.blocks_vectorized",
     "storage.blocks_pruned",
     "storage.containers_scanned",
     "storage.containers_pruned",
@@ -34,6 +36,10 @@ TRACKED_COUNTERS = (
     "tuple_mover.mergeouts",
     "queries.executed",
     "executor.query_retries",
+    "executor.kernel_blocks",
+    "executor.row_fallback_blocks",
+    "bench.figure3_kernel_speedup_x100",
+    "bench.table3_kernel_speedup_x100",
     "cluster.nodes_failed",
     "supervisor.ticks",
     "supervisor.recoveries",
@@ -45,7 +51,7 @@ TRACKED_COUNTERS = (
     "service.statement_errors",
 )
 
-BENCH_REPORT = "BENCH_PR6.json"
+BENCH_REPORT = "BENCH_PR7.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -104,7 +110,7 @@ def report():
     return print_table
 
 
-# -- BENCH_PR6.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR7.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):

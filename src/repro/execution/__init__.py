@@ -18,6 +18,16 @@ from .expressions import (
     Or,
     column_range_from_predicate,
 )
+from .kernels import (
+    ColumnVector,
+    DictVector,
+    PlainVector,
+    RleVector,
+    Selection,
+    as_list,
+    force_row_engine,
+    kernels_enabled,
+)
 from .operators import *  # noqa: F401,F403 - re-export operator set
 from .operators import __all__ as _operators_all
 from .resource import ResourcePool, SpillFile, WorkloadPolicy
@@ -41,6 +51,14 @@ __all__ = [
     "Not",
     "Or",
     "column_range_from_predicate",
+    "ColumnVector",
+    "DictVector",
+    "PlainVector",
+    "RleVector",
+    "Selection",
+    "as_list",
+    "force_row_engine",
+    "kernels_enabled",
     "ResourcePool",
     "SpillFile",
     "WorkloadPolicy",

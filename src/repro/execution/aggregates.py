@@ -107,6 +107,51 @@ class Accumulator:
         """COUNT(*) path: count rows regardless of values."""
         self.count += count
 
+    def add_bulk(self, values, null_count: int | None = None) -> None:
+        """Kernel path: fold a whole value sequence at once.
+
+        ``null_count`` of 0 promises the sequence is NULL-free (exact
+        vector metadata), skipping the filter pass; None means unknown.
+        """
+        if self.distinct:
+            for value in values:
+                self.add(value)
+            return
+        if null_count != 0:
+            values = [value for value in values if value is not None]
+        if not values:
+            return
+        self.count += len(values)
+        if self.func in ("SUM", "AVG"):
+            part = sum(values)
+            self.total = part if self.total is None else self.total + part
+        elif self.func == "MIN":
+            low = min(values)
+            if self.minimum is None or low < self.minimum:
+                self.minimum = low
+        elif self.func == "MAX":
+            high = max(values)
+            if self.maximum is None or high > self.maximum:
+                self.maximum = high
+
+    def add_run(self, value, length: int) -> None:
+        """Kernel path: fold an RLE run — O(1) for every aggregate."""
+        if value is None or length <= 0:
+            return
+        if self.distinct:
+            self.add(value)
+            return
+        self.count += length
+        if self.func in ("SUM", "AVG"):
+            part = value * length
+            self.total = part if self.total is None else self.total + part
+        elif self.func == "MIN":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "MAX":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
     def final(self):
         """The aggregate's SQL result."""
         if self.func == "COUNT":

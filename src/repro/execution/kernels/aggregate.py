@@ -1,0 +1,185 @@
+"""GroupBy/aggregate kernels: RLE run arithmetic and dictionary keys.
+
+    Vertica's EE [...] operates directly on encoded data: a COUNT over
+    an RLE run is the run length, a SUM is value x length.  (section 6.1)
+
+:func:`absorb_block_kernel` is the batch twin of
+``_AggregationCore.absorb_block``: it folds one block into the group
+hash table without the per-row ``tuple(...)`` key build when the block's
+structure allows it, and reports ``False`` (fold nothing) when it does
+not so the caller can run the row path instead.
+
+Kernelized shapes, tried in order:
+
+* **global aggregates** (no keys) — each accumulator folds the whole
+  column at once: RLE columns via ``add_run`` (O(runs)), dictionary
+  columns via a code histogram, plain columns via ``add_bulk`` (C-speed
+  ``sum``/``min``/``max``);
+* **run-structured keys** — all key columns RLE, or the block sorted by
+  a permutation of the keys: adjacent equal keys collapse to one hash
+  probe and one bulk fold per run;
+* **single dictionary key** — rows bucketed by dictionary *code*
+  (integers), the key value looked up once per distinct code.
+
+Anything else (expression keys, DISTINCT, user-defined aggregates,
+unstructured multi-column keys) returns ``False``; correctness never
+depends on the kernel path firing.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby as _runs_of
+
+from ..expressions import ColumnRef
+from .vectors import DictVector, RleVector, as_list, null_count_of
+
+
+def groupby_kernel_supported(core) -> bool:
+    """Whether ``core``'s shape is in the kernel dialect at all.
+
+    Keys must be plain column references and every aggregate a built-in
+    over a column (or COUNT(*)), without DISTINCT — the same spec the
+    paper's single-instruction aggregation loops assume.
+    """
+    if not all(isinstance(expr, ColumnRef) for expr in core.key_exprs):
+        return False
+    for spec in core.specs:
+        if spec.distinct or spec.is_user_defined:
+            return False
+        if spec.arg is not None and not isinstance(spec.arg, ColumnRef):
+            return False
+    return True
+
+
+def absorb_block_kernel(core, groups: dict, block) -> bool:
+    """Fold ``block`` into ``groups`` via batch kernels.
+
+    Returns True when the block was fully absorbed; False means the
+    block's structure has no kernel shape and the caller must fold it
+    through the row path.  Assumes :func:`groupby_kernel_supported`.
+    """
+    row_count = block.row_count
+    if row_count == 0:
+        return True
+    arg_columns = [
+        block.column(spec.arg.name) if spec.arg is not None else None
+        for spec in core.specs
+    ]
+    if not core.key_exprs:
+        accumulators = groups.get(())
+        if accumulators is None:
+            accumulators = groups[()] = core.new_accumulators()
+        _fold_whole_columns(accumulators, arg_columns, row_count)
+        return True
+    key_columns = [block.column(expr.name) for expr in core.key_exprs]
+    runs = _key_runs(block, core.key_exprs, key_columns)
+    if runs is not None:
+        arg_values = [
+            as_list(column) if column is not None else None
+            for column in arg_columns
+        ]
+        for key, start, stop in runs:
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = groups[key] = core.new_accumulators()
+            length = stop - start
+            for accumulator, values in zip(accumulators, arg_values):
+                if values is None:
+                    accumulator.add_count_star(length)
+                else:
+                    accumulator.add_bulk(values[start:stop])
+        return True
+    if len(key_columns) == 1 and isinstance(key_columns[0], DictVector):
+        _absorb_dict_key(core, groups, key_columns[0], arg_columns)
+        return True
+    return False
+
+
+# -- internals -------------------------------------------------------------
+
+
+def _fold_whole_columns(accumulators, arg_columns, row_count: int) -> None:
+    """Global aggregate: fold each argument column in one shot."""
+    for accumulator, column in zip(accumulators, arg_columns):
+        if column is None:
+            accumulator.add_count_star(row_count)
+        elif isinstance(column, RleVector):
+            for value, length in column.runs:
+                accumulator.add_run(value, length)
+        elif isinstance(column, DictVector):
+            entries = column.entries
+            histogram: dict[int, int] = {}
+            for code in column.codes:
+                histogram[code] = histogram.get(code, 0) + 1
+            for code, count in histogram.items():
+                accumulator.add_run(entries[code], count)
+        else:
+            accumulator.add_bulk(as_list(column), null_count_of(column))
+
+
+def _key_runs(block, key_exprs, key_columns):
+    """Iterator of ``(key_tuple, start, stop)`` runs, or None.
+
+    Correctness does not require sortedness (the hash table tolerates a
+    key recurring), but a run structure is only *profitable* when equal
+    keys are adjacent: every key column RLE, or the block sorted by a
+    permutation of the keys.
+    """
+    all_rle = all(isinstance(column, RleVector) for column in key_columns)
+    if len(key_columns) == 1 and isinstance(key_columns[0], RleVector):
+        def single_runs():
+            position = 0
+            for value, length in key_columns[0].runs:
+                yield (value,), position, position + length
+                position += length
+
+        return single_runs()
+    if not all_rle:
+        sorted_by = getattr(block, "sorted_by", None) or ()
+        key_names = {expr.name for expr in key_exprs}
+        if key_names != set(sorted_by[: len(key_names)]):
+            return None
+
+    def merged_runs():
+        value_lists = [as_list(column) for column in key_columns]
+        position = 0
+        for key, group in _runs_of(zip(*value_lists)):
+            length = sum(1 for _ in group)
+            yield key, position, position + length
+            position += length
+
+    return merged_runs()
+
+
+def _absorb_dict_key(core, groups: dict, key, arg_columns) -> None:
+    """Single dictionary-coded key: bucket rows by integer code."""
+    entries = key.entries
+    if all(column is None for column in arg_columns):
+        # pure COUNT(*): a code histogram is the whole answer.
+        histogram: dict[int, int] = {}
+        for code in key.codes:
+            histogram[code] = histogram.get(code, 0) + 1
+        for code, count in histogram.items():
+            accumulators = groups.get((entries[code],))
+            if accumulators is None:
+                accumulators = groups[(entries[code],)] = core.new_accumulators()
+            for accumulator in accumulators:
+                accumulator.add_count_star(count)
+        return
+    buckets: dict[int, list[int]] = {}
+    for position, code in enumerate(key.codes):
+        bucket = buckets.get(code)
+        if bucket is None:
+            bucket = buckets[code] = []
+        bucket.append(position)
+    for code, positions in buckets.items():
+        accumulators = groups.get((entries[code],))
+        if accumulators is None:
+            accumulators = groups[(entries[code],)] = core.new_accumulators()
+        count = len(positions)
+        for accumulator, column in zip(accumulators, arg_columns):
+            if column is None:
+                accumulator.add_count_star(count)
+            else:
+                values = as_list(column)
+                accumulator.add_bulk(list(map(values.__getitem__, positions)))

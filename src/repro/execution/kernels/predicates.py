@@ -1,0 +1,337 @@
+"""Compiling expression trees into vectorized predicate kernels.
+
+:func:`compile_kernel_predicate` turns a predicate :class:`Expr` into a
+:class:`KernelPredicate` — a function from a block's columns to a
+:class:`Selection` of the rows where the predicate is TRUE — or returns
+``None`` when any part of the tree is outside the kernel dialect, in
+which case the operator falls back to the row engine.
+
+What the kernels exploit, per column representation:
+
+* **dictionary vectors** — the scalar test runs once per dictionary
+  entry (at most 4096 tests per block), then rows are selected by code
+  lookup (section 6.1's "compares run length encoded data without
+  decompressing");
+* **RLE vectors** — the test runs once per run, emitting position
+  ranges, so a block of K runs costs O(K) regardless of row count;
+* **sorted plain columns** — comparisons and BETWEEN against the
+  block's leading sort column binary-search the value list into a
+  handful of position ranges (the paper's "applies predicates in the
+  most advantageous manner possible");
+* anything else — a straight vectorized mask.
+
+Three-valued logic: a Selection records rows where the predicate is
+definitely TRUE.  NOT is therefore *pushed to the leaves* (De Morgan is
+sound in Kleene logic) and each leaf bakes negation into its scalar
+test over non-NULL values; NULL rows never enter a selection, matching
+the row engine's "NULL does not pass" semantics exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from ..expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from .selection import Selection
+from .vectors import DictVector, RleVector, as_list, null_count_of
+
+#: Comparison op under logical negation (sound because the leaf only
+#: ever evaluates non-NULL values; NULL is excluded separately).
+_NEGATED_OP = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+#: Comparison op mirrored across its operands (literal <op> column).
+_MIRRORED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+_SCALAR_TESTS = {
+    "=": lambda lit: lambda v: v == lit,
+    "<>": lambda lit: lambda v: v != lit,
+    "<": lambda lit: lambda v: v < lit,
+    "<=": lambda lit: lambda v: v <= lit,
+    ">": lambda lit: lambda v: v > lit,
+    ">=": lambda lit: lambda v: v >= lit,
+}
+
+
+class KernelPredicate:
+    """A compiled vectorized predicate.
+
+    Call with ``(columns, row_count, sorted_by)`` where ``columns``
+    maps the predicate's column names to vectors/lists, and
+    ``sorted_by`` names the columns the block is sorted by (ascending,
+    major first; empty when unknown).  Returns the TRUE-row Selection.
+    """
+
+    __slots__ = ("columns", "_evaluate")
+
+    def __init__(self, columns: frozenset, evaluate):
+        self.columns = columns
+        self._evaluate = evaluate
+
+    def __call__(self, columns, row_count, sorted_by=()) -> Selection:
+        return self._evaluate(columns, row_count, sorted_by)
+
+
+def compile_kernel_predicate(expr: Expr) -> KernelPredicate | None:
+    """Compile ``expr`` to a kernel, or None if unsupported (cached)."""
+    cached = getattr(expr, "_kernel_predicate_cache", None)
+    if cached is not None:
+        return cached[0]
+    compiled = _compile(expr, negated=False)
+    if compiled is None:
+        predicate = None
+    else:
+        evaluate, columns = compiled
+        predicate = KernelPredicate(frozenset(columns), evaluate)
+    try:
+        expr._kernel_predicate_cache = (predicate,)
+    except AttributeError:  # pragma: no cover - exotic Expr subclass
+        pass
+    return predicate
+
+
+def kernel_predicate_supported(expr: Expr | None) -> bool:
+    """Whether the kernel engine can evaluate ``expr`` (EXPLAIN hook)."""
+    if expr is None:
+        return True
+    return compile_kernel_predicate(expr) is not None
+
+
+# -- compilation -----------------------------------------------------------
+
+
+def _compile(expr: Expr, negated: bool):
+    """Return ``(evaluate, column_names)`` or None if unsupported."""
+    if isinstance(expr, Not):
+        return _compile(expr.operand, not negated)
+    if isinstance(expr, (And, Or)):
+        # De Morgan under negation: NOT(a AND b) == NOT a OR NOT b.
+        conjunction = isinstance(expr, And) != negated
+        parts = [_compile(operand, negated) for operand in expr.operands]
+        if any(part is None for part in parts):
+            return None
+        evaluators = [evaluate for evaluate, _ in parts]
+        columns: set[str] = set()
+        for _, names in parts:
+            columns |= names
+
+        if conjunction:
+            def evaluate(block_columns, row_count, sorted_by):
+                result = evaluators[0](block_columns, row_count, sorted_by)
+                for child in evaluators[1:]:
+                    if result.is_empty:
+                        return result
+                    result = result.intersect(
+                        child(block_columns, row_count, sorted_by)
+                    )
+                return result
+        else:
+            def evaluate(block_columns, row_count, sorted_by):
+                result = evaluators[0](block_columns, row_count, sorted_by)
+                for child in evaluators[1:]:
+                    if result.is_all:
+                        return result
+                    result = result.union(
+                        child(block_columns, row_count, sorted_by)
+                    )
+                return result
+
+        return evaluate, columns
+    if isinstance(expr, Literal):
+        # WHERE TRUE / WHERE FALSE / WHERE NULL as a whole predicate.
+        value = expr.value
+        if value is None:
+            keep_all = False
+        else:
+            keep_all = bool(value) != negated
+        if keep_all:
+            return (lambda _c, row_count, _s: Selection.all_rows(row_count)), set()
+        return (lambda _c, row_count, _s: Selection.none(row_count)), set()
+    if isinstance(expr, Comparison):
+        return _compile_comparison(expr, negated)
+    if isinstance(expr, Between):
+        return _compile_between(expr, negated)
+    if isinstance(expr, InList):
+        return _compile_in_list(expr, negated)
+    if isinstance(expr, IsNull):
+        return _compile_is_null(expr, negated)
+    if isinstance(expr, Like):
+        return _compile_like(expr, negated)
+    return None
+
+
+def _compile_comparison(expr: Comparison, negated: bool):
+    op = expr.op
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        name, literal = expr.left.name, expr.right.value
+    elif isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        name, literal = expr.right.name, expr.left.value
+        op = _MIRRORED_OP[op]
+    else:
+        return None
+    if literal is None:
+        # comparison with NULL is NULL either way: nothing passes.
+        return _const_none(), {name}
+    if negated:
+        op = _NEGATED_OP[op]
+    test = _SCALAR_TESTS[op](literal)
+
+    def sorted_ranges(values, row_count):
+        low = bisect_left(values, literal)
+        high = bisect_right(values, literal)
+        if op == "=":
+            return [(low, high)]
+        if op == "<>":
+            return [(0, low), (high, row_count)]
+        if op == "<":
+            return [(0, low)]
+        if op == "<=":
+            return [(0, high)]
+        if op == ">":
+            return [(high, row_count)]
+        return [(low, row_count)]  # ">="
+
+    return _make_leaf(name, test, sorted_ranges)
+
+
+def _compile_between(expr: Between, negated: bool):
+    if not (
+        isinstance(expr.value, ColumnRef)
+        and isinstance(expr.low, Literal)
+        and isinstance(expr.high, Literal)
+    ):
+        return None
+    name = expr.value.name
+    low, high = expr.low.value, expr.high.value
+    if low is None or high is None:
+        return _const_none(), {name}
+    if negated:
+        def test(v, low=low, high=high):
+            return v < low or v > high
+
+        def sorted_ranges(values, row_count):
+            return [
+                (0, bisect_left(values, low)),
+                (bisect_right(values, high), row_count),
+            ]
+    else:
+        def test(v, low=low, high=high):
+            return low <= v <= high
+
+        def sorted_ranges(values, row_count):
+            return [(bisect_left(values, low), bisect_right(values, high))]
+
+    return _make_leaf(name, test, sorted_ranges)
+
+
+def _compile_in_list(expr: InList, negated: bool):
+    if not isinstance(expr.value, ColumnRef):
+        return None
+    name = expr.value.name
+    options = list(expr.options)
+    has_null_option = any(option is None for option in options)
+    if negated and has_null_option:
+        # v NOT IN (..., NULL) is never TRUE: FALSE on a match, NULL
+        # otherwise.
+        return _const_none(), {name}
+    choices = frozenset(option for option in options if option is not None)
+    if not choices and not negated:
+        return _const_none(), {name}
+    if negated:
+        def test(v, choices=choices):
+            return v not in choices
+    else:
+        def test(v, choices=choices):
+            return v in choices
+
+    return _make_leaf(name, test, None)
+
+
+def _compile_is_null(expr: IsNull, negated: bool):
+    if not isinstance(expr.value, ColumnRef):
+        return None
+    name = expr.value.name
+    # IS [NOT] NULL is two-valued, so outer NOT simply flips it.
+    want_null = expr.negated == negated
+
+    def evaluate(columns, row_count, _sorted_by):
+        column = columns[name]
+        nulls = null_count_of(column)
+        if nulls == 0:
+            if want_null:
+                return Selection.none(row_count)
+            return Selection.all_rows(row_count)
+        values = as_list(column)
+        if want_null:
+            return Selection.from_mask([value is None for value in values])
+        return Selection.from_mask([value is not None for value in values])
+
+    return evaluate, {name}
+
+
+def _compile_like(expr: Like, negated: bool):
+    if not isinstance(expr.value, ColumnRef):
+        return None
+    name = expr.value.name
+    regex = expr._regex
+    want_match = expr.negated == negated  # double negation cancels
+
+    def test(v, regex=regex, want=want_match):
+        return (regex.match(v) is not None) is want
+
+    return _make_leaf(name, test, None)
+
+
+def _const_none():
+    return lambda _c, row_count, _s: Selection.none(row_count)
+
+
+def _make_leaf(name: str, test, sorted_ranges):
+    """Leaf evaluator dispatching on the column's representation."""
+
+    def evaluate(columns, row_count, sorted_by):
+        column = columns[name]
+        if isinstance(column, DictVector):
+            # test once per dictionary entry, select rows by code.
+            truth = [entry is not None and test(entry) for entry in column.entries]
+            if not any(truth):
+                return Selection.none(row_count)
+            if all(truth):
+                return Selection.all_rows(row_count)
+            return Selection.from_mask([truth[code] for code in column.codes])
+        if isinstance(column, RleVector):
+            # test once per run, emit position ranges.
+            ranges = []
+            position = 0
+            for value, length in column.runs:
+                if value is not None and test(value):
+                    ranges.append((position, position + length))
+                position += length
+            return Selection.from_ranges(ranges, row_count)
+        if (
+            sorted_ranges is not None
+            and sorted_by
+            and sorted_by[0] == name
+            and null_count_of(column) == 0
+        ):
+            # block sorted ascending by this column: binary search.
+            return Selection.from_ranges(
+                sorted_ranges(as_list(column), row_count), row_count
+            )
+        values = as_list(column)
+        return Selection.from_mask(
+            [value is not None and test(value) for value in values]
+        )
+
+    return evaluate, {name}

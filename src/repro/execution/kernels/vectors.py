@@ -1,0 +1,135 @@
+"""Column vectors: encoded columnar data with a plain-sequence façade.
+
+A :class:`ColumnVector` carries one block-range of one column in its
+*encoded representation* — RLE runs or block-dictionary codes — plus a
+lazily-built, cached materialization.  Vectors implement the read-only
+sequence protocol (``len``, indexing, slicing, iteration), so they can
+sit inside a :class:`repro.execution.row_block.RowBlock` and flow
+through operators that know nothing about kernels: the first per-row
+access simply materializes the values.  Kernel-aware operators instead
+dispatch on the vector kind and work on runs/codes directly.
+
+NULL handling contract: :class:`RleVector` and :class:`DictVector`
+never contain NULLs — storage blocks with NULLs decode to a
+:class:`PlainVector` (the presence bitmap's positions do not line up
+with run/code positions, so the encoded form is not usable once NULLs
+enter the picture).  ``null_count`` is therefore exact on every vector.
+"""
+
+from __future__ import annotations
+
+
+class ColumnVector:
+    """Base class: a fixed-length, read-only column of values."""
+
+    __slots__ = ("row_count", "null_count", "_values")
+
+    #: Encoded-representation kind: "plain" | "rle" | "dict".
+    kind = "plain"
+
+    def __init__(self, row_count: int, null_count: int):
+        self.row_count = row_count
+        self.null_count = null_count
+        self._values: list | None = None
+
+    def values(self) -> list:
+        """The materialized value list (decoded once, then cached)."""
+        values = self._values
+        if values is None:
+            values = self._values = self._materialize()
+        return values
+
+    def _materialize(self) -> list:
+        raise NotImplementedError
+
+    # -- sequence protocol (transparent fallback for row operators) ------
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __iter__(self):
+        return iter(self.values())
+
+    def __getitem__(self, index):
+        return self.values()[index]
+
+    def __contains__(self, value) -> bool:
+        return value in self.values()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rows={self.row_count})"
+
+
+class PlainVector(ColumnVector):
+    """An already-decoded value list, annotated with its NULL count."""
+
+    __slots__ = ()
+
+    kind = "plain"
+
+    def __init__(self, values: list, null_count: int):
+        super().__init__(len(values), null_count)
+        self._values = values
+
+    def _materialize(self) -> list:  # pragma: no cover - set in __init__
+        return self._values
+
+
+class RleVector(ColumnVector):
+    """A column held as ``(value, run_length)`` pairs (no NULLs)."""
+
+    __slots__ = ("runs",)
+
+    kind = "rle"
+
+    def __init__(self, runs: list[tuple], row_count: int | None = None):
+        if row_count is None:
+            row_count = sum(length for _, length in runs)
+        super().__init__(row_count, 0)
+        self.runs = runs
+
+    def _materialize(self) -> list:
+        out: list = []
+        for value, length in self.runs:
+            out.extend([value] * length)
+        return out
+
+
+class DictVector(ColumnVector):
+    """A column held as dictionary codes plus the entry list (no NULLs).
+
+    The dictionary is block-local (section 3.4.1), so a vector never
+    spans storage blocks: batches are cut at block boundaries.
+    """
+
+    __slots__ = ("codes", "entries")
+
+    kind = "dict"
+
+    def __init__(self, codes: list[int], entries: list):
+        super().__init__(len(codes), 0)
+        self.codes = codes
+        self.entries = entries
+
+    def _materialize(self) -> list:
+        entries = self.entries
+        return [entries[code] for code in self.codes]
+
+
+def as_list(column) -> list:
+    """Materialize ``column`` (vector or plain list) as a plain list.
+
+    Row-path code that indexes per row calls this first so the inner
+    loop runs over a real list instead of paying a method call per
+    element on a vector.
+    """
+    if isinstance(column, ColumnVector):
+        return column.values()
+    return column
+
+
+def null_count_of(column) -> int | None:
+    """Exact NULL count for vectors; None (unknown) for plain lists."""
+    if isinstance(column, ColumnVector):
+        return column.null_count
+    return None

@@ -33,6 +33,12 @@ class Operator:
         #: profiler derives per-operator self time by subtracting the
         #: children's inclusive totals.
         self.wall_seconds = 0.0
+        #: Blocks this operator processed via batch kernels vs the
+        #: per-row fallback.  Operators that have kernel paths bump
+        #: these per input block; everything else leaves both at 0 and
+        #: reports execution mode "-".
+        self.kernel_blocks = 0
+        self.row_blocks = 0
         #: Cooperative cancellation hook (section 7 workload
         #: management): when set by the executor, every pull first
         #: calls ``cancel_token.check()``, which raises
@@ -79,6 +85,19 @@ class Operator:
         for block in self.blocks():
             out.extend(block.to_rows())
         return out
+
+    def execution_mode(self) -> str:
+        """How this operator processed its blocks: "kernel" when every
+        block went through a batch kernel, "row" when every block fell
+        back to per-row evaluation, "mixed" for some of each, and "-"
+        for operators without a kernel/row distinction."""
+        if self.kernel_blocks and self.row_blocks:
+            return "mixed"
+        if self.kernel_blocks:
+            return "kernel"
+        if self.row_blocks:
+            return "row"
+        return "-"
 
     # -- plan display ------------------------------------------------------
 

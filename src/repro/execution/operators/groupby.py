@@ -26,8 +26,13 @@ prepass outputs flow into an ordinary merge-mode GroupBy.
 from __future__ import annotations
 
 from ...errors import ExecutionError
+from ...lint import sanitizer
+from ...monitor import METRICS
 from ..aggregates import AggregateSpec, make_accumulator
 from ..expressions import ColumnRef, Expr
+from ..kernels import kernels_enabled
+from ..kernels.aggregate import absorb_block_kernel, groupby_kernel_supported
+from ..kernels.vectors import as_list
 from ..resource import ResourcePool, SpillFile
 from ..row_block import VECTOR_SIZE, RowBlock
 from .base import Operator
@@ -81,18 +86,29 @@ class _AggregationCore:
         self._arg_runs = [
             spec.arg.compiled() if spec.arg is not None else None for spec in specs
         ]
+        #: Whether this core's shape is in the kernel dialect at all
+        #: (per-block structure still decides whether a kernel fires).
+        self.kernel_supported = groupby_kernel_supported(self)
 
     def new_accumulators(self):
         return [make_accumulator(spec) for spec in self.specs]
 
     def key_columns(self, block: RowBlock) -> list[list]:
-        return [run(block) for run in self._key_runs]
+        return [as_list(run(block)) for run in self._key_runs]
 
-    def absorb_block(self, groups: dict, block: RowBlock) -> None:
-        """Fold one block into the group hash table."""
+    def absorb_block(self, groups: dict, block: RowBlock) -> bool:
+        """Fold one block into the group hash table.
+
+        Returns True when a batch kernel absorbed the block, False when
+        the per-row path did (the operator's execution-mode counters).
+        """
+        if self.kernel_supported and kernels_enabled():
+            if absorb_block_kernel(self, groups, block):
+                return True
         key_columns = self.key_columns(block)
         arg_columns = [
-            run(block) if run is not None else None for run in self._arg_runs
+            as_list(run(block)) if run is not None else None
+            for run in self._arg_runs
         ]
         count = block.row_count
         if not self.key_exprs:
@@ -100,13 +116,14 @@ class _AggregationCore:
             if accumulators is None:
                 accumulators = groups[()] = self.new_accumulators()
             self._fold_range(accumulators, arg_columns, count)
-            return
+            return False
         for index in range(count):
             key = tuple(column[index] for column in key_columns)
             accumulators = groups.get(key)
             if accumulators is None:
                 accumulators = groups[key] = self.new_accumulators()
             self._fold_one(accumulators, arg_columns, index)
+        return False
 
     def _fold_one(self, accumulators, arg_columns, index: int) -> None:
         for accumulator, args in zip(accumulators, arg_columns):
@@ -192,9 +209,16 @@ class GroupByHashOperator(Operator):
         groups: dict = {}
         spill_files: list[SpillFile] | None = None
         partial_core: _AggregationCore | None = None
+        rows_absorbed = 0
         for block in self.children[0].blocks():
             if spill_files is None:
-                self.core.absorb_block(groups, block)
+                if self.core.absorb_block(groups, block):
+                    self.kernel_blocks += 1
+                    METRICS.inc("executor.kernel_blocks")
+                else:
+                    self.row_blocks += 1
+                    METRICS.inc("executor.row_fallback_blocks")
+                rows_absorbed += block.row_count
                 if budget is not None and len(groups) > budget:
                     if not all(spec.mergeable for spec in self.core.specs):
                         raise ExecutionError(
@@ -225,6 +249,8 @@ class GroupByHashOperator(Operator):
                 )
                 self._spill_partials(partial, partial_core, spill_files)
         if spill_files is None:
+            if sanitizer.enabled() and not self.merge_partials:
+                self._check_conservation(groups, rows_absorbed)
             yield from self._emit(groups, self.core)
         else:
             for spill in spill_files:
@@ -237,6 +263,27 @@ class GroupByHashOperator(Operator):
                     partial_core.absorb_block(partition_groups, partial_block)
                 spill.close()
                 yield from self._emit(partition_groups, partial_core)
+
+    def _check_conservation(self, groups: dict, rows_absorbed: int) -> None:
+        """Sanitizer: COUNT(*) totals across groups must equal rows in
+        (whichever engine — run arithmetic, dictionary histograms, or
+        per-row folds — absorbed each block)."""
+        star = next(
+            (
+                index
+                for index, spec in enumerate(self.core.specs)
+                if spec.func == "COUNT"
+                and spec.arg is None
+                and not spec.distinct
+            ),
+            None,
+        )
+        if star is None:
+            return
+        total = sum(
+            accumulators[star].count for accumulators in groups.values()
+        )
+        sanitizer.check_groupby_conservation(rows_absorbed, total)
 
     def _spill_partials(
         self, block: RowBlock, partial_core: _AggregationCore, spill_files
@@ -307,7 +354,7 @@ class GroupByPipelinedOperator(Operator):
         for block in self.children[0].blocks():
             key_columns = self.core.key_columns(block)
             arg_columns = [
-                run(block) if run is not None else None
+                as_list(run(block)) if run is not None else None
                 for run in self.core._arg_runs
             ]
             for index in range(block.row_count):
@@ -386,7 +433,12 @@ class PrepassGroupByOperator(Operator):
                 self.rows_out_partial += partial.row_count
                 yield partial
                 continue
-            self.core.absorb_block(groups, block)
+            if self.core.absorb_block(groups, block):
+                self.kernel_blocks += 1
+                METRICS.inc("executor.kernel_blocks")
+            else:
+                self.row_blocks += 1
+                METRICS.inc("executor.row_fallback_blocks")
             if len(groups) >= self.table_size:
                 yield from self._flush(groups)
                 groups = {}

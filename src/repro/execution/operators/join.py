@@ -23,6 +23,7 @@ from enum import Enum
 from ...errors import ExecutionError
 from ...types import sort_key
 from ..expressions import ColumnRef, Expr
+from ..kernels.vectors import as_list
 from ..resource import ResourcePool
 from ..row_block import VECTOR_SIZE, RowBlock
 from ..sip import SipFilter
@@ -161,7 +162,7 @@ class HashJoinOperator(Operator):
         matched_build_ids: set[int] = set()
         track_build = self.join_type in (JoinType.RIGHT, JoinType.FULL)
         for block in self.children[0].blocks():
-            key_columns = [run(block) for run in left_key_runs]
+            key_columns = [as_list(run(block)) for run in left_key_runs]
             rows = block.to_rows()
             for index, left_row in enumerate(rows):
                 key = tuple(column[index] for column in key_columns)
@@ -286,7 +287,7 @@ class MergeJoinOperator(Operator):
     def _row_stream(operator: Operator, keys: list[Expr]):
         runs = [key.compiled() for key in keys]
         for block in operator.blocks():
-            key_columns = [run(block) for run in runs]
+            key_columns = [as_list(run(block)) for run in runs]
             rows = block.to_rows()
             for index, row in enumerate(rows):
                 raw = tuple(column[index] for column in key_columns)

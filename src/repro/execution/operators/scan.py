@@ -13,9 +13,12 @@ last (section 6.1).
 
 from __future__ import annotations
 
+from ...monitor import METRICS
 from ...storage.manager import StorageManager
 from ..expressions import Expr, column_range_from_predicate
-from ..row_block import RowBlock
+from ..kernels import kernels_enabled
+from ..kernels.predicates import compile_kernel_predicate
+from ..row_block import RowBlock, _sorted_prefix
 from ..sip import SipFilter
 from .base import Operator
 
@@ -70,12 +73,48 @@ class ScanOperator(Operator):
     def _produce(self):
         prune = column_range_from_predicate(self.predicate)
         needed = self._needed_columns()
-        predicate = self.predicate.compiled() if self.predicate is not None else None
+        use_kernels = kernels_enabled()
+        kernel = None
+        row_predicate = None
+        if self.predicate is not None:
+            if use_kernels:
+                kernel = compile_kernel_predicate(self.predicate)
+            if kernel is None:
+                row_predicate = self.predicate.compiled()
 
         def emit(block: RowBlock):
             self.rows_scanned += block.row_count
-            if predicate is not None:
-                block = block.filter(predicate(block))
+            if kernel is not None:
+                # vectorized predicate: evaluated over only the
+                # predicate's columns; non-predicate columns are touched
+                # (sliced, still encoded) only if the selection keeps
+                # anything — late materialization.
+                self.kernel_blocks += 1
+                METRICS.inc("executor.kernel_blocks")
+                selection = kernel(
+                    block.columns, block.row_count, block.sorted_by or ()
+                )
+                if selection.is_empty:
+                    return None
+                if not selection.is_all:
+                    block = RowBlock(
+                        columns={
+                            name: selection.apply(values)
+                            for name, values in block.columns.items()
+                        },
+                        row_count=selection.count,
+                        sorted_by=block.sorted_by,
+                    )
+            elif row_predicate is not None:
+                self.row_blocks += 1
+                METRICS.inc("executor.row_fallback_blocks")
+                block = block.filter(row_predicate(block))
+            elif use_kernels:
+                self.kernel_blocks += 1
+                METRICS.inc("executor.kernel_blocks")
+            else:
+                self.row_blocks += 1
+                METRICS.inc("executor.row_fallback_blocks")
             self.rows_after_predicate += block.row_count
             for sip in self.sip_filters:
                 block = sip.apply(block)
@@ -85,12 +124,24 @@ class ScanOperator(Operator):
 
         if self.failure_probe is not None:
             self.failure_probe()
+        needed_set = set(needed)
         for batch in self.manager.scan(
-            self.projection_name, self.epoch, columns=needed, prune=prune or None
+            self.projection_name,
+            self.epoch,
+            columns=needed,
+            prune=prune or None,
+            vectorized=use_kernels,
         ):
             if self.failure_probe is not None:
                 self.failure_probe()
-            block = RowBlock(columns=batch.columns, row_count=batch.row_count)
+            sorted_by = None
+            if batch.sorted_run and batch.sort_columns:
+                sorted_by = _sorted_prefix(batch.sort_columns, needed_set)
+            block = RowBlock(
+                columns=batch.columns,
+                row_count=batch.row_count,
+                sorted_by=sorted_by,
+            )
             out = emit(block)
             if out is not None:
                 yield out

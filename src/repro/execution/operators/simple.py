@@ -3,7 +3,12 @@
 from __future__ import annotations
 
 from ...errors import ExecutionError
+from ...lint import sanitizer
+from ...monitor import METRICS
 from ..expressions import Expr
+from ..kernels import kernels_enabled
+from ..kernels.predicates import compile_kernel_predicate
+from ..kernels.vectors import as_list
 from ..row_block import RowBlock
 from .base import Operator
 
@@ -18,9 +23,38 @@ class FilterOperator(Operator):
         self.predicate = predicate
 
     def _produce(self):
-        predicate = self.predicate.compiled()
+        kernel = None
+        if kernels_enabled():
+            kernel = compile_kernel_predicate(self.predicate)
+        predicate = self.predicate.compiled() if kernel is None else None
         for block in self.children[0].blocks():
-            filtered = block.filter(predicate(block))
+            if kernel is not None:
+                self.kernel_blocks += 1
+                METRICS.inc("executor.kernel_blocks")
+                selection = kernel(
+                    block.columns, block.row_count, block.sorted_by or ()
+                )
+                if selection.is_empty:
+                    continue
+                if selection.is_all:
+                    filtered = block
+                else:
+                    filtered = RowBlock(
+                        columns={
+                            name: selection.apply(values)
+                            for name, values in block.columns.items()
+                        },
+                        row_count=selection.count,
+                        sorted_by=block.sorted_by,
+                    )
+            else:
+                self.row_blocks += 1
+                METRICS.inc("executor.row_fallback_blocks")
+                filtered = block.filter(predicate(block))
+            if sanitizer.enabled():
+                sanitizer.check_filter_conservation(
+                    block.row_count, filtered.row_count
+                )
             if filtered.row_count:
                 yield filtered
 
@@ -45,11 +79,27 @@ class ExprEvalOperator(Operator):
         self.outputs = dict(outputs)
 
     def _produce(self):
+        from ..expressions import ColumnRef
+
         compiled = {name: expr.compiled() for name, expr in self.outputs.items()}
+        # sort metadata survives pure column passthrough/rename outputs
+        passthrough = {}
+        for name, expr in self.outputs.items():
+            if isinstance(expr, ColumnRef) and expr.name not in passthrough:
+                passthrough[expr.name] = name
         for block in self.children[0].blocks():
+            sorted_by = None
+            if block.sorted_by:
+                prefix = []
+                for source in block.sorted_by:
+                    if source not in passthrough:
+                        break
+                    prefix.append(passthrough[source])
+                sorted_by = tuple(prefix) or None
             yield RowBlock(
                 columns={name: run(block) for name, run in compiled.items()},
                 row_count=block.row_count,
+                sorted_by=sorted_by,
             )
 
     def label(self) -> str:
@@ -100,9 +150,10 @@ class DistinctOperator(Operator):
         seen: set = set()
         for block in self.children[0].blocks():
             names = block.column_names
+            columns = [as_list(block.columns[name]) for name in names]
             keep = []
             for index in range(block.row_count):
-                key = tuple(block.columns[name][index] for name in names)
+                key = tuple(column[index] for column in columns)
                 if key not in seen:
                     seen.add(key)
                     keep.append(index)

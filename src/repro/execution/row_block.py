@@ -12,9 +12,10 @@ downstream operator drives the pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ExecutionError
+from .kernels.vectors import as_list
 
 #: Default number of rows per block flowing between operators.
 VECTOR_SIZE = 4096
@@ -22,10 +23,19 @@ VECTOR_SIZE = 4096
 
 @dataclass
 class RowBlock:
-    """A columnar batch of rows."""
+    """A columnar batch of rows.
+
+    Columns are equal-length sequences: plain lists, or (from a
+    vectorized scan) :class:`~repro.execution.kernels.vectors.ColumnVector`
+    instances that keep their encoded form until something actually
+    indexes them.  ``sorted_by`` names the columns this block's rows are
+    sorted by ascending (major first), when known — the hook kernel
+    predicates use for binary search and GroupBy uses for run detection.
+    """
 
     columns: dict[str, list]
     row_count: int
+    sorted_by: tuple | None = field(default=None, compare=False)
 
     def __post_init__(self):
         for name, values in self.columns.items():
@@ -67,8 +77,9 @@ class RowBlock:
     def to_rows(self) -> list[dict]:
         """Materialize as row dicts (sinks and tests)."""
         names = self.column_names
+        columns = {name: as_list(self.columns[name]) for name in names}
         return [
-            {name: self.columns[name][index] for name in names}
+            {name: columns[name][index] for name in names}
             for index in range(self.row_count)
         ]
 
@@ -80,10 +91,11 @@ class RowBlock:
         """A new block containing only the rows at the given indexes."""
         return RowBlock(
             columns={
-                name: [values[index] for index in keep]
+                name: list(map(as_list(values).__getitem__, keep))
                 for name, values in self.columns.items()
             },
             row_count=len(keep),
+            sorted_by=self.sorted_by,
         )
 
     def filter(self, mask: list) -> "RowBlock":
@@ -99,22 +111,33 @@ class RowBlock:
         return RowBlock(
             columns={name: self.column(name) for name in names},
             row_count=self.row_count,
+            sorted_by=_sorted_prefix(self.sorted_by, set(names)),
         )
 
     def with_column(self, name: str, values: list) -> "RowBlock":
         """A new block with an extra (or replaced) column."""
         columns = dict(self.columns)
         columns[name] = values
-        return RowBlock(columns=columns, row_count=self.row_count)
+        sorted_by = self.sorted_by
+        if sorted_by and name in sorted_by:
+            # the replacement may reorder values; keep the prefix before it
+            sorted_by = sorted_by[: sorted_by.index(name)] or None
+        return RowBlock(
+            columns=columns, row_count=self.row_count, sorted_by=sorted_by
+        )
 
     def rename(self, mapping: dict[str, str]) -> "RowBlock":
         """A new block with columns renamed per ``mapping``."""
+        sorted_by = self.sorted_by
+        if sorted_by:
+            sorted_by = tuple(mapping.get(name, name) for name in sorted_by)
         return RowBlock(
             columns={
                 mapping.get(name, name): values
                 for name, values in self.columns.items()
             },
             row_count=self.row_count,
+            sorted_by=sorted_by,
         )
 
     @staticmethod
@@ -145,7 +168,20 @@ class RowBlock:
                     for name, values in self.columns.items()
                 },
                 row_count=min(size, self.row_count - start),
+                sorted_by=self.sorted_by,
             )
+
+
+def _sorted_prefix(sorted_by: tuple | None, available: set) -> tuple | None:
+    """The leading run of ``sorted_by`` whose columns are all present."""
+    if not sorted_by:
+        return sorted_by
+    prefix: list = []
+    for name in sorted_by:
+        if name not in available:
+            break
+        prefix.append(name)
+    return tuple(prefix) or None
 
 
 def blocks_to_rows(blocks) -> list[dict]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .expressions import Expr
+from .kernels.vectors import as_list
 from .row_block import RowBlock
 
 
@@ -47,7 +48,7 @@ class SipFilter:
         """Filter a scan output block; a no-op until published."""
         if not self.ready or block.row_count == 0:
             return block
-        key_columns = [expr.evaluate(block) for expr in self.key_exprs]
+        key_columns = [as_list(expr.evaluate(block)) for expr in self.key_exprs]
         build_keys = self.build_keys
         keep = [
             index

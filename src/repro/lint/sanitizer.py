@@ -304,3 +304,33 @@ def check_trace_nesting(trace) -> None:
             f"escape parent {parent.span_id} ({parent.name!r}) ticks "
             f"[{parent.start_tick}, {parent.end_tick}]",
         )
+
+
+# -- execution kernels -------------------------------------------------
+
+
+def check_filter_conservation(rows_in: int, rows_out: int) -> None:
+    """A filter may only ever drop rows, never invent them."""
+    if not enabled():
+        return
+    invariant(
+        0 <= rows_out <= rows_in,
+        f"filter emitted {rows_out} rows from a {rows_in}-row block — "
+        "a predicate kernel fabricated or lost track of rows",
+    )
+
+
+def check_groupby_conservation(rows_in: int, count_star_total: int) -> None:
+    """Non-merge GROUP BY COUNT(*) outputs must sum to the input rows.
+
+    Row conservation across the kernel/row engines: however a block was
+    absorbed (RLE run arithmetic, dictionary histograms, per-row
+    folds), every input row lands in exactly one group.
+    """
+    if not enabled():
+        return
+    invariant(
+        rows_in == count_star_total,
+        f"group-by absorbed {rows_in} rows but its COUNT(*) totals sum "
+        f"to {count_star_total} — rows were dropped or double-counted",
+    )

@@ -44,6 +44,9 @@ class OperatorProfile:
     #: Wall time minus children's wall time (clamped at zero): the
     #: operator's own work, not the subtree's.
     self_seconds: float = 0.0
+    #: How blocks were processed: "kernel", "row", "mixed", or "-" for
+    #: operators without a kernel/row distinction.
+    execution: str = "-"
 
 
 @dataclass
@@ -66,12 +69,15 @@ class QueryProfile:
         )
         lines = [header]
         for op in self.operators:
+            execution = (
+                f" exec={op.execution}" if op.execution != "-" else ""
+            )
             lines.append(
                 "  " * op.depth
                 + f"{op.label}  "
                 + f"[rows={op.rows_produced} blocks={op.blocks_produced} "
                 + f"pulls={op.pulls} time={op.wall_seconds * 1000:.2f}ms "
-                + f"self={op.self_seconds * 1000:.2f}ms]"
+                + f"self={op.self_seconds * 1000:.2f}ms{execution}]"
             )
         return "\n".join(lines)
 
@@ -145,6 +151,7 @@ def profile_plan(root: "Operator") -> list[OperatorProfile]:
             blocks_produced=op.blocks_produced,
             pulls=op.pulls,
             wall_seconds=op.wall_seconds,
+            execution=op.execution_mode(),
         )
         profiles.append(profile)
         for child in op.children:

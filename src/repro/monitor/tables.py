@@ -69,6 +69,7 @@ _COLUMNS = {
         "pulls",
         "wall_ms",
         "self_ms",
+        "execution",
     ],
     "projection_storage": [
         "node_name",
@@ -237,6 +238,7 @@ def _query_profiles_rows(db) -> list[dict]:
                     "pulls": op.pulls,
                     "wall_ms": op.wall_seconds * 1000.0,
                     "self_ms": op.self_seconds * 1000.0,
+                    "execution": op.execution,
                 }
             )
     return rows

@@ -48,6 +48,38 @@ REPLICATED = "replicated"
 COORDINATOR = "coordinator"
 
 
+def _predicate_engine(predicate: Expr | None) -> str:
+    """Plan-time engine prediction for a Scan/Filter predicate.
+
+    "kernel" means the predicate compiles to a vectorized kernel (and
+    runs there unless ``REPRO_FORCE_ROW_ENGINE`` forces the fallback);
+    "row" means it will evaluate per-row.
+    """
+    from ..execution.kernels import kernels_enabled
+    from ..execution.kernels.predicates import kernel_predicate_supported
+
+    if kernels_enabled() and kernel_predicate_supported(predicate):
+        return "kernel"
+    return "row"
+
+
+def _groupby_engine(keys: list, aggregates: list[AggregateSpec]) -> str:
+    """Plan-time engine prediction for a GroupBy's aggregation shape."""
+    from ..execution.expressions import ColumnRef
+    from ..execution.kernels import kernels_enabled
+
+    if not kernels_enabled():
+        return "row"
+    if not all(isinstance(expr, ColumnRef) for _, expr in keys):
+        return "row"
+    for spec in aggregates:
+        if spec.distinct or spec.is_user_defined:
+            return "row"
+        if spec.arg is not None and not isinstance(spec.arg, ColumnRef):
+            return "row"
+    return "kernel"
+
+
 class PhysicalNode:
     """Base class for physical plan nodes."""
 
@@ -106,7 +138,10 @@ class PhysScan(PhysicalNode):
     def describe(self) -> str:
         predicate = f" WHERE {self.predicate!r}" if self.predicate is not None else ""
         sip = f" +{len(self.sip_requests)} SIP" if self.sip_requests else ""
-        return f"Scan {self.family_name}{predicate}{sip}"
+        return (
+            f"Scan {self.family_name}{predicate}{sip}"
+            f" [{_predicate_engine(self.predicate)}]"
+        )
 
 
 @dataclass
@@ -119,7 +154,7 @@ class PhysFilter(PhysicalNode):
         self.children = [self.child]
 
     def describe(self) -> str:
-        return f"Filter {self.predicate!r}"
+        return f"Filter {self.predicate!r} [{_predicate_engine(self.predicate)}]"
 
 
 @dataclass
@@ -196,7 +231,11 @@ class PhysGroupBy(PhysicalNode):
         mode = "local" if self.local_complete else "two-phase"
         prepass = "+prepass" if self.prepass else ""
         having = f" HAVING {self.having!r}" if self.having is not None else ""
-        return f"GroupBy[{self.algorithm} {mode}{prepass}] [{keys}] [{aggs}]{having}"
+        engine = _groupby_engine(self.keys, self.aggregates)
+        return (
+            f"GroupBy[{self.algorithm} {mode}{prepass}] [{keys}] "
+            f"[{aggs}]{having} [{engine}]"
+        )
 
 
 @dataclass

@@ -126,6 +126,7 @@ class ColumnReader:
         self._data = data
         self.blocks = read_position_index(index_bytes)
         self._cache: dict[int, list] = {}
+        self._vector_cache: dict[int, object] = {}
         self.row_count = self.blocks[-1].end_position if self.blocks else 0
 
     def block_values(self, block_index: int) -> list:
@@ -140,6 +141,66 @@ class ColumnReader:
             METRICS.inc("storage.bytes_decoded", info.length)
             METRICS.inc(f"storage.bytes_decoded.{info.encoding}", info.length)
         return cached
+
+    def block_vector(self, block_index: int):
+        """The block as a :class:`ColumnVector`, preserving encoding.
+
+        RLE blocks surface their runs and BLOCK_DICT blocks their
+        (entries, codes) pair *without decoding to values* — the
+        operate-on-compressed feed for execution kernels.  Blocks with
+        NULLs decode plain (the presence bitmap's positions do not line
+        up with run/code positions), as does every other encoding.
+        """
+        cached = self._vector_cache.get(block_index)
+        if cached is None:
+            from ..execution.kernels.vectors import (
+                DictVector,
+                PlainVector,
+                RleVector,
+            )
+
+            info = self.blocks[block_index]
+            if info.null_count == 0 and info.encoding in ("RLE", "BLOCK_DICT"):
+                from .encodings import encoding_by_name
+
+                payload = self._data[info.offset : info.offset + info.length]
+                encoding = encoding_by_name(info.encoding)
+                if info.encoding == "RLE":
+                    runs = list(encoding.iter_runs(payload, info.row_count))
+                    cached = RleVector(runs, info.row_count)
+                else:
+                    entries, codes = encoding.decode_parts(
+                        payload, info.row_count
+                    )
+                    cached = DictVector(codes, entries)
+                METRICS.inc("storage.blocks_vectorized")
+            else:
+                cached = PlainVector(
+                    self.block_values(block_index), info.null_count
+                )
+            self._vector_cache[block_index] = cached
+        return cached
+
+    def vector_for_range(self, block_index: int, start: int, end: int):
+        """``block_vector`` trimmed to absolute positions [start, end)."""
+        info = self.blocks[block_index]
+        vector = self.block_vector(block_index)
+        lo = max(start - info.start_position, 0)
+        hi = min(end - info.start_position, info.row_count)
+        if lo == 0 and hi == info.row_count:
+            return vector
+        from ..execution.kernels.selection import Selection
+        from ..execution.kernels.vectors import PlainVector
+
+        trimmed = Selection.from_ranges([(lo, hi)], info.row_count).apply(vector)
+        if isinstance(trimmed, list):
+            nulls = (
+                sum(1 for value in trimmed if value is None)
+                if info.null_count
+                else 0
+            )
+            return PlainVector(trimmed, nulls)
+        return trimmed
 
     def read_all(self) -> list:
         """Decode the entire column in position order."""

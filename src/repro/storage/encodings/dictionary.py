@@ -55,6 +55,16 @@ class BlockDictionaryEncoding(Encoding):
         return bytes(out)
 
     def decode(self, data: bytes, count: int) -> list:
+        entries, codes = self.decode_parts(data, count)
+        return [entries[code] for code in codes]
+
+    def decode_parts(self, data: bytes, count: int) -> tuple[list, list[int]]:
+        """Decode to ``(entries, codes)`` without mapping codes to values.
+
+        The execution engine's dictionary kernels want the dictionary
+        and the code list separately (test each entry once, compare
+        codes as integers).
+        """
         size, offset = read_uvarint(data, 0)
         entries = []
         for _ in range(size):
@@ -62,7 +72,7 @@ class BlockDictionaryEncoding(Encoding):
             entries.append(entry)
         width, offset = read_uvarint(data, offset)
         codes = unpack_bits(data[offset:], width, count)
-        return [entries[code] for code in codes]
+        return entries, codes
 
     def supports(self, dtype: DataType, values: list) -> bool:
         if not values:

@@ -83,6 +83,9 @@ class ScanBatch:
     source: int | None
     #: True when rows are in projection sort order within the batch.
     sorted_run: bool
+    #: The projection sort order (major first) when ``sorted_run``;
+    #: lets the execution kernels binary-search and detect runs.
+    sort_columns: tuple | None = None
 
 
 @dataclass
@@ -630,6 +633,7 @@ class StorageManager:
         prune: dict[str, tuple] | None = None,
         batch_rows: int = 8192,
         include_deleted: bool = False,
+        vectorized: bool = False,
     ):
         """Yield :class:`ScanBatch` es of rows visible at ``epoch``.
 
@@ -637,9 +641,14 @@ class StorageManager:
         containers via their min/max metadata before any data is read.
         ``include_deleted`` disables delete-vector filtering (recovery
         must copy deleted-but-unpurged rows, section 5.2).
+        ``vectorized`` asks for encoded column vectors instead of value
+        lists where the container allows it (fully visible, no deletes);
+        batches are then cut at storage-block boundaries so block-local
+        dictionaries stay valid.
         """
         state = self._state(projection_name)
         names = columns or [c.name for c in state.projection.columns]
+        sort_columns = tuple(state.projection.sort_order) or None
         for container_id in sorted(state.containers):
             container = state.containers[container_id]
             if prune and not all(
@@ -652,21 +661,28 @@ class StorageManager:
             METRICS.inc("storage.containers_scanned")
             yield from self._scan_container(
                 state, container, epoch, names, batch_rows, include_deleted,
-                prune,
+                prune, vectorized, sort_columns,
             )
-        yield from self._scan_wos(state, epoch, names, batch_rows, include_deleted)
+        yield from self._scan_wos(
+            state, epoch, names, batch_rows, include_deleted, sort_columns
+        )
 
     def _scan_container(
         self, state, container, epoch, names, batch_rows, include_deleted,
-        prune=None,
+        prune=None, vectorized=False, sort_columns=None,
     ):
         deletes = {} if include_deleted else state.deletes_for(container.container_id)
         # fast path: fully visible container, no deletes -> block-level
         # pruning via the position index plus slice-based batching.
         if not deletes and container.meta.max_epoch <= epoch:
-            yield from self._scan_container_fast(
-                container, names, batch_rows, prune
-            )
+            if vectorized:
+                yield from self._scan_container_vectorized(
+                    container, names, batch_rows, prune, sort_columns
+                )
+            else:
+                yield from self._scan_container_fast(
+                    container, names, batch_rows, prune, sort_columns
+                )
             return
         epochs = container.read_epochs()
         keep = [
@@ -691,12 +707,12 @@ class StorageManager:
                 row_count=len(chunk),
                 source=container.container_id,
                 sorted_run=True,
+                sort_columns=sort_columns,
             )
 
-    def _scan_container_fast(self, container, names, batch_rows, prune):
-        """Scan an immutable, fully-visible container: intersect the
-        pruned position ranges of all restricted (ungrouped) columns,
-        then slice every needed column to that range."""
+    def _pruned_position_range(self, container, prune) -> tuple[int, int]:
+        """Intersect pruned position ranges of restricted (ungrouped)
+        columns — the shared first step of both fast-path scans."""
         start, end = 0, container.row_count
         if prune:
             for column, (low, high) in prune.items():
@@ -709,6 +725,15 @@ class StorageManager:
                 )
                 start = max(start, lo)
                 end = min(end, hi)
+        return start, end
+
+    def _scan_container_fast(
+        self, container, names, batch_rows, prune, sort_columns=None
+    ):
+        """Scan an immutable, fully-visible container: intersect the
+        pruned position ranges of all restricted (ungrouped) columns,
+        then slice every needed column to that range."""
+        start, end = self._pruned_position_range(container, prune)
         if start >= end:
             return
         data = {}
@@ -727,9 +752,65 @@ class StorageManager:
                 row_count=min(batch_rows, total - offset),
                 source=container.container_id,
                 sorted_run=True,
+                sort_columns=sort_columns,
             )
 
-    def _scan_wos(self, state, epoch, names, batch_rows, include_deleted):
+    def _scan_container_vectorized(
+        self, container, names, batch_rows, prune, sort_columns=None
+    ):
+        """Fast-path scan that keeps columns in their encoded form.
+
+        One batch per storage block (all ungrouped columns share block
+        boundaries — they were written by the same :class:`ColumnWriter`
+        cadence), so block-local dictionary codes stay meaningful for
+        the whole batch.  Columns stored in a row-major group have no
+        per-column encoding and are sliced plain.
+        """
+        start, end = self._pruned_position_range(container, prune)
+        if start >= end:
+            return
+        reference = None
+        for name in names:
+            if container._group_of(name) is None:
+                reference = container.column_reader(name)
+                break
+        if reference is None:
+            # every requested column lives in a row-major group: no
+            # encoded vectors to preserve.
+            yield from self._scan_container_fast(
+                container, names, batch_rows, prune, sort_columns
+            )
+            return
+        grouped_cache: dict[str, list] = {}
+        for block_index, info in enumerate(reference.blocks):
+            if info.end_position <= start:
+                continue
+            if info.start_position >= end:
+                break
+            segment_start = max(start, info.start_position)
+            segment_end = min(end, info.end_position)
+            columns: dict = {}
+            for name in names:
+                if container._group_of(name) is not None:
+                    cache = grouped_cache.get(name)
+                    if cache is None:
+                        cache = grouped_cache[name] = container.read_column(name)
+                    columns[name] = cache[segment_start:segment_end]
+                else:
+                    columns[name] = container.column_reader(name).vector_for_range(
+                        block_index, segment_start, segment_end
+                    )
+            yield ScanBatch(
+                columns=columns,
+                row_count=segment_end - segment_start,
+                source=container.container_id,
+                sorted_run=True,
+                sort_columns=sort_columns,
+            )
+
+    def _scan_wos(
+        self, state, epoch, names, batch_rows, include_deleted, sort_columns=None
+    ):
         deletes = {} if include_deleted else state.wos_deletes
         visible_rows = [row for _, row in state.wos.visible(epoch, deletes)]
         if not visible_rows:
@@ -744,6 +825,7 @@ class StorageManager:
                 row_count=len(chunk),
                 source=None,
                 sorted_run=True,
+                sort_columns=sort_columns,
             )
 
     def read_visible_rows(

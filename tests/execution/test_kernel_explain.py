@@ -1,0 +1,149 @@
+"""Goldens for kernel-vs-row visibility in EXPLAIN and the profiler.
+
+The vectorized engine must be *observable*: EXPLAIN tags every Scan /
+Filter / GroupBy with the engine that will run it (``[kernel]`` or
+``[row]``), and EXPLAIN ANALYZE / ``v_monitor.query_profiles`` report
+the engine that actually ran (``exec=kernel`` / ``exec=row``).  These
+tests pin the exact plan text for a kernelizable query, a predicate
+the kernels cannot compile, and the ``REPRO_FORCE_ROW_ENGINE=1``
+fallback — plus the sanitizer's row-conservation checks, which guard
+the kernel/row equivalence at runtime.
+"""
+
+import re
+
+import pytest
+
+from repro import types
+from repro.core.database import Database
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.errors import InvariantViolation
+from repro.execution.kernels import force_row_engine
+from repro.lint import sanitizer
+
+AGG_SQL = (
+    "SELECT tag, COUNT(*) AS n, SUM(v) AS sv FROM t "
+    "WHERE k < 100 GROUP BY tag"
+)
+
+#: A predicate no kernel compiles: arithmetic inside the comparison.
+ROW_SQL = "SELECT k FROM t WHERE v + 1.0 > 100.0"
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    db = Database(str(tmp_path_factory.mktemp("kexp") / "db"), node_count=1)
+    db.create_table(
+        TableDefinition(
+            "t",
+            [
+                ColumnDef("k", types.INTEGER),
+                ColumnDef("tag", types.VARCHAR),
+                ColumnDef("v", types.FLOAT),
+            ],
+        ),
+        sort_order=["k"],
+    )
+    db.load(
+        "t",
+        [{"k": i, "tag": ["a", "b"][i % 2], "v": float(i)} for i in range(500)],
+    )
+    db.run_tuple_movers()
+    return db
+
+
+def test_explain_marks_kernelized_operators(db):
+    assert db.sql("EXPLAIN " + AGG_SQL) == (
+        "Project tag=tag, n=agg_1, sv=agg_2  [coordinator, ~1 rows]\n"
+        "  GroupBy[hash two-phase+prepass] [tag] [COUNT(*), SUM(v)] "
+        "[kernel]  [coordinator, ~1 rows]\n"
+        "    Scan t_super WHERE (k < 100) [kernel]  "
+        "[segmented on (k), ~1 rows]"
+    )
+
+
+def test_explain_marks_row_fallback_predicate(db):
+    assert db.sql("EXPLAIN " + ROW_SQL) == (
+        "Project k=k  [segmented on (k), ~1 rows]\n"
+        "  Scan t_super WHERE ((v + 1.0) > 100.0) [row]  "
+        "[segmented on (k), ~1 rows]"
+    )
+
+
+def test_explain_under_forced_row_engine(db):
+    """REPRO_FORCE_ROW_ENGINE flips every engine tag to [row]."""
+    with force_row_engine():
+        plan = db.sql("EXPLAIN " + AGG_SQL)
+    assert "[kernel]" not in plan
+    assert plan.count("[row]") == 2  # GroupBy and Scan
+
+
+def _exec_modes(rendered):
+    """operator name -> exec= tag from an EXPLAIN ANALYZE rendering."""
+    modes = {}
+    for line in rendered.splitlines()[1:]:
+        name = line.strip().split("(")[0]
+        tag = re.search(r" exec=(\w+)\]", line)
+        modes[name] = tag.group(1) if tag else None
+    return modes
+
+
+def test_explain_analyze_reports_actual_engine(db):
+    modes = _exec_modes(db.sql("EXPLAIN ANALYZE " + AGG_SQL))
+    assert modes["Scan"] == "kernel"
+    assert modes["PrepassGroupBy"] == "kernel"
+    # the merge phase absorbs plain partial blocks per-row by design
+    assert modes["GroupByHash"] == "row"
+    assert modes["ExprEval"] is None  # no kernel/row distinction
+
+    with force_row_engine():
+        forced = _exec_modes(db.sql("EXPLAIN ANALYZE " + AGG_SQL))
+    assert forced["Scan"] == "row"
+    assert forced["PrepassGroupBy"] == "row"
+
+
+def test_query_profiles_execution_column(db):
+    db.sql(AGG_SQL)
+    rows = db.sql(
+        "SELECT operator_name, execution FROM v_monitor.query_profiles "
+        "WHERE sql = '" + AGG_SQL.replace("'", "''") + "' "
+        "ORDER BY query_id DESC, operator_id LIMIT 4"
+    )
+    by_name = {row["operator_name"]: row["execution"] for row in rows}
+    assert by_name["Scan"] == "kernel"
+    assert by_name["ExprEval"] == "-"
+
+
+def test_both_engines_agree_with_sanitizer_on(db):
+    """REPRO_SANITIZE=1 regression: the row-conservation checks stay
+    silent on correct plans, in both engines."""
+    with sanitizer.override(True):
+        kernel = db.sql(AGG_SQL + " ORDER BY tag")
+        with force_row_engine():
+            row = db.sql(AGG_SQL + " ORDER BY tag")
+    assert kernel == row
+    assert kernel == [
+        {"tag": "a", "n": 50, "sv": sum(float(i) for i in range(0, 100, 2))},
+        {"tag": "b", "n": 50, "sv": sum(float(i) for i in range(1, 100, 2))},
+    ]
+
+
+def test_filter_conservation_check_fires(db):
+    with sanitizer.override(True):
+        sanitizer.check_filter_conservation(10, 10)  # boundary: keep all
+        sanitizer.check_filter_conservation(10, 0)  # boundary: drop all
+        with pytest.raises(InvariantViolation, match="fabricated"):
+            sanitizer.check_filter_conservation(10, 11)
+        with pytest.raises(InvariantViolation, match="fabricated"):
+            sanitizer.check_filter_conservation(10, -1)
+    with sanitizer.override(False):  # disabled: never raises
+        sanitizer.check_filter_conservation(10, 11)
+
+
+def test_groupby_conservation_check_fires(db):
+    with sanitizer.override(True):
+        sanitizer.check_groupby_conservation(400, 400)
+        with pytest.raises(InvariantViolation, match="double-counted"):
+            sanitizer.check_groupby_conservation(400, 399)
+    with sanitizer.override(False):
+        sanitizer.check_groupby_conservation(400, 399)

@@ -1,0 +1,307 @@
+"""Seeded property tests for the vectorized kernel primitives.
+
+Each property pits a kernel shortcut against the obvious decoded
+oracle over hundreds of randomly drawn inputs:
+
+* RLE run arithmetic — folding ``(value, length)`` runs into an
+  accumulator via :meth:`Accumulator.add_run` must equal folding the
+  decoded values one at a time, for every built-in aggregate;
+* dictionary comparisons — evaluating a predicate once per dictionary
+  entry and broadcasting through the codes must select exactly the
+  rows a per-row evaluation selects, for every comparison operator,
+  IN lists and LIKE;
+* selection algebra — intersect/union/invert on the dual mask/ranges
+  representation must obey the boolean-algebra laws, and ``apply``
+  must equal compress-by-mask on every vector kind.
+
+Everything is driven by fixed-seed ``random.Random`` instances, so a
+failure replays exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.execution.aggregates import Accumulator
+from repro.execution.expressions import (
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Not,
+)
+from repro.execution.kernels import (
+    DictVector,
+    PlainVector,
+    RleVector,
+    Selection,
+)
+from repro.execution.kernels.predicates import compile_kernel_predicate
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def _random_runs(rng, max_runs=12):
+    """Random NULL-free RLE runs (values ints or floats)."""
+    runs = []
+    for _ in range(1 + rng.randrange(max_runs)):
+        value = (
+            rng.randrange(-5, 20)
+            if rng.random() < 0.5
+            else round(rng.uniform(-10.0, 10.0), 3)
+        )
+        runs.append((value, 1 + rng.randrange(9)))
+    return runs
+
+
+def _final_close(a, b):
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+# -- RLE run arithmetic --------------------------------------------------
+
+@pytest.mark.parametrize("func", AGG_FUNCS)
+def test_add_run_matches_decoded_oracle(func):
+    rng = random.Random(4001)
+    for _ in range(200):
+        runs = _random_runs(rng)
+        vector = RleVector(runs)
+        kernel = Accumulator(func, distinct=False)
+        for value, length in runs:
+            kernel.add_run(value, length)
+        oracle = Accumulator(func, distinct=False)
+        for value in vector.values():
+            oracle.add(value)
+        assert _final_close(kernel.final(), oracle.final()), (
+            f"{func} over runs {runs}: "
+            f"kernel={kernel.final()} oracle={oracle.final()}"
+        )
+
+
+@pytest.mark.parametrize("func", AGG_FUNCS)
+def test_add_bulk_matches_add_loop(func):
+    rng = random.Random(4002)
+    for _ in range(200):
+        values = [
+            None if rng.random() < 0.25 else round(rng.uniform(-50, 50), 2)
+            for _ in range(rng.randrange(30))
+        ]
+        null_count = sum(1 for v in values if v is None)
+        bulk = Accumulator(func, distinct=False)
+        bulk.add_bulk(values, null_count=null_count)
+        unknown = Accumulator(func, distinct=False)
+        unknown.add_bulk(values)  # null_count=None: must self-filter
+        loop = Accumulator(func, distinct=False)
+        for value in values:
+            loop.add(value)
+        assert _final_close(bulk.final(), loop.final())
+        assert _final_close(unknown.final(), loop.final())
+
+
+def test_rle_vector_run_decode_round_trip():
+    rng = random.Random(4003)
+    for _ in range(100):
+        runs = _random_runs(rng)
+        vector = RleVector(runs)
+        decoded = [v for value, length in runs for v in [value] * length]
+        assert vector.values() == decoded
+        assert vector.row_count == len(decoded)
+        assert list(vector) == decoded
+
+
+# -- dictionary-coded predicates -----------------------------------------
+
+WORDS = ("alpha", "beta", "delta", "echo", "golf", "hotel", "kilo", "zulu")
+
+
+def _random_dict_vector(rng):
+    entries = list(rng.sample(WORDS, 2 + rng.randrange(5)))
+    codes = [rng.randrange(len(entries)) for _ in range(rng.randrange(1, 60))]
+    return DictVector(codes, entries)
+
+
+def _kernel_positions(expr, column, row_count):
+    predicate = compile_kernel_predicate(expr)
+    assert predicate is not None, f"{expr!r} should compile to a kernel"
+    selection = predicate({"c": column}, row_count)
+    return selection.positions()
+
+
+@pytest.mark.parametrize("op", COMPARISON_OPS)
+def test_dict_comparison_matches_row_oracle(op):
+    rng = random.Random(4100 + COMPARISON_OPS.index(op))
+    for _ in range(120):
+        vector = _random_dict_vector(rng)
+        constant = rng.choice(WORDS)
+        expr = Comparison(op, ColumnRef("c"), Literal(constant))
+        got = _kernel_positions(expr, vector, vector.row_count)
+        oracle = [
+            i
+            for i, v in enumerate(vector.values())
+            if expr.evaluate_row({"c": v})
+        ]
+        assert got == oracle, (
+            f"c {op} {constant!r} over {vector.values()}: "
+            f"kernel={got} oracle={oracle}"
+        )
+        negated = Not(expr)
+        got_not = _kernel_positions(negated, vector, vector.row_count)
+        oracle_not = [
+            i
+            for i, v in enumerate(vector.values())
+            if negated.evaluate_row({"c": v})
+        ]
+        assert got_not == oracle_not
+
+
+def test_dict_in_list_and_like_match_row_oracle():
+    rng = random.Random(4200)
+    for _ in range(120):
+        vector = _random_dict_vector(rng)
+        options = list(rng.sample(WORDS, 1 + rng.randrange(3)))
+        pattern = rng.choice(["%a", "a%", "%l%", "____", "z_lu"])
+        for expr in (
+            InList(ColumnRef("c"), options),
+            Not(InList(ColumnRef("c"), options)),
+            Like(ColumnRef("c"), pattern),
+            Like(ColumnRef("c"), pattern, negated=True),
+        ):
+            got = _kernel_positions(expr, vector, vector.row_count)
+            oracle = [
+                i
+                for i, v in enumerate(vector.values())
+                if expr.evaluate_row({"c": v})
+            ]
+            assert got == oracle, f"{expr!r} over {vector.values()}"
+
+
+def test_rle_predicate_matches_row_oracle():
+    rng = random.Random(4300)
+    for _ in range(120):
+        runs = _random_runs(rng)
+        vector = RleVector(runs)
+        constant = rng.randrange(-5, 20)
+        op = rng.choice(COMPARISON_OPS)
+        expr = Comparison(op, ColumnRef("c"), Literal(constant))
+        got = _kernel_positions(expr, vector, vector.row_count)
+        oracle = [
+            i
+            for i, v in enumerate(vector.values())
+            if expr.evaluate_row({"c": v})
+        ]
+        assert got == oracle
+
+
+# -- selection algebra ---------------------------------------------------
+
+def _random_selection(rng, n):
+    mask = [rng.random() < rng.choice([0.1, 0.5, 0.9]) for _ in range(n)]
+    return Selection.from_mask(mask), mask
+
+
+def test_selection_boolean_algebra():
+    rng = random.Random(4400)
+    for _ in range(200):
+        n = rng.randrange(1, 80)
+        a, mask_a = _random_selection(rng, n)
+        b, mask_b = _random_selection(rng, n)
+        both = a.intersect(b)
+        either = a.union(b)
+        assert both.mask() == [x and y for x, y in zip(mask_a, mask_b)]
+        assert either.mask() == [x or y for x, y in zip(mask_a, mask_b)]
+        assert both.count == sum(both.mask())
+        assert either.count == sum(either.mask())
+        # invert round trip and complement laws
+        assert a.invert().invert().mask() == mask_a
+        assert a.intersect(a.invert()).is_empty
+        assert a.union(a.invert()).is_all
+        # De Morgan on the concrete lattice
+        assert both.invert().mask() == a.invert().union(b.invert()).mask()
+
+
+def test_selection_ranges_and_mask_agree():
+    rng = random.Random(4500)
+    for _ in range(200):
+        n = rng.randrange(1, 60)
+        selection, mask = _random_selection(rng, n)
+        positions = [i for i, keep in enumerate(mask) if keep]
+        assert selection.positions() == positions
+        rebuilt = Selection.from_ranges(
+            [(i, i + 1) for i in positions], n
+        )
+        assert rebuilt.mask() == mask
+        assert rebuilt.positions() == positions
+
+
+def test_selection_apply_is_compress_on_every_vector_kind():
+    rng = random.Random(4600)
+    for _ in range(150):
+        runs = _random_runs(rng)
+        rle = RleVector(runs)
+        n = rle.row_count
+        selection, mask = _random_selection(rng, n)
+        expected = [v for v, keep in zip(rle.values(), mask) if keep]
+        from repro.execution.kernels import as_list
+
+        assert as_list(selection.apply(rle)) == expected
+        plain = PlainVector(list(rle.values()), 0)
+        assert as_list(selection.apply(plain)) == expected
+        entries = sorted({str(v) for v in rle.values()})
+        index = {e: i for i, e in enumerate(entries)}
+        dv = DictVector([index[str(v)] for v in rle.values()], entries)
+        assert as_list(selection.apply(dv)) == [str(v) for v in expected]
+        # applying to a plain Python list must also work
+        assert selection.apply(list(rle.values())) == expected
+
+
+def _random_ranges(rng, n):
+    """Sorted disjoint [start, stop) intervals over n rows."""
+    ranges = []
+    cursor = 0
+    while cursor < n:
+        start = cursor + rng.randrange(3)
+        stop = start + 1 + rng.randrange(5)
+        if start >= n:
+            break
+        ranges.append((start, min(stop, n)))
+        cursor = stop + 1
+    return ranges
+
+
+def test_selection_apply_preserves_encoding():
+    """Range selections keep RLE runs; every selection keeps the
+    dictionary — and the survivors always decode identically."""
+    rng = random.Random(4700)
+    for _ in range(100):
+        runs = _random_runs(rng)
+        rle = RleVector(runs)
+        n = rle.row_count
+        selection = Selection.from_ranges(_random_ranges(rng, n), n)
+        mask = selection.mask()
+        expected = [v for v, keep in zip(rle.values(), mask) if keep]
+        out = selection.apply(rle)
+        if not selection.is_all and not selection.is_empty:
+            assert isinstance(out, RleVector)
+            # runs stay canonical: no zero-length or mergeable neighbors
+            assert all(length > 0 for _, length in out.runs)
+            assert all(
+                a[0] != b[0] for a, b in zip(out.runs, out.runs[1:])
+            )
+        from repro.execution.kernels import as_list
+
+        assert as_list(out) == expected
+        dv = _random_dict_vector(rng)
+        sel2, mask2 = _random_selection(rng, dv.row_count)
+        out2 = sel2.apply(dv)
+        expected2 = [v for v, keep in zip(dv.values(), mask2) if keep]
+        if not sel2.is_empty and not sel2.is_all:
+            assert isinstance(out2, DictVector)
+            assert out2.entries == dv.entries
+        assert as_list(out2) == expected2

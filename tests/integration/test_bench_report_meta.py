@@ -1,0 +1,46 @@
+"""Meta-test: the bench report name cannot drift between layers.
+
+``benchmarks/conftest.py`` writes the per-bench wall-time + metrics
+report; ``tools/check.sh`` smoke-verifies that exact file; README and
+DESIGN tell people where to look.  A PR that bumps one but not the
+others leaves check.sh asserting on a stale file that the bench run
+never refreshes — this test makes that a loud failure instead.
+"""
+
+import importlib.util
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _conftest_report_name() -> str:
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", REPO / "benchmarks" / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.BENCH_REPORT
+
+
+def test_report_name_shape():
+    name = _conftest_report_name()
+    assert re.fullmatch(r"BENCH_PR\d+\.json", name), name
+
+
+def test_check_sh_expects_the_same_report():
+    name = _conftest_report_name()
+    script = (REPO / "tools" / "check.sh").read_text(encoding="utf-8")
+    mentioned = set(re.findall(r"BENCH_PR\d+\.json", script))
+    assert mentioned == {name}, (
+        f"tools/check.sh references {sorted(mentioned)} but "
+        f"benchmarks/conftest.py writes {name}"
+    )
+
+
+def test_docs_reference_the_same_report():
+    name = _conftest_report_name()
+    for doc in ("README.md", "DESIGN.md"):
+        text = (REPO / doc).read_text(encoding="utf-8")
+        stale = set(re.findall(r"BENCH_PR\d+\.json", text)) - {name}
+        assert not stale, f"{doc} still references {sorted(stale)}"

@@ -1,31 +1,63 @@
-"""Differential SQL fuzzing: the full engine vs. a pure-Python oracle.
+"""Differential SQL fuzzing: kernel engine vs. row engine vs. oracle.
 
 A seeded generator produces random SELECTs (filters, group-bys,
 aggregates, order-bys, limits) over the meters workload of section
 8.2.2.  Every query is built twice from the same random draws: once as
 SQL text for the engine (parse -> analyze -> optimize -> distributed
 execution over WOS + ROS containers) and once as plain Python over the
-in-memory row list.  The two answers must match row-for-row.
+in-memory row list.  Each SQL query then runs through *both* execution
+engines — the vectorized kernels (default) and the per-row fallback
+(``REPRO_FORCE_ROW_ENGINE=1``) — and all three answers must match
+row-for-row.  Same query, two engines, one oracle: any kernel that
+mishandles NULLs, selection bitmaps, RLE run arithmetic or dictionary
+codes shows up as a three-way divergence here.
 
 Floating-point SUM/AVG are compared with a tiny relative tolerance:
 the distributed executor adds partials in segment order, the oracle in
-row order, and float addition is not associative.  Everything else —
-row content, grouping, ordering, limits — must be exact.
+row order, RLE run arithmetic multiplies where the row path adds, and
+float addition is not associative.  Everything else — row content,
+grouping, ordering, limits — must be exact.
 
 Each seed drives >= 200 queries; the whole suite is deterministic.
+The seed list extends via ``REPRO_FUZZ_SEEDS`` (comma-separated ints),
+which is how ``tools/check.sh`` mixes in a git-SHA-derived seed so the
+corpus drifts with the tree while staying reproducible per commit.
+
+Edge-shape tables round out the corpus with the block layouts most
+likely to break operate-on-compressed kernels: NULL-heavy columns
+(encoded vectors must decay to plain), an all-rows-deleted table
+(empty selections everywhere), and a single-run RLE column (one run
+spanning every block).
 """
 
 import math
+import os
 import random
 
 import pytest
 
+from repro import types
 from repro.core.database import Database
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.execution.kernels import force_row_engine
 from repro.workloads.meters import generate, meters_table, spec_for_rows
 
 DATA_SEED = 3
 QUERIES_PER_SEED = 220
-FUZZ_SEEDS = (11, 23)
+
+
+def _fuzz_seeds() -> tuple:
+    """Base seeds plus any from REPRO_FUZZ_SEEDS (comma-separated)."""
+    seeds = [11, 23]
+    raw = os.environ.get("REPRO_FUZZ_SEEDS", "")
+    for part in raw.split(","):
+        part = part.strip()
+        if part and int(part) not in seeds:
+            seeds.append(int(part))
+    return tuple(seeds)
+
+
+FUZZ_SEEDS = _fuzz_seeds()
 
 TABLE = "meter_readings"
 COLUMNS = ("metric", "meter", "ts", "value")
@@ -200,15 +232,23 @@ def _one_query(rng, rows):
 
 @pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
 def test_engine_matches_oracle(loaded, fuzz_seed):
+    """Kernel engine vs. row engine vs. oracle over the fuzz corpus."""
     db, rows = loaded
     rng = random.Random(fuzz_seed)
     for index in range(QUERIES_PER_SEED):
         sql, expected = _one_query(rng, rows)
-        got = db.sql(sql)
-        assert _rows_match(got, expected), (
-            f"seed {fuzz_seed} query {index} diverged\n"
-            f"  sql: {sql}\n  engine({len(got)}): {got[:3]}\n"
+        kernel = db.sql(sql)
+        with force_row_engine():
+            row = db.sql(sql)
+        assert _rows_match(kernel, expected), (
+            f"seed {fuzz_seed} query {index} diverged from oracle\n"
+            f"  sql: {sql}\n  kernel({len(kernel)}): {kernel[:3]}\n"
             f"  oracle({len(expected)}): {expected[:3]}"
+        )
+        assert _rows_match(row, kernel), (
+            f"seed {fuzz_seed} query {index} kernel/row divergence\n"
+            f"  sql: {sql}\n  kernel({len(kernel)}): {kernel[:3]}\n"
+            f"  row({len(row)}): {row[:3]}"
         )
 
 
@@ -218,3 +258,130 @@ def test_fuzz_is_deterministic(loaded):
     first = [_one_query(random.Random(99), rows)[0] for _ in range(25)]
     second = [_one_query(random.Random(99), rows)[0] for _ in range(25)]
     assert first == second
+
+
+# -- edge-shape tables ---------------------------------------------------
+#
+# Block layouts the fuzz corpus can't produce but kernels must survive:
+# NULL-riddled columns, a table whose every row is deleted, and a
+# column that is one giant RLE run.
+
+EDGE_ROWS = 600
+
+
+@pytest.fixture(scope="module")
+def edge_db(tmp_path_factory):
+    db = Database(str(tmp_path_factory.mktemp("edge") / "db"), node_count=1)
+    db.create_table(
+        TableDefinition(
+            "nulls_heavy",
+            [
+                ColumnDef("k", types.INTEGER),
+                ColumnDef("tag", types.VARCHAR),
+                ColumnDef("value", types.FLOAT),
+            ],
+        ),
+        sort_order=["k"],
+    )
+    db.load(
+        "nulls_heavy",
+        [
+            {
+                "k": i,
+                "tag": None if i % 3 == 0 else ["red", "blue"][i % 2],
+                "value": None if i % 2 == 0 else float(i),
+            }
+            for i in range(EDGE_ROWS)
+        ],
+    )
+    db.create_table(
+        TableDefinition(
+            "deleted_all",
+            [ColumnDef("k", types.INTEGER), ColumnDef("v", types.FLOAT)],
+        ),
+        sort_order=["k"],
+    )
+    db.load(
+        "deleted_all",
+        [{"k": i, "v": float(i)} for i in range(EDGE_ROWS)],
+    )
+    session = db.session()
+    session.delete("deleted_all", lambda row: True)
+    session.commit()
+    db.create_table(
+        TableDefinition(
+            "single_run",
+            [ColumnDef("flag", types.INTEGER), ColumnDef("v", types.FLOAT)],
+        ),
+        sort_order=["flag"],
+        encodings={"flag": "RLE"},
+    )
+    db.load(
+        "single_run",
+        [{"flag": 7, "v": float(i % 50)} for i in range(EDGE_ROWS)],
+    )
+    db.run_tuple_movers()
+    return db
+
+
+#: Per-table query battery run through both engines.
+EDGE_SQL = {
+    "nulls_heavy": [
+        "SELECT k, tag, value FROM nulls_heavy WHERE value > 100.0 "
+        "ORDER BY k LIMIT 20",
+        "SELECT k FROM nulls_heavy WHERE value IS NULL AND k < 50 ORDER BY k",
+        "SELECT k FROM nulls_heavy WHERE tag IS NOT NULL AND k >= 580 "
+        "ORDER BY k",
+        "SELECT COUNT(*) AS n, SUM(value) AS sv, MIN(value) AS mn "
+        "FROM nulls_heavy WHERE tag = 'red'",
+        "SELECT tag, COUNT(*) AS n, SUM(value) AS sv FROM nulls_heavy "
+        "WHERE tag IS NOT NULL GROUP BY tag ORDER BY tag",
+        "SELECT k FROM nulls_heavy WHERE tag IN ('red', 'green') "
+        "AND value > 550.0 ORDER BY k",
+        "SELECT COUNT(*) AS n FROM nulls_heavy WHERE NOT (tag = 'blue')",
+    ],
+    "deleted_all": [
+        "SELECT k, v FROM deleted_all WHERE k > 0 ORDER BY k",
+        "SELECT COUNT(*) AS n, SUM(v) AS sv FROM deleted_all",
+        "SELECT k, COUNT(*) AS n FROM deleted_all GROUP BY k ORDER BY k",
+        "SELECT k FROM deleted_all WHERE v BETWEEN 1.0 AND 9.0 ORDER BY k",
+    ],
+    "single_run": [
+        "SELECT COUNT(*) AS n FROM single_run WHERE flag = 7",
+        "SELECT COUNT(*) AS n FROM single_run WHERE flag < 7",
+        "SELECT flag, COUNT(*) AS n, SUM(v) AS sv FROM single_run "
+        "GROUP BY flag ORDER BY flag",
+        "SELECT COUNT(*) AS n, SUM(v) AS sv FROM single_run "
+        "WHERE flag BETWEEN 5 AND 9",
+        "SELECT v FROM single_run WHERE flag = 7 AND v = 49.0 "
+        "ORDER BY v LIMIT 5",
+    ],
+}
+
+
+@pytest.mark.parametrize("table", sorted(EDGE_SQL))
+def test_edge_tables_kernel_vs_row(edge_db, table):
+    """Both engines agree row-for-row on the hostile block layouts."""
+    for sql in EDGE_SQL[table]:
+        kernel = edge_db.sql(sql)
+        with force_row_engine():
+            row = edge_db.sql(sql)
+        assert _rows_match(kernel, row), (
+            f"kernel/row divergence\n  sql: {sql}\n"
+            f"  kernel({len(kernel)}): {kernel[:3]}\n"
+            f"  row({len(row)}): {row[:3]}"
+        )
+
+
+def test_edge_tables_pinned_shapes(edge_db):
+    """Spot-check absolute answers so both engines can't be wrong
+    together in the same way."""
+    assert edge_db.sql("SELECT COUNT(*) AS n FROM deleted_all") == [{"n": 0}]
+    assert edge_db.sql("SELECT k FROM deleted_all WHERE k >= 0") == []
+    rows = edge_db.sql("SELECT COUNT(*) AS n FROM single_run WHERE flag = 7")
+    assert rows == [{"n": EDGE_ROWS}]
+    rows = edge_db.sql(
+        "SELECT COUNT(*) AS n, SUM(value) AS sv FROM nulls_heavy"
+    )
+    assert rows[0]["n"] == EDGE_ROWS
+    assert rows[0]["sv"] == sum(i for i in range(EDGE_ROWS) if i % 2)

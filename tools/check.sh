@@ -10,6 +10,19 @@ set -eu
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Seed derived from the current commit: the chaos and fuzz stages mix
+# it in so every commit explores a fresh deterministic point of the
+# fault/query space.
+GIT_SEED=$(python - <<'EOF'
+import subprocess
+proc = subprocess.run(
+    ["git", "rev-parse", "HEAD"], capture_output=True, text=True
+)
+sha = proc.stdout.strip() or "0"
+print(int(sha[:8], 16) % 100000)
+EOF
+)
+
 echo "== replint static analysis (src/repro, tests) =="
 python -m repro.lint src/repro tests
 
@@ -34,19 +47,18 @@ REPRO_SANITIZE=1 python -m pytest -q
 echo "== chaos suite: fault injection + crash recovery (pytest -m chaos) =="
 REPRO_SANITIZE=1 python -m pytest -q -m chaos
 
+echo "== kernel differential: fuzz corpus through both engines =="
+# Every fuzz query runs on the vectorized kernels AND the forced row
+# engine (plus the oracle); one pinned extra seed and one derived from
+# the commit SHA extend the base corpus.  Zero divergences required.
+echo "   extra seeds: 7, ${GIT_SEED} (git-derived)"
+REPRO_FUZZ_SEEDS="7,${GIT_SEED}" REPRO_SANITIZE=1 \
+    python -m pytest -q tests/integration/test_sql_differential_fuzz.py
+
 echo "== chaos seeds: two fixed + one fresh from the git SHA =="
 # The self-healing scenarios re-run on pinned seeds (regression
 # anchors) plus one seed derived from the current commit, so every
 # commit explores a fresh point of the fault space deterministically.
-GIT_SEED=$(python - <<'EOF'
-import subprocess
-proc = subprocess.run(
-    ["git", "rev-parse", "HEAD"], capture_output=True, text=True
-)
-sha = proc.stdout.strip() or "0"
-print(int(sha[:8], 16) % 100000)
-EOF
-)
 echo "   seeds: 101, 202, ${GIT_SEED} (git-derived)"
 REPRO_CHAOS_SEEDS="101,202,${GIT_SEED}" REPRO_SANITIZE=1 \
     python -m pytest -q -m chaos tests/chaos/test_self_healing.py
@@ -120,22 +132,22 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR6.json =="
+echo "== perf smoke: bench harness writes BENCH_PR7.json =="
 # Scaled-down benches through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
 # decoded, mergeouts, failover retries, admission activity, ...) per
-# bench into BENCH_PR6.json at the repo root.  The full report comes
+# bench into BENCH_PR7.json at the repo root.  The full report comes
 # from the same command without the scale-down env vars:
 #     python -m pytest benchmarks/ -q
 REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 \
 REPRO_SESSION_STATEMENTS=2 python -m pytest \
     benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py \
     benchmarks/bench_concurrent_sessions.py -q
-test -s BENCH_PR6.json
+test -s BENCH_PR7.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR6.json"))
-assert report["benches"], "BENCH_PR6.json has no bench entries"
+report = json.load(open("BENCH_PR7.json"))
+assert report["benches"], "BENCH_PR7.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

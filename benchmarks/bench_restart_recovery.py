@@ -1,0 +1,134 @@
+"""Cold-restart recovery bench (section 4.3's durability story).
+
+No figure in the paper, but a load-bearing operational claim: restart
+cost is bounded by the journal *tail*, not by database size.  Commits
+at or below the durable floor are recovered from on-disk ROS
+containers by scavenge; only the tail past the floor is re-applied
+from the write-ahead journal.  This bench opens the same database
+cold at several journal-tail lengths and reports replay work and wall
+time; checkpointed histories must replay a bounded tail regardless of
+how many commits preceded the checkpoint.
+
+Scale is environment-tunable via ``REPRO_RESTART_COMMITS`` (total
+commits in the longest history, default 24).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+
+from conftest import env_int, print_table
+
+ROWS_PER_COMMIT = 250
+
+
+def definition():
+    return TableDefinition(
+        "events",
+        [ColumnDef("eid", types.INTEGER), ColumnDef("v", types.FLOAT)],
+        primary_key=("eid",),
+    )
+
+
+def batch(start, count=ROWS_PER_COMMIT):
+    return [{"eid": i, "v": float(i)} for i in range(start, start + count)]
+
+
+def build_history(root, commits, mover_every):
+    """A database with ``commits`` commits, running the tuple movers
+    (floor + checkpoint opportunity) every ``mover_every`` commits;
+    ``mover_every=0`` never runs them, leaving the whole history in
+    the journal tail."""
+    db = Database(
+        str(root), node_count=3, k_safety=1, journal_checkpoint_interval=8
+    )
+    db.create_table(definition(), sort_order=["eid"])
+    for index in range(commits):
+        db.load("events", batch(index * ROWS_PER_COMMIT))
+        if mover_every and (index + 1) % mover_every == 0:
+            db.run_tuple_movers()
+    expected = db.sql("SELECT count(*) AS n FROM events")[0]["n"]
+    del db
+    return expected
+
+
+def timed_open(root):
+    started = time.perf_counter()
+    db = Database.open(str(root))
+    elapsed = time.perf_counter() - started
+    return db, elapsed
+
+
+def test_restart_cost_tracks_journal_tail(benchmark, tmp_path):
+    commits = max(env_int("REPRO_RESTART_COMMITS", 24), 8)
+    # mover cadences deliberately do not divide the commit counts, so
+    # the floor sits a few commits behind shutdown and the journal
+    # keeps a short live tail past it
+    scenarios = [
+        ("tail-only (no floor)", commits // 4, 0),
+        ("mixed (floor mid-history)", commits // 2, max(commits // 4 - 1, 2)),
+        ("checkpointed (bounded tail)", commits, max(commits // 3 - 1, 3)),
+    ]
+    rows = []
+    reopened = None
+    for label, count, mover_every in scenarios:
+        root = tmp_path / label.split(" ")[0]
+        expected = build_history(root, count, mover_every)
+        db, elapsed = timed_open(root)
+        report = db.replay_report
+        assert db.sql("SELECT count(*) AS n FROM events")[0]["n"] == expected
+        rows.append(
+            [
+                label,
+                count,
+                "yes" if report.checkpoint_used else "no",
+                report.commits_replayed,
+                report.rows_reinserted,
+                f"{elapsed * 1000:.1f}",
+            ]
+        )
+        if label.startswith("checkpoint"):
+            reopened = (root, report, count)
+        del db
+    print_table(
+        "Cold restart — replay work vs journal tail",
+        ["scenario", "commits", "ckpt", "replayed", "rows replayed", "open ms"],
+        rows,
+    )
+
+    # the claim: a checkpointed history replays a bounded tail even
+    # though it has the most commits of the three scenarios.
+    root, report, count = reopened
+    assert report.checkpoint_used
+    assert report.commits_replayed < count
+    assert report.containers_quarantined == 0
+
+    benchmark.pedantic(
+        lambda: timed_open(root)[0], rounds=3, iterations=1
+    )
+
+
+def test_restart_after_mover_cycle_replays_nothing(benchmark, tmp_path):
+    """Best case: all-up mover cycle right before shutdown — the floor
+    covers every commit, so cold start re-inserts zero rows."""
+    root = tmp_path / "drained"
+    db = Database(
+        str(root), node_count=3, k_safety=1, journal_checkpoint_interval=4
+    )
+    db.create_table(definition(), sort_order=["eid"])
+    for index in range(6):
+        db.load("events", batch(index * ROWS_PER_COMMIT))
+    db.run_tuple_movers()
+    expected = db.sql("SELECT count(*) AS n FROM events")[0]["n"]
+    del db
+
+    db, _ = timed_open(root)
+    assert db.sql("SELECT count(*) AS n FROM events")[0]["n"] == expected
+    assert db.replay_report.rows_reinserted == 0
+    assert db.replay_report.containers_quarantined == 0
+    del db
+    benchmark.pedantic(lambda: timed_open(root)[0], rounds=3, iterations=1)

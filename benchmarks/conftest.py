@@ -20,7 +20,7 @@ import pytest
 
 from repro.monitor import METRICS
 
-#: Counters recorded per bench in BENCH_PR7.json — the ones whose
+#: Counters recorded per bench in BENCH_PR8.json — the ones whose
 #: movement the paper's evaluation section argues about, plus the
 #: self-healing runtime's failover/recovery activity and the
 #: vectorized engine's kernel-vs-row block split.
@@ -49,9 +49,16 @@ TRACKED_COUNTERS = (
     "service.admission_rejected",
     "service.admission_timeouts",
     "service.statement_errors",
+    "journal.appends",
+    "journal.bytes_written",
+    "journal.checkpoints",
+    "journal.cold_starts",
+    "journal.segments_pruned",
+    "journal.replay.commits",
+    "journal.replay.rows",
 )
 
-BENCH_REPORT = "BENCH_PR7.json"
+BENCH_REPORT = "BENCH_PR8.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -110,7 +117,7 @@ def report():
     return print_table
 
 
-# -- BENCH_PR7.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR8.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):

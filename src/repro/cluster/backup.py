@@ -20,6 +20,7 @@ import shutil
 from dataclasses import dataclass, field
 
 from ..errors import ClusterError
+from ..txn.epochs import INITIAL_EPOCH
 from .cluster import Cluster
 
 
@@ -121,6 +122,34 @@ def _validate_manifest(cluster: Cluster, image: BackupImage) -> None:
             "backup references projections missing from the catalog: "
             + ", ".join(missing_projections)
         )
+    _validate_image_epoch(cluster, manifest.get("epoch", image.epoch))
+
+
+def _validate_image_epoch(cluster: Cluster, image_epoch: int) -> None:
+    """Refuse images outside the cluster's epoch window.
+
+    An image older than the Ancient History Mark predates the oldest
+    epoch the cluster still reasons about — its containers would
+    resurrect rows whose delete history has been purged.  An image from
+    the *future* (newer than the latest queryable epoch) can only come
+    from a different timeline — restoring it would make rows visible at
+    epochs this cluster has not committed yet.  A pristine cluster (no
+    commits) has no timeline and instead adopts the image's epoch.
+    """
+    if image_epoch < cluster.epochs.ahm:
+        raise ClusterError(
+            f"backup image epoch {image_epoch} predates the Ancient "
+            f"History Mark {cluster.epochs.ahm}; its history has been "
+            "purged and the image can no longer be reconciled"
+        )
+    pristine = cluster.epochs.current_epoch == INITIAL_EPOCH
+    latest = cluster.epochs.latest_queryable_epoch
+    if not pristine and image_epoch > latest:
+        raise ClusterError(
+            f"backup image epoch {image_epoch} is from the future: the "
+            f"cluster's latest queryable epoch is {latest}; refusing to "
+            "restore an image from a different timeline"
+        )
 
 
 def restore_backup(cluster: Cluster, image: BackupImage) -> int:
@@ -133,6 +162,20 @@ def restore_backup(cluster: Cluster, image: BackupImage) -> int:
     rejected instead of restored.
     """
     _validate_manifest(cluster, image)
+    manifest_epoch = load_manifest(image.path).get("epoch", image.epoch)
+    pristine = cluster.epochs.current_epoch == INITIAL_EPOCH
+    if cluster.journal is not None and not pristine:
+        # The restored containers carry epochs the journal knows
+        # nothing about.  Drain every WOS first so the pre-restore
+        # state is fully on disk, then record the restore — at cold
+        # start the record raises the durable floor to the image epoch
+        # and scavenge readopts the restored containers from disk.
+        if cluster.membership.down_nodes():
+            raise ClusterError(
+                "restore with an active journal requires all nodes up "
+                "(the durable floor must cover the pre-restore state)"
+            )
+        cluster.run_tuple_movers(advance_ahm=False)
     restored = 0
     for node_index, projection_name, container_dir in image.entries:
         if node_index >= cluster.node_count:
@@ -150,4 +193,14 @@ def restore_backup(cluster: Cluster, image: BackupImage) -> int:
         manager = cluster.nodes[node_index].manager
         manager.adopt_container(projection_name, source)
         restored += 1
+    if pristine and manifest_epoch >= cluster.epochs.current_epoch:
+        # A pristine cluster adopts the image's timeline so the
+        # restored rows (stamped with the image's epochs) are visible.
+        cluster.epochs.current_epoch = manifest_epoch + 1
+    if cluster.journal is not None:
+        cluster.journal.log_restore(
+            epoch=manifest_epoch,
+            current_epoch=cluster.epochs.current_epoch,
+            entries=restored,
+        )
     return restored

@@ -17,7 +17,9 @@ distributed behaviours live:
 from __future__ import annotations
 
 from collections import Counter
+from typing import TYPE_CHECKING
 
+from .. import faults
 from ..core.catalog import Catalog
 from ..core.schema import TableDefinition
 from ..errors import (
@@ -45,6 +47,9 @@ from .clock import SimulatedClock
 from .membership import Membership
 from .node import ClusterNode
 
+if TYPE_CHECKING:
+    from ..durability import Journal
+
 
 class Cluster:
     """A K-safe, shared-nothing analytic database cluster (simulated)."""
@@ -57,6 +62,7 @@ class Cluster:
         segments_per_node: int = 3,
         wos_capacity: int = 65536,
         merge_policy: MergePolicy | None = None,
+        journal: "Journal | None" = None,
     ):
         if k_safety >= node_count and node_count > 1:
             raise KSafetyError(
@@ -68,6 +74,11 @@ class Cluster:
         self.node_count = node_count
         self.k_safety = k_safety
         self.catalog = Catalog()
+        #: Optional write-ahead journal.  When set, catalog DDL and
+        #: committed DML are journaled *before* the in-memory apply so
+        #: :meth:`repro.core.database.Database.open` can replay them
+        #: after a crash.  ``None`` for throwaway/test clusters.
+        self.journal = journal
         self.epochs = EpochManager()
         self.locks = LockManager()
         self.membership = Membership(node_count)
@@ -107,6 +118,10 @@ class Cluster:
         """Register a table and build its super projection family
         (primary + K buddies), with storage on every node."""
         self.catalog.add_table(table)
+        if self.journal is not None:
+            from ..durability import encode_table
+
+            self.journal.log_ddl("create_table", {"table": encode_table(table)})
         primary = super_projection(
             table,
             sort_order=sort_order,
@@ -129,6 +144,10 @@ class Cluster:
             ]
         family = ProjectionFamily(primary, buddies)
         self.catalog.add_family(family)
+        if self.journal is not None:
+            from ..durability import encode_family
+
+            self.journal.log_ddl("add_family", {"family": encode_family(family)})
         for node in self.nodes:
             for copy in family.all_copies:
                 node.manager.register_projection(copy, table)
@@ -141,6 +160,8 @@ class Cluster:
     def drop_table(self, name: str) -> None:
         """Drop a table and all of its projections' storage."""
         removed = self.catalog.drop_table(name)
+        if self.journal is not None:
+            self.journal.log_ddl("drop_table", {"name": name})
         for node in self.nodes:
             for projection in removed:
                 node.manager.drop_projection(projection.name)
@@ -232,25 +253,15 @@ class Cluster:
                             node_index, "crashed applying committed insert"
                         )
 
-    def apply_delete(
-        self,
-        table_name: str,
-        predicate,
-        commit_epoch: int,
-        snapshot_epoch: int,
-        only_nodes: set[int] | None = None,
-    ) -> int:
-        """Mark matching rows deleted in every projection of the table.
+    def _materialize_delete(
+        self, table_name: str, predicate, snapshot_epoch: int
+    ) -> list[dict]:
+        """The full table rows ``predicate`` selects at the snapshot.
 
-        The predicate runs against full table rows (from the super
-        projection); narrow projections delete by multiset-consistent
-        value matching so every projection keeps answering queries with
-        the same row multiset.
+        Evaluated once, coordinator-side, against the super projection;
+        the journal records this multiset (not the predicate, which is
+        an arbitrary callable) so replay can re-delete the same rows.
         """
-        table = self.catalog.table(table_name)
-        targets = (
-            set(self.membership.up) if only_nodes is None else set(only_nodes)
-        )
         super_family = self.catalog.super_projection_for(table_name)
         deleted_rows: list[dict] = []
         for node_index, projection_name in self.scan_sources(super_family):
@@ -259,6 +270,33 @@ class Cluster:
             ):
                 if predicate(row):
                     deleted_rows.append(row)
+        return deleted_rows
+
+    def apply_delete(
+        self,
+        table_name: str,
+        predicate,
+        commit_epoch: int,
+        snapshot_epoch: int,
+        only_nodes: set[int] | None = None,
+        deleted_rows: list[dict] | None = None,
+    ) -> int:
+        """Mark matching rows deleted in every projection of the table.
+
+        The predicate runs against full table rows (from the super
+        projection); narrow projections delete by multiset-consistent
+        value matching so every projection keeps answering queries with
+        the same row multiset.  ``deleted_rows`` lets the commit path
+        pass the multiset it already materialized for the journal.
+        """
+        table = self.catalog.table(table_name)
+        targets = (
+            set(self.membership.up) if only_nodes is None else set(only_nodes)
+        )
+        if deleted_rows is None:
+            deleted_rows = self._materialize_delete(
+                table_name, predicate, snapshot_epoch
+            )
         for family in self.catalog.families_for_table(table_name):
             for copy in family.all_copies:
                 self._delete_in_projection(
@@ -411,15 +449,35 @@ class Cluster:
         for node in self.membership.down_nodes():
             self.epochs.node_down(node)
         commit_epoch = self.epochs.advance_for_commit()
+        materialized = [
+            (
+                table_name,
+                predicate,
+                self._materialize_delete(table_name, predicate, snapshot_epoch),
+            )
+            for table_name, predicate in deletes
+        ]
+        if self.journal is not None:
+            # Write-ahead: the commit record is durable before any
+            # in-memory apply, so a crash anywhere past this line is
+            # recovered by replaying the journal at cold start.
+            self.journal.log_commit(
+                epoch=commit_epoch,
+                snapshot_epoch=snapshot_epoch,
+                inserts=inserts,
+                deletes=[(name, rows) for name, _, rows in materialized],
+                direct_to_ros=direct_to_ros,
+            )
+            faults.inject("journal.commit.apply")
         for table_name, rows in inserts.items():
             self.apply_insert(
                 table_name, rows, commit_epoch,
                 direct_to_ros=direct_to_ros, only_nodes=appliers,
             )
-        for table_name, predicate in deletes:
+        for table_name, predicate, rows in materialized:
             self.apply_delete(
                 table_name, predicate, commit_epoch, snapshot_epoch,
-                only_nodes=appliers,
+                only_nodes=appliers, deleted_rows=rows,
             )
         self.membership.late_receivers = []
         METRICS.inc("cluster.commits")
@@ -583,8 +641,32 @@ class Cluster:
                     # moveout/mergeout never blocks the others.  Its LGE
                     # stays behind, so recovery replays the lost tail.
                     self._node_crashed(node_index, "crashed in tuple mover")
+            self._advance_durable_floor()
         finally:
             TRACER.end_trace(trace)
+
+    def _advance_durable_floor(self) -> None:
+        """Advance the journal's durable floor after a mover cycle.
+
+        Only when every node is up *right after* a full moveout pass is
+        ``cluster_lge()`` genuinely durable (each copy just drained its
+        WOS into ROS), so only then may the floor — and a checkpoint
+        built on it — advance.  Commits at or below the floor are never
+        replayed, which is what makes pruning their segments safe.
+        """
+        if self.journal is None or self.membership.down_nodes():
+            return
+        floor = self.epochs.cluster_lge()
+        self.journal.log_floor(floor)
+        if self.journal.should_checkpoint():
+            from ..durability import encode_catalog
+
+            self.journal.write_checkpoint(
+                floor=floor,
+                current_epoch=self.epochs.current_epoch,
+                ahm=self.epochs.ahm,
+                catalog=encode_catalog(self.catalog),
+            )
 
     # -- introspection -----------------------------------------------------------
 

@@ -12,11 +12,13 @@ agreement protocol.
 
 from __future__ import annotations
 
+import os
 import threading
 from time import perf_counter
 
 from ..cluster import Cluster, recover_node
-from ..errors import TransactionError
+from ..durability.journal import DEFAULT_CHECKPOINT_INTERVAL
+from ..errors import DurabilityError, TransactionError
 from ..execution.executor import DistributedExecutor, ExecutorStats
 from ..monitor import METRICS, QueryProfile, build_query_profile
 from ..execution.expressions import Expr
@@ -47,7 +49,100 @@ class Database:
         wos_capacity: int = 65536,
         merge_policy: MergePolicy | None = None,
         workload_policy: WorkloadPolicy | None = None,
+        durable: bool = True,
+        journal_checkpoint_interval: int | None = None,
     ):
+        from ..durability import Journal
+
+        journal_dir = os.path.join(path, "journal")
+        if durable and Journal.exists(journal_dir):
+            raise DurabilityError(
+                f"a journal already exists at {journal_dir!r}; use "
+                "Database.open() to restart from it (or pass "
+                "durable=False for a throwaway database)"
+            )
+        self._setup(
+            path,
+            node_count=node_count,
+            k_safety=k_safety,
+            optimizer=optimizer,
+            segments_per_node=segments_per_node,
+            wos_capacity=wos_capacity,
+            merge_policy=merge_policy,
+            workload_policy=workload_policy,
+        )
+        if durable:
+            self.cluster.journal = Journal.create(
+                journal_dir,
+                genesis={
+                    "node_count": node_count,
+                    "k_safety": k_safety,
+                    "segments_per_node": segments_per_node,
+                    "wos_capacity": wos_capacity,
+                },
+                checkpoint_interval=(
+                    journal_checkpoint_interval
+                    if journal_checkpoint_interval is not None
+                    else DEFAULT_CHECKPOINT_INTERVAL
+                ),
+            )
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        optimizer: str = "v2",
+        merge_policy: MergePolicy | None = None,
+        workload_policy: WorkloadPolicy | None = None,
+        journal_checkpoint_interval: int | None = None,
+    ) -> "Database":
+        """Cold-start a database from its on-disk state.
+
+        Reopens the write-ahead journal at ``<path>/journal``, rebuilds
+        a cluster with the journaled topology, replays checkpoint +
+        journal tail against the scavenged ROS containers, truncates
+        anything past the durable floor, and rejoins every node through
+        the supervisor's recovery state machine.  The replay summary is
+        left on ``db.replay_report``.
+        """
+        from ..durability import Journal, replay_journal
+
+        journal = Journal.open(
+            os.path.join(path, "journal"),
+            checkpoint_interval=(
+                journal_checkpoint_interval
+                if journal_checkpoint_interval is not None
+                else DEFAULT_CHECKPOINT_INTERVAL
+            ),
+        )
+        genesis = journal.genesis
+        db = cls.__new__(cls)
+        db._setup(
+            path,
+            node_count=genesis["node_count"],
+            k_safety=genesis["k_safety"],
+            optimizer=optimizer,
+            segments_per_node=genesis["segments_per_node"],
+            wos_capacity=genesis["wos_capacity"],
+            merge_policy=merge_policy,
+            workload_policy=workload_policy,
+        )
+        db.replay_report = replay_journal(db.cluster, journal)
+        db.cluster.journal = journal
+        return db
+
+    def _setup(
+        self,
+        path: str,
+        *,
+        node_count: int,
+        k_safety: int,
+        optimizer: str,
+        segments_per_node: int,
+        wos_capacity: int,
+        merge_policy: MergePolicy | None,
+        workload_policy: WorkloadPolicy | None,
+    ) -> None:
         #: Resource-management policy applied to every query (section 7
         #: "Resource Management"); operators spill to disk rather than
         #: exceed it.
@@ -60,6 +155,9 @@ class Database:
             wos_capacity=wos_capacity,
             merge_policy=merge_policy,
         )
+        #: Cold-start summary (:class:`repro.durability.ColdStartReport`)
+        #: when this database came up through :meth:`open`; else None.
+        self.replay_report = None
         self.stats = StatsCatalog()
         self.optimizer_name = optimizer
         self._txn_id_lock = threading.Lock()

@@ -1,0 +1,43 @@
+"""Write-ahead durability: the journal and the cold-start path.
+
+The paper's Vertica keeps the catalog and committed epochs durable so a
+node that dies can restart from disk and rejoin through recovery
+(sections 4.3 and 5.3).  This package closes the same gap for the
+reproduction: :mod:`repro.durability.journal` is a CRC-checked,
+fsio-routed write-ahead journal of catalog DDL and committed deltas,
+and :mod:`repro.durability.coldstart` replays checkpoint + journal tail
+into a fresh cluster, reconciles against on-disk ROS containers via
+scavenge, truncates past the durable floor, and rejoins every node
+through the supervisor's recovery state machine.
+"""
+
+from __future__ import annotations
+
+from .codec import (
+    decode_catalog,
+    decode_family,
+    decode_projection,
+    decode_table,
+    encode_catalog,
+    encode_family,
+    encode_projection,
+    encode_table,
+)
+from .journal import Journal, JournalRecord, JournalReplay
+from .coldstart import ColdStartReport, replay_journal
+
+__all__ = [
+    "ColdStartReport",
+    "Journal",
+    "JournalRecord",
+    "JournalReplay",
+    "decode_catalog",
+    "decode_family",
+    "decode_projection",
+    "decode_table",
+    "encode_catalog",
+    "encode_family",
+    "encode_projection",
+    "encode_table",
+    "replay_journal",
+]

@@ -1,0 +1,558 @@
+"""The CRC-checked write-ahead journal.
+
+Format.  The journal lives in ``<database>/journal/`` as numbered
+segment files ``seg_000001.log`` plus checkpoint files
+``ckpt_000001.json``.  Every record is one line, framed as::
+
+    <crc32 hex, 8 chars> <canonical JSON body>\\n
+
+where the body is ``{"kind": ..., "lsn": ..., "payload": ...}`` with
+sorted keys.  A checkpoint file holds a single line in the same frame.
+
+Atomicity.  An append rewrites the active segment's full contents to a
+``.tmp`` sibling and publishes it with one ``os.replace`` — the same
+stage/publish protocol ROS containers use (:mod:`repro.storage.fsio`),
+so each append is all-or-nothing and a crash can never leave a
+half-written record *behind* the publish point.  Torn tails and bit
+flips that do reach a published segment are detected by the per-record
+CRC at replay and truncated to the last valid prefix; everything after
+the first damaged record is discarded, exactly like recovery truncates
+a projection past its Last Good Epoch.
+
+Bounded replay.  Segments rotate after ``segment_records`` records.  A
+checkpoint snapshots the catalog, the durable floor epoch and the
+epoch counters; at cold start replay begins from the newest valid
+checkpoint, and sealed segments fully covered by it (no record past
+its LSN, no commit past the floor) are pruned.
+
+Record kinds: ``genesis`` (cluster topology, first record ever),
+``create_table`` / ``add_family`` / ``drop_table`` (catalog DDL),
+``commit`` (one committed epoch: inserts per table plus materialized
+delete rows), ``floor`` (the durable floor advanced — every up node
+has drained its WOS past this epoch), ``restore`` (a backup image was
+adopted at some epoch).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from .. import faults
+from ..errors import DurabilityError
+from ..monitor import METRICS
+from ..storage import fsio
+
+SEGMENT_PREFIX = "seg_"
+SEGMENT_SUFFIX = ".log"
+CHECKPOINT_PREFIX = "ckpt_"
+CHECKPOINT_SUFFIX = ".json"
+
+#: Records per segment before the journal rotates to a new file.
+DEFAULT_SEGMENT_RECORDS = 64
+#: Records appended between automatic checkpoints.
+DEFAULT_CHECKPOINT_INTERVAL = 32
+#: Old checkpoints retained (newest may be torn; keep a fallback).
+CHECKPOINTS_RETAINED = 2
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record."""
+
+    lsn: int
+    kind: str
+    payload: dict
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`Journal.open` recovered from disk."""
+
+    #: Newest valid checkpoint body, or ``None`` (replay from genesis).
+    checkpoint: dict | None
+    #: All records surviving CRC validation, in LSN order.
+    records: list[JournalRecord]
+    #: Durable floor: max of checkpoint floor and floor/restore records.
+    floor: int
+    #: Records dropped by torn-tail / corruption truncation.
+    truncated_records: int
+    #: Checkpoint files skipped because they failed validation.
+    checkpoints_skipped: int
+
+    @property
+    def checkpoint_lsn(self) -> int:
+        """LSN covered by the checkpoint (-1 when replaying from genesis)."""
+        if self.checkpoint is None:
+            return -1
+        return self.checkpoint["lsn"]
+
+
+def _frame(body: dict) -> str:
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return f"{fsio.crc32(text.encode('utf-8')):08x} {text}\n"
+
+
+def _parse_line(raw: bytes) -> dict | None:
+    """Decode one framed line; ``None`` if torn or corrupted."""
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    if not text.endswith("\n"):
+        return None  # torn mid-record
+    if len(text) < 10 or text[8] != " ":
+        return None
+    crc_hex, body_text = text[:8], text[9:-1]
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if fsio.crc32(body_text.encode("utf-8")) != expected:
+        return None
+    try:
+        body = json.loads(body_text)
+    except ValueError:
+        return None
+    if not isinstance(body, dict) or "lsn" not in body or "kind" not in body:
+        return None
+    return body
+
+
+def _index_of(name: str, prefix: str, suffix: str) -> int | None:
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        return None
+    stem = name[len(prefix):-len(suffix)]
+    return int(stem) if stem.isdigit() else None
+
+
+@dataclass
+class _SegmentSummary:
+    """Per-segment bookkeeping for pruning and ``v_monitor.journal``."""
+
+    first_lsn: int = -1
+    last_lsn: int = -1
+    records: int = 0
+    max_commit_epoch: int = 0
+
+    def note(self, record: JournalRecord) -> None:
+        if self.first_lsn < 0:
+            self.first_lsn = record.lsn
+        self.last_lsn = record.lsn
+        self.records += 1
+        if record.kind in ("commit", "restore"):
+            self.max_commit_epoch = max(
+                self.max_commit_epoch, record.payload.get("epoch", 0)
+            )
+
+
+class Journal:
+    """Append-only, CRC-framed write-ahead journal over fsio.
+
+    All appends funnel through :meth:`_append`, serialized by an
+    internal lock (the commit path additionally holds the database's
+    commit lock; DDL and tuple-mover maintenance may race it).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ):
+        self.directory = directory
+        self.segment_records = segment_records
+        self.checkpoint_interval = checkpoint_interval
+        self.genesis: dict = {}
+        #: Durable floor epoch: commits at or below it are fully in ROS
+        #: on every node and need not be replayed.
+        self.floor = 0
+        self.checkpoint_lsn = -1
+        self.last_replay: JournalReplay | None = None
+        self._lock = threading.Lock()
+        # concurrency: guarded-by(self._lock) — LSN counter, active
+        # segment buffer, per-segment summaries and checkpoint index.
+        self._next_lsn = 0
+        self._active_index = 1
+        self._active_lines: list[str] = []
+        self._segments: dict[int, _SegmentSummary] = {}
+        self._next_checkpoint_index = 1
+        self._appends_since_checkpoint = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: str) -> bool:
+        """Whether ``directory`` already holds a journal."""
+        if not os.path.isdir(directory):
+            return False
+        return any(
+            _index_of(name, SEGMENT_PREFIX, SEGMENT_SUFFIX) is not None
+            for name in os.listdir(directory)
+        )
+
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        genesis: dict,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> "Journal":
+        """Start a fresh journal; its first record is the genesis."""
+        if cls.exists(directory):
+            raise DurabilityError(
+                f"journal already exists at {directory!r}; "
+                "use Database.open() to restart from it"
+            )
+        os.makedirs(directory, exist_ok=True)
+        journal = cls(
+            directory,
+            segment_records=segment_records,
+            checkpoint_interval=checkpoint_interval,
+        )
+        journal.genesis = dict(genesis)
+        journal._append("genesis", dict(genesis))
+        return journal
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> "Journal":
+        """Reopen a journal from disk, validating every record.
+
+        Damaged suffixes are truncated on disk (the segment is cut to
+        its valid prefix; later segments are deleted) so that the next
+        append extends a clean tail.  The recovered state is left in
+        ``last_replay`` for the cold-start path.
+        """
+        if not cls.exists(directory):
+            raise DurabilityError(f"no journal found at {directory!r}")
+        journal = cls(
+            directory,
+            segment_records=segment_records,
+            checkpoint_interval=checkpoint_interval,
+        )
+        journal.last_replay = journal._load()
+        METRICS.inc("journal.cold_starts")
+        METRICS.inc("journal.replay.records", len(journal.last_replay.records))
+        METRICS.inc(
+            "journal.replay.truncated", journal.last_replay.truncated_records
+        )
+        return journal
+
+    # -- append path ---------------------------------------------------
+
+    def log_ddl(self, kind: str, payload: dict) -> int:
+        """Journal a catalog DDL statement (write-ahead of nothing —
+        DDL is applied in memory by the caller; the journal makes it
+        survive restart)."""
+        return self._append(kind, payload)
+
+    def log_commit(
+        self,
+        *,
+        epoch: int,
+        snapshot_epoch: int,
+        inserts: dict,
+        deletes: list,
+        direct_to_ros: bool,
+    ) -> int:
+        """Journal one committed epoch *before* it is applied.
+
+        ``deletes`` carries materialized row multisets (the rows the
+        predicate selected at the snapshot), not the predicate itself —
+        predicates are arbitrary callables and must not be required at
+        replay time.
+        """
+        return self._append(
+            "commit",
+            {
+                "epoch": epoch,
+                "snapshot_epoch": snapshot_epoch,
+                "direct_to_ros": direct_to_ros,
+                "inserts": {table: list(rows) for table, rows in inserts.items()},
+                "deletes": [
+                    {"table": table, "rows": list(rows)} for table, rows in deletes
+                ],
+            },
+        )
+
+    def log_floor(self, epoch: int) -> int | None:
+        """Record that every node's WOS is drained through ``epoch``."""
+        if epoch <= self.floor:
+            return None
+        lsn = self._append("floor", {"epoch": epoch})
+        self.floor = epoch
+        return lsn
+
+    def log_restore(self, *, epoch: int, current_epoch: int, entries: int) -> int:
+        """Record that a backup image at ``epoch`` was adopted."""
+        lsn = self._append(
+            "restore",
+            {"epoch": epoch, "current_epoch": current_epoch, "entries": entries},
+        )
+        self.floor = max(self.floor, epoch)
+        return lsn
+
+    def _append(self, kind: str, payload: dict) -> int:
+        with self._lock:
+            lsn = self._next_lsn
+            line = _frame({"kind": kind, "lsn": lsn, "payload": payload})
+            if len(self._active_lines) >= self.segment_records:
+                self._active_index += 1
+                self._active_lines = []
+            self._active_lines.append(line)
+            final = self._segment_path(self._active_index)
+            data = "".join(self._active_lines).encode("utf-8")
+            tmp = fsio.stage_file(final)
+            fsio.write_bytes(tmp, data)
+            faults.inject("journal.append.stage", files=[tmp])
+            fsio.publish_file(tmp, final)
+            # The record is durable from here on; fold it into the
+            # in-memory state before the published-side fault point so
+            # a "crash" there models an unacknowledged durable append.
+            self._next_lsn = lsn + 1
+            summary = self._segments.setdefault(self._active_index, _SegmentSummary())
+            summary.note(JournalRecord(lsn, kind, payload))
+            self._appends_since_checkpoint += 1
+            METRICS.inc("journal.appends")
+            METRICS.inc("journal.bytes_written", len(data))
+            faults.inject("journal.append.publish", files=[final])
+            return lsn
+
+    # -- checkpointing -------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        """Whether enough records accumulated to warrant a checkpoint."""
+        return self._appends_since_checkpoint >= self.checkpoint_interval
+
+    def write_checkpoint(
+        self, *, floor: int, current_epoch: int, ahm: int, catalog: dict
+    ) -> None:
+        """Publish a checkpoint and prune segments it fully covers.
+
+        Callers must guarantee ``floor`` is genuinely durable: every
+        node is up and has drained its WOS through ``floor`` (the
+        cluster only checkpoints right after an all-nodes moveout).
+        """
+        with self._lock:
+            covered_lsn = self._next_lsn - 1
+            floor = max(floor, self.floor)
+            body = {
+                "lsn": covered_lsn,
+                "floor": floor,
+                "current_epoch": current_epoch,
+                "ahm": ahm,
+                "catalog": catalog,
+                "genesis": self.genesis,
+            }
+            final = self._checkpoint_path(self._next_checkpoint_index)
+            line = _frame({"kind": "checkpoint", "lsn": covered_lsn, "payload": body})
+            tmp = fsio.stage_file(final)
+            fsio.write_bytes(tmp, line.encode("utf-8"))
+            faults.inject("journal.checkpoint.stage", files=[tmp])
+            fsio.publish_file(tmp, final)
+            self._next_checkpoint_index += 1
+            self.checkpoint_lsn = covered_lsn
+            self.floor = floor
+            self._appends_since_checkpoint = 0
+            METRICS.inc("journal.checkpoints")
+            faults.inject("journal.checkpoint.publish", files=[final])
+            self._prune_segments()
+            self._prune_checkpoints()
+
+    def _prune_segments(self) -> None:
+        for index in sorted(self._segments):
+            if index == self._active_index:
+                continue
+            summary = self._segments[index]
+            if summary.last_lsn > self.checkpoint_lsn:
+                continue
+            if summary.max_commit_epoch > self.floor:
+                continue
+            path = self._segment_path(index)
+            if os.path.exists(path):
+                os.remove(path)
+            del self._segments[index]
+            METRICS.inc("journal.segments_pruned")
+
+    def _prune_checkpoints(self) -> None:
+        stale = sorted(self._checkpoint_indexes())[:-CHECKPOINTS_RETAINED]
+        for index in stale:
+            os.remove(self._checkpoint_path(index))
+
+    # -- replay --------------------------------------------------------
+
+    def _load(self) -> JournalReplay:
+        checkpoint, skipped = self._load_checkpoint()
+        records, truncated = self._load_segments()
+        if not records and checkpoint is None:
+            raise DurabilityError(
+                f"journal at {self.directory!r} has no valid records"
+            )
+        genesis = checkpoint["genesis"] if checkpoint else None
+        if genesis is None:
+            for record in records:
+                if record.kind == "genesis":
+                    genesis = record.payload
+                    break
+        if genesis is None:
+            raise DurabilityError(
+                f"journal at {self.directory!r} lost its genesis record"
+            )
+        self.genesis = dict(genesis)
+        floor = checkpoint["floor"] if checkpoint else 0
+        for record in records:
+            if record.kind == "floor":
+                floor = max(floor, record.payload["epoch"])
+            elif record.kind == "restore":
+                floor = max(floor, record.payload["epoch"])
+        self.floor = floor
+        self.checkpoint_lsn = checkpoint["lsn"] if checkpoint else -1
+        last_lsn = max(
+            [record.lsn for record in records] + [self.checkpoint_lsn]
+        )
+        self._next_lsn = last_lsn + 1
+        # Deliberately NOT reset to 0: surviving un-checkpointed tail
+        # records still count toward the next checkpoint trigger.
+        self._appends_since_checkpoint = sum(
+            1 for record in records if record.lsn > self.checkpoint_lsn
+        )
+        return JournalReplay(
+            checkpoint=checkpoint,
+            records=records,
+            floor=floor,
+            truncated_records=truncated,
+            checkpoints_skipped=skipped,
+        )
+
+    def _load_checkpoint(self) -> tuple[dict | None, int]:
+        skipped = 0
+        indexes = sorted(self._checkpoint_indexes(), reverse=True)
+        self._next_checkpoint_index = (indexes[0] + 1) if indexes else 1
+        for index in indexes:
+            with open(self._checkpoint_path(index), "rb") as handle:
+                raw = handle.read()
+            lines = raw.split(b"\n")
+            body = _parse_line(lines[0] + b"\n") if lines and lines[0] else None
+            if body is not None and body.get("kind") == "checkpoint":
+                return body["payload"], skipped
+            skipped += 1
+        return None, skipped
+
+    def _load_segments(self) -> tuple[list[JournalRecord], int]:
+        indexes = sorted(self._segment_indexes())
+        records: list[JournalRecord] = []
+        truncated = 0
+        damaged_at: int | None = None
+        for position, index in enumerate(indexes):
+            path = self._segment_path(index)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            summary = _SegmentSummary()
+            valid_bytes = 0
+            segment_damaged = False
+            offset = 0
+            while offset < len(raw):
+                newline = raw.find(b"\n", offset)
+                if newline < 0:
+                    # Unterminated tail: torn mid-record.
+                    truncated += 1
+                    segment_damaged = True
+                    break
+                line = raw[offset : newline + 1]
+                body = _parse_line(line)
+                if body is None:
+                    truncated += 1 + raw[newline + 1 :].count(b"\n")
+                    segment_damaged = True
+                    break
+                record = JournalRecord(body["lsn"], body["kind"], body["payload"])
+                records.append(record)
+                summary.note(record)
+                valid_bytes += len(line)
+                offset = newline + 1
+            if summary.records:
+                self._segments[index] = summary
+            if segment_damaged:
+                os.truncate(path, valid_bytes)
+                damaged_at = position
+                break
+        if damaged_at is not None:
+            # Everything after the damage is past the recovery point.
+            for index in indexes[damaged_at + 1 :]:
+                path = self._segment_path(index)
+                with open(path, "rb") as handle:
+                    truncated += handle.read().count(b"\n")
+                os.remove(path)
+                self._segments.pop(index, None)
+        surviving = sorted(self._segments) or [1]
+        self._active_index = surviving[-1]
+        tail_path = self._segment_path(self._active_index)
+        self._active_lines = []
+        if os.path.exists(tail_path):
+            with open(tail_path, "rb") as handle:
+                for line in handle.read().splitlines(keepends=True):
+                    self._active_lines.append(line.decode("utf-8"))
+        return records, truncated
+
+    # -- introspection -------------------------------------------------
+
+    def monitor_rows(self) -> list[dict]:
+        """Per-segment rows for ``v_monitor.journal``."""
+        with self._lock:
+            rows = []
+            for index in sorted(self._segments):
+                summary = self._segments[index]
+                path = self._segment_path(index)
+                rows.append(
+                    {
+                        "segment": os.path.basename(path),
+                        "records": summary.records,
+                        "bytes": os.path.getsize(path) if os.path.exists(path) else 0,
+                        "first_lsn": summary.first_lsn,
+                        "last_lsn": summary.last_lsn,
+                        "is_active": index == self._active_index,
+                        "checkpoint_lsn": self.checkpoint_lsn,
+                        "floor_epoch": self.floor,
+                    }
+                )
+            return rows
+
+    def record_count(self) -> int:
+        """Total records written so far (LSNs are dense from 0)."""
+        return self._next_lsn
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(
+            self.directory, f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
+        )
+
+    def _checkpoint_path(self, index: int) -> str:
+        return os.path.join(
+            self.directory, f"{CHECKPOINT_PREFIX}{index:06d}{CHECKPOINT_SUFFIX}"
+        )
+
+    def _segment_indexes(self) -> list[int]:
+        return self._scan_indexes(SEGMENT_PREFIX, SEGMENT_SUFFIX)
+
+    def _checkpoint_indexes(self) -> list[int]:
+        return self._scan_indexes(CHECKPOINT_PREFIX, CHECKPOINT_SUFFIX)
+
+    def _scan_indexes(self, prefix: str, suffix: str) -> list[int]:
+        if not os.path.isdir(self.directory):
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            index = _index_of(name, prefix, suffix)
+            if index is not None:
+                found.append(index)
+        return found

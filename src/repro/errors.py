@@ -41,6 +41,15 @@ class InjectedFaultError(ReproError):
     injected crash, exactly like a real process would."""
 
 
+class DurabilityError(ReproError):
+    """Raised by the write-ahead journal: opening a path with no (or an
+    unreadable) journal, creating a journal where one already exists,
+    or replaying a record stream whose invariants are broken.  Torn
+    tails and checksum failures in the journal are *not* errors — they
+    are truncated to the last valid prefix, exactly like recovery
+    truncates to the Last Good Epoch."""
+
+
 class CatalogError(ReproError):
     """Raised for metadata catalog violations (unknown/duplicate objects)."""
 

@@ -135,6 +135,41 @@ register_point(
     "scoped to the node hosting the fragment's scan; a crash here "
     "simulates a node dying mid-exchange",
 )
+register_point(
+    "journal.append.stage", "storage-tmp",
+    "after a journal segment's new contents are staged to its .tmp "
+    "sibling, before the publishing rename (the appended record is "
+    "lost; the published segment is untouched)",
+)
+register_point(
+    "journal.append.publish", "storage-published",
+    "after the rename that publishes a journal segment append (the "
+    "record is durable but unacknowledged; torn here models a torn "
+    "tail, bitflip models latent media corruption of the segment)",
+)
+register_point(
+    "journal.checkpoint.stage", "storage-tmp",
+    "after a checkpoint's contents are staged, before its publishing "
+    "rename (cold start falls back to the previous checkpoint)",
+)
+register_point(
+    "journal.checkpoint.publish", "storage-published",
+    "after the rename that publishes a checkpoint, before old segments "
+    "are pruned (a stale-checkpoint crash: replay must be idempotent "
+    "over records the checkpoint already covers)",
+)
+register_point(
+    "journal.commit.apply", "control",
+    "after a commit record is durable in the journal, before the "
+    "in-memory apply begins (crash here leaves a committed-on-disk "
+    "epoch the restarted process must replay)",
+)
+register_point(
+    "mover.wos.drain", "control",
+    "after moveout drains the WOS in memory, before the first ROS "
+    "container is staged (crash here loses the drained rows unless "
+    "the journal can replay their commits)",
+)
 
 
 @dataclass

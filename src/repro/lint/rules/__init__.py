@@ -17,6 +17,7 @@ from . import atomic_io  # noqa: F401  R7
 from . import wallclock  # noqa: F401  R8
 from . import concurrency  # noqa: F401  R9, R10
 from . import service  # noqa: F401  R11
+from . import journal_io  # noqa: F401  R12
 
 __all__ = [
     "operators",
@@ -29,4 +30,5 @@ __all__ = [
     "wallclock",
     "concurrency",
     "service",
+    "journal_io",
 ]

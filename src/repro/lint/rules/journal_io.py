@@ -1,0 +1,57 @@
+"""R12: all durability writes go through the fsio stage/publish pair.
+
+The write-ahead journal's crash-consistency story is the same one the
+storage layer tells: every on-disk artifact is staged to a ``.tmp``
+path, CRC-framed, and published with a single atomic ``os.replace``.
+A raw ``open(path, "w")`` anywhere under ``durability/`` would let a
+crash leave a half-written segment or checkpoint that *looks* valid —
+exactly the torn state cold start must never trust.  This rule forbids
+write-mode ``open()`` calls in the durability package; all bytes must
+flow through :func:`repro.storage.fsio.write_bytes` into a path from
+:func:`repro.storage.fsio.stage_file`, then
+:func:`repro.storage.fsio.publish_file`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, call_name, register_checker
+from .atomic_io import _write_mode
+
+#: Package path fragments where raw write-mode ``open()`` is forbidden.
+_PROTECTED = ("repro/durability/",)
+
+
+@register_checker
+class JournalIOChecker(Checker):
+    """R12: no raw write-mode open() in durability/."""
+
+    rule = "R12"
+    title = (
+        "durability code must write files through repro.storage.fsio "
+        "(stage + checksum + atomic publish), never raw open(..., 'w')"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            if not any(part in module.norm_path for part in _PROTECTED):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) != "open":
+                    continue
+                mode = _write_mode(node)
+                if mode is None:
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raw open(..., {mode!r}) bypasses the journal's "
+                    "stage/publish protocol; write through "
+                    "repro.storage.fsio",
+                )

@@ -180,6 +180,32 @@ def check_mergeout_conservation(
     )
 
 
+def check_wos_truncate(
+    epoch: int,
+    rows_past_epoch: int,
+    rows_dropped: int,
+    surviving_epochs: list[int],
+) -> None:
+    """WOS truncation must drop exactly the rows past ``epoch``.
+
+    Row conservation for recovery's first step: the number of rows
+    dropped equals the number stamped after the truncation epoch, and
+    no surviving row is stamped after it.
+    """
+    if not enabled():
+        return
+    invariant(
+        rows_dropped == rows_past_epoch,
+        f"WOS truncate to epoch {epoch} dropped {rows_dropped} rows but "
+        f"{rows_past_epoch} rows were stamped past the epoch — rows were "
+        "lost or wrongly kept",
+    )
+    invariant(
+        all(e <= epoch for e in surviving_epochs),
+        f"WOS truncate to epoch {epoch} left a row stamped after it",
+    )
+
+
 # -- delete vectors ----------------------------------------------------
 
 

@@ -2,7 +2,7 @@
 
 Vertica ships its monitoring as ordinary tables in the ``v_monitor``
 schema so operators can use plain SQL against them.  This module does
-the same for the reproduction's nine tables:
+the same for the reproduction's twelve tables:
 
 * ``v_monitor.query_profiles`` — one row per operator per profiled
   query (the tabular twin of ``EXPLAIN ANALYZE``);
@@ -29,7 +29,11 @@ the same for the reproduction's nine tables:
 * ``v_monitor.query_traces`` / ``v_monitor.trace_spans`` — the
   distributed tracer's retained traces (``REPRO_TRACE=1``): one row
   per trace, and one row per span with parent ids, node attribution
-  and both clocks (simulated ticks + wall durations).
+  and both clocks (simulated ticks + wall durations);
+* ``v_monitor.journal`` — one row per on-disk write-ahead journal
+  segment (record/byte counts, LSN range, active flag) plus the
+  durable floor and newest checkpoint LSN; empty when the database
+  was opened with ``durable=False``.
 
 Virtual tables never reach the optimizer or the distributed executor:
 their rows are tiny, in-memory and node-local, so
@@ -189,6 +193,16 @@ _COLUMNS = {
         "duration_ms",
         "error",
         "attrs",
+    ],
+    "journal": [
+        "segment",
+        "records",
+        "bytes",
+        "first_lsn",
+        "last_lsn",
+        "is_active",
+        "checkpoint_lsn",
+        "floor_epoch",
     ],
 }
 
@@ -446,6 +460,14 @@ def _trace_spans_rows(db) -> list[dict]:
     return rows
 
 
+def _journal_rows(db) -> list[dict]:
+    """Write-ahead journal segments; empty for non-durable databases."""
+    journal = getattr(db.cluster, "journal", None)
+    if journal is None:
+        return []
+    return journal.monitor_rows()
+
+
 _PRODUCERS = {
     "query_profiles": _query_profiles_rows,
     "projection_storage": _projection_storage_rows,
@@ -458,6 +480,7 @@ _PRODUCERS = {
     "metrics": _metrics_rows,
     "query_traces": _query_traces_rows,
     "trace_spans": _trace_spans_rows,
+    "journal": _journal_rows,
 }
 
 

@@ -57,6 +57,31 @@ def write_json(path: str, payload: dict) -> int:
     return write_text(path, json.dumps(payload))
 
 
+def stage_file(final_path: str) -> str:
+    """The staging path for a single-file atomic publish.
+
+    Single-file twin of :func:`staging_dir`: write the complete new
+    contents to the returned ``<final>.tmp`` path (via
+    :func:`write_bytes`), then commit with :func:`publish_file`.  Any
+    stale staging file from an earlier crash is removed first.
+    """
+    tmp = final_path + TMP_SUFFIX
+    if os.path.exists(tmp):
+        os.remove(tmp)
+    return tmp
+
+
+def publish_file(tmp_path: str, final_path: str) -> None:
+    """Atomically publish a fully staged file (the commit point).
+
+    ``os.replace`` is atomic on POSIX: a crash before it leaves only
+    the ``.tmp`` orphan; a crash after it leaves the complete new file.
+    The write-ahead journal routes every segment and checkpoint write
+    through this pair.
+    """
+    os.replace(tmp_path, final_path)
+
+
 def staging_dir(final_path: str) -> str:
     """Create (fresh) and return the staging directory for ``final_path``."""
     tmp = final_path + TMP_SUFFIX

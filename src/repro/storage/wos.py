@@ -59,10 +59,14 @@ class WriteOptimizedStore:
     def truncate_after_epoch(self, epoch: int) -> int:
         """Drop rows committed after ``epoch``; returns how many were
         dropped.  Used by recovery's initial truncation to the LGE."""
+        from ..lint import sanitizer
+
+        past = sum(1 for e in self.epochs if e > epoch)
         keep = [i for i, e in enumerate(self.epochs) if e <= epoch]
         dropped = len(self.rows) - len(keep)
         self.rows = [self.rows[i] for i in keep]
         self.epochs = [self.epochs[i] for i in keep]
+        sanitizer.check_wos_truncate(epoch, past, dropped, self.epochs)
         return dropped
 
     def visible(self, epoch: int, deleted_positions: dict[int, int]):

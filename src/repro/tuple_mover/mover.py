@@ -93,6 +93,7 @@ class TupleMover:
         state.wos_deletes.clear()
         if not rows:
             return []
+        faults.inject("mover.wos.drain", node=self.manager.node_index)
         groups: dict[tuple, list[int]] = {}
         for index, row in enumerate(rows):
             key = (

@@ -1,0 +1,249 @@
+"""Cold-start tests: ``Database.open`` replays checkpoint + journal
+tail against the scavenged on-disk ROS state."""
+
+import pytest
+
+from repro import types
+from repro.cluster import create_backup, restore_backup
+from repro.core.database import Database
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.errors import DurabilityError, InjectedFaultError
+from repro.faults import FaultPlan
+
+
+def table(name="t"):
+    return TableDefinition(
+        name,
+        [ColumnDef("k", types.INTEGER), ColumnDef("v", types.VARCHAR)],
+        primary_key=("k",),
+    )
+
+
+def rows(n, start=0):
+    return [{"k": i, "v": f"v{i % 7}"} for i in range(start, start + n)]
+
+
+def build(path, **kwargs):
+    kwargs.setdefault("node_count", 3)
+    kwargs.setdefault("k_safety", 1)
+    db = Database(str(path), **kwargs)
+    db.create_table(table(), sort_order=["k"])
+    return db
+
+
+def capture_rows(raw_rows):
+    """Rows in the shape :func:`capture` reports them."""
+    return sorted(tuple(sorted(row.items())) for row in raw_rows)
+
+
+def capture(db):
+    """Full visible state: every table's rows plus the catalog."""
+    epoch = db.latest_epoch
+    state = {"tables": sorted(db.cluster.catalog.tables)}
+    for name in state["tables"]:
+        state[name] = sorted(
+            tuple(sorted(row.items()))
+            for row in db.cluster.read_table(name, epoch)
+        )
+    return state
+
+
+class TestColdStart:
+    def test_ddl_wos_and_deletes_recovered(self, tmp_path):
+        db = build(tmp_path / "db", journal_checkpoint_interval=4)
+        db.load("t", rows(20))
+        db.run_tuple_movers()
+        db.load("t", rows(10, start=20))  # WOS-only at crash time
+        db.sql("DELETE FROM t WHERE k < 7")
+        db.create_table(table("t2"), sort_order=["k"])
+        db.load("t2", rows(5))
+        before = capture(db)
+
+        del db
+        reopened = Database.open(str(tmp_path / "db"))
+        report = reopened.replay_report
+        assert capture(reopened) == before
+        assert report.commits_replayed > 0
+        assert report.containers_quarantined == 0
+        assert report.rows_redeleted == 7
+        # the reopened database accepts new writes and journals them
+        reopened.load("t", [{"k": 1000, "v": "post"}])
+        after = capture(reopened)
+        del reopened
+        assert capture(Database.open(str(tmp_path / "db"))) == after
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        db = build(tmp_path / "db")
+        db.load("t", rows(30))
+        before = capture(db)
+        del db
+        for _ in range(3):  # restart, restart, restart
+            db = Database.open(str(tmp_path / "db"))
+            assert capture(db) == before
+            del db
+
+    def test_checkpoint_bounds_cold_start(self, tmp_path):
+        db = build(tmp_path / "db", journal_checkpoint_interval=2)
+        for start in range(0, 40, 10):
+            db.load("t", rows(10, start=start))
+            db.run_tuple_movers()  # floor + checkpoint every cycle
+        before = capture(db)
+        del db
+        reopened = Database.open(
+            str(tmp_path / "db"), journal_checkpoint_interval=2
+        )
+        report = reopened.replay_report
+        assert capture(reopened) == before
+        assert report.checkpoint_used
+        assert report.floor > 0
+        # everything at or below the floor came from disk, not replay
+        assert report.rows_reinserted < 40
+
+    def test_drop_table_replayed(self, tmp_path):
+        db = build(tmp_path / "db")
+        db.create_table(table("doomed"), sort_order=["k"])
+        db.load("doomed", rows(10))
+        db.load("t", rows(10))
+        db.drop_table("doomed")
+        before = capture(db)
+        del db
+        reopened = Database.open(str(tmp_path / "db"))
+        assert "doomed" not in reopened.cluster.catalog.tables
+        assert capture(reopened) == before
+
+    def test_second_database_at_same_path_refused(self, tmp_path):
+        build(tmp_path / "db")
+        with pytest.raises(DurabilityError):
+            Database(str(tmp_path / "db"))
+
+    def test_nondurable_database_cannot_reopen(self, tmp_path):
+        db = Database(str(tmp_path / "db"), durable=False)
+        assert db.cluster.journal is None
+        with pytest.raises(DurabilityError):
+            Database.open(str(tmp_path / "db"))
+
+
+class TestCrashPoints:
+    """Targeted crash-at-fault-point scenarios (the generic sweep lives
+    in ``tests/chaos/test_kill_anywhere.py``)."""
+
+    def test_crash_after_commit_durable_before_apply(self, tmp_path):
+        db = build(tmp_path / "db")
+        db.load("t", rows(10))
+        expected = capture(db)
+        plan = FaultPlan(seed=1).arm("journal.commit.apply", "crash")
+        with plan:
+            with pytest.raises(InjectedFaultError):
+                db.load("t", rows(10, start=10))
+        assert plan.fired
+        del db
+        # the commit record hit disk before the crash: replay applies it
+        reopened = Database.open(str(tmp_path / "db"))
+        state = capture(reopened)
+        assert state["t"] != expected["t"]
+        assert len(state["t"]) == 20
+
+    def test_crash_before_publish_loses_only_that_record(self, tmp_path):
+        db = build(tmp_path / "db")
+        db.load("t", rows(10))
+        expected = capture(db)
+        plan = FaultPlan(seed=2).arm("journal.append.stage", "crash")
+        with plan:
+            with pytest.raises(InjectedFaultError):
+                db.load("t", rows(10, start=10))
+        assert plan.fired
+        del db
+        # the record never published: cold start sees the pre-crash state
+        assert capture(Database.open(str(tmp_path / "db"))) == expected
+
+    def test_torn_tail_recovers_valid_prefix(self, tmp_path):
+        db = build(tmp_path / "db")
+        db.load("t", rows(10))
+        expected = capture(db)
+        # tear the published segment mid-final-record, then crash
+        plan = FaultPlan(seed=3).arm("journal.append.publish", "torn")
+        with plan:
+            with pytest.raises(InjectedFaultError):
+                db.load("t", rows(10, start=10))
+        assert plan.fired
+        del db
+        reopened = Database.open(str(tmp_path / "db"))
+        assert reopened.replay_report.truncated_records >= 1
+        assert capture(reopened) == expected
+
+    @pytest.mark.parametrize("seed", [4, 14, 24])
+    def test_bitflip_on_last_append_truncated_by_crc(self, seed, tmp_path):
+        db = build(tmp_path / "db")
+        db.load("t", rows(10))
+        # flip a bit in the published segment on the LAST append before
+        # the restart — any earlier and the next append's full-segment
+        # rewrite would heal it.  The flipped byte can land in ANY
+        # record of the segment, so the recovered state is some exact
+        # prefix of the fault-free history — never a corrupted hybrid.
+        plan = FaultPlan(seed=seed).arm("journal.append.publish", "bitflip")
+        with plan:
+            db.load("t", rows(10, start=10))
+        assert plan.fired and plan.fired[0].action == "bitflip"
+        del db
+        reopened = Database.open(str(tmp_path / "db"))
+        state = capture(reopened)
+        prefixes = [
+            {"tables": []},  # flip hit the DDL records
+            {"tables": ["t"], "t": []},
+            {"tables": ["t"], "t": capture_rows(rows(10))},
+            {"tables": ["t"], "t": capture_rows(rows(20))},
+        ]
+        assert state in prefixes, state
+
+    def test_stale_checkpoint_is_idempotent(self, tmp_path):
+        for point in ("journal.checkpoint.stage", "journal.checkpoint.publish"):
+            root = tmp_path / point.replace(".", "_")
+            db = build(root, journal_checkpoint_interval=2)
+            db.load("t", rows(20))
+            plan = FaultPlan(seed=5).arm(point, "crash")
+            with plan:
+                with pytest.raises(InjectedFaultError):
+                    db.run_tuple_movers()  # floor + checkpoint attempt
+            assert plan.fired
+            before = capture(db)
+            del db
+            reopened = Database.open(str(root), journal_checkpoint_interval=2)
+            assert capture(reopened) == before, point
+            # a crash after publish leaves the checkpoint; before, not
+            used = reopened.replay_report.checkpoint_used
+            assert used == (point == "journal.checkpoint.publish"), point
+
+
+class TestBackupRestartRestore:
+    def test_backup_survives_full_process_restart(self, tmp_path):
+        db = build(tmp_path / "db", journal_checkpoint_interval=4)
+        db.load("t", rows(40))
+        db.run_tuple_movers()
+        golden = capture(db)
+        image = create_backup(db.cluster, str(tmp_path / "bk"))
+
+        # damage: later commits we will throw away via restore, then a
+        # full process restart before and after the restore
+        db.sql("DELETE FROM t WHERE k < 5")
+        del db
+        db = Database.open(str(tmp_path / "db"))
+        assert len(capture(db)["t"]) == 35
+
+        # wipe the table's containers, restore the image over them
+        family = db.cluster.catalog.super_projection_for("t")
+        for node in db.cluster.nodes:
+            for copy in family.all_copies:
+                state = node.manager.storage(copy.name)
+                node.manager.remove_containers(
+                    copy.name, list(state.containers)
+                )
+        restored = restore_backup(db.cluster, image)
+        assert restored == len(image.entries)
+        assert capture(db)["t"] == golden["t"]
+
+        # the restore record is journaled: another full restart keeps
+        # the restored rows (scavenge readopts, floor covers the image)
+        del db
+        reopened = Database.open(str(tmp_path / "db"))
+        assert capture(reopened)["t"] == golden["t"]
+        assert reopened.replay_report.containers_quarantined == 0

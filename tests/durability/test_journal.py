@@ -1,0 +1,309 @@
+"""Unit tests for the write-ahead journal and its catalog codec."""
+
+import os
+
+import pytest
+
+from repro import types
+from repro.core.catalog import Catalog
+from repro.core.schema import ColumnDef, TableDefinition
+from repro.durability import (
+    Journal,
+    decode_catalog,
+    decode_family,
+    decode_table,
+    encode_catalog,
+    encode_family,
+    encode_table,
+)
+from repro.durability.journal import _frame, _parse_line
+from repro.errors import DurabilityError
+from repro.projections.projection import (
+    ProjectionFamily,
+    make_buddy,
+    super_projection,
+)
+
+
+def make_family(table):
+    primary = super_projection(table, sort_order=["sale_id"])
+    return ProjectionFamily(primary, [make_buddy(primary, 1)])
+
+
+GENESIS = {
+    "node_count": 3,
+    "k_safety": 1,
+    "segments_per_node": 3,
+    "wos_capacity": 65536,
+}
+
+
+def make_journal(tmp_path, **kwargs):
+    return Journal.create(str(tmp_path / "journal"), GENESIS, **kwargs)
+
+
+def segment_files(directory):
+    return sorted(n for n in os.listdir(directory) if n.startswith("seg_"))
+
+
+def checkpoint_files(directory):
+    return sorted(n for n in os.listdir(directory) if n.startswith("ckpt_"))
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        body = {"kind": "commit", "lsn": 7, "payload": {"epoch": 3}}
+        assert _parse_line(_frame(body).encode("utf-8")) == body
+
+    def test_rejects_bad_crc(self):
+        line = _frame({"kind": "floor", "lsn": 1, "payload": {}})
+        tampered = ("0" * 8) + line[8:]
+        assert _parse_line(tampered.encode("utf-8")) is None
+
+    def test_rejects_torn_line(self):
+        line = _frame({"kind": "floor", "lsn": 1, "payload": {}})
+        assert _parse_line(line[: len(line) // 2].encode("utf-8")) is None
+
+    def test_rejects_flipped_payload_byte(self):
+        line = _frame({"kind": "floor", "lsn": 1, "payload": {"epoch": 5}})
+        flipped = line.replace('"epoch":5', '"epoch":6')
+        assert _parse_line(flipped.encode("utf-8")) is None
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.log_ddl("create_table", {"table": {"name": "t"}})
+        journal.log_commit(
+            epoch=1,
+            snapshot_epoch=0,
+            inserts={"t": [{"k": 1}]},
+            deletes=[("t", [{"k": 0}])],
+            direct_to_ros=False,
+        )
+        journal.log_floor(1)
+
+        reopened = Journal.open(str(tmp_path / "journal"))
+        replay = reopened.last_replay
+        kinds = [record.kind for record in replay.records]
+        assert kinds == ["genesis", "create_table", "commit", "floor"]
+        assert [record.lsn for record in replay.records] == [0, 1, 2, 3]
+        assert replay.floor == 1
+        assert replay.truncated_records == 0
+        assert reopened.genesis == GENESIS
+        commit = replay.records[2]
+        assert commit.payload["inserts"] == {"t": [{"k": 1}]}
+        assert commit.payload["deletes"] == [{"table": "t", "rows": [{"k": 0}]}]
+
+    def test_appends_continue_after_reopen(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.log_floor(2)
+        reopened = Journal.open(str(tmp_path / "journal"))
+        lsn = reopened.log_ddl("drop_table", {"name": "t"})
+        assert lsn == 2  # dense LSNs across restarts
+        again = Journal.open(str(tmp_path / "journal"))
+        assert [r.lsn for r in again.last_replay.records] == [0, 1, 2]
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        make_journal(tmp_path)
+        with pytest.raises(DurabilityError):
+            make_journal(tmp_path)
+
+    def test_open_requires_journal(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            Journal.open(str(tmp_path / "nothing"))
+
+    def test_floor_never_regresses(self, tmp_path):
+        journal = make_journal(tmp_path)
+        assert journal.log_floor(5) is not None
+        assert journal.log_floor(3) is None  # no record written
+        assert journal.floor == 5
+        reopened = Journal.open(str(tmp_path / "journal"))
+        assert reopened.floor == 5
+
+
+class TestRotationAndCheckpoints:
+    def test_rotation_creates_segments(self, tmp_path):
+        journal = make_journal(tmp_path, segment_records=4)
+        for epoch in range(1, 10):
+            journal.log_floor(epoch)
+        files = segment_files(str(tmp_path / "journal"))
+        assert len(files) >= 2
+        replay = Journal.open(
+            str(tmp_path / "journal"), segment_records=4
+        ).last_replay
+        assert [r.lsn for r in replay.records] == list(range(10))
+
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path, segment_records=4)
+        catalog = {"tables": [], "families": []}
+        for epoch in range(1, 9):
+            journal.log_commit(
+                epoch=epoch,
+                snapshot_epoch=epoch - 1,
+                inserts={"t": [{"k": epoch}]},
+                deletes=[],
+                direct_to_ros=False,
+            )
+        journal.log_floor(8)
+        before = len(segment_files(directory))
+        journal.write_checkpoint(
+            floor=8, current_epoch=9, ahm=0, catalog=catalog
+        )
+        assert len(segment_files(directory)) < before  # covered ones pruned
+        assert checkpoint_files(directory)
+
+        reopened = Journal.open(directory, segment_records=4)
+        replay = reopened.last_replay
+        assert replay.checkpoint is not None
+        assert replay.checkpoint["floor"] == 8
+        assert replay.checkpoint["genesis"] == GENESIS
+        assert replay.floor == 8
+        # every surviving commit record is covered by the checkpoint
+        # floor: replay of the tail is bounded, not from genesis.
+        assert all(
+            r.payload.get("epoch", 0) <= 8
+            for r in replay.records
+            if r.kind == "commit"
+        )
+
+    def test_should_checkpoint_counts_appends(self, tmp_path):
+        journal = make_journal(tmp_path, checkpoint_interval=3)
+        assert not journal.should_checkpoint()
+        journal.log_floor(1)
+        journal.log_floor(2)
+        assert journal.should_checkpoint()  # genesis + two floors
+
+    def test_old_checkpoints_pruned(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path)
+        for round_index in range(4):
+            journal.log_floor(round_index + 1)
+            journal.write_checkpoint(
+                floor=round_index + 1,
+                current_epoch=round_index + 2,
+                ahm=0,
+                catalog={"tables": [], "families": []},
+            )
+        assert len(checkpoint_files(directory)) == 2  # CHECKPOINTS_RETAINED
+
+
+class TestDamageRecovery:
+    def test_torn_tail_truncated_to_valid_prefix(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path)
+        for epoch in range(1, 4):
+            journal.log_floor(epoch)
+        path = os.path.join(directory, segment_files(directory)[-1])
+        os.truncate(path, os.path.getsize(path) - 5)
+
+        reopened = Journal.open(directory)
+        replay = reopened.last_replay
+        assert replay.truncated_records == 1
+        assert [r.lsn for r in replay.records] == [0, 1, 2]
+        assert replay.floor == 2  # the torn floor record is gone
+        # the damaged suffix was cut on disk: reopening again is clean
+        again = Journal.open(directory)
+        assert again.last_replay.truncated_records == 0
+
+    def test_bitflip_truncates_from_damaged_record(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path)
+        for epoch in range(1, 5):
+            journal.log_floor(epoch)
+        path = os.path.join(directory, segment_files(directory)[-1])
+        with open(path, "r+b") as handle:
+            raw = handle.read()
+            lines = raw.splitlines(keepends=True)
+            # flip one bit inside the second record's body
+            offset = len(lines[0]) + 20
+            handle.seek(offset)
+            original = raw[offset]
+            handle.seek(offset)
+            handle.write(bytes([original ^ 0x01]))
+
+        replay = Journal.open(directory).last_replay
+        assert [r.lsn for r in replay.records] == [0]
+        assert replay.truncated_records == 4
+
+    def test_damage_discards_later_segments(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path, segment_records=3)
+        for epoch in range(1, 9):
+            journal.log_floor(epoch)
+        files = segment_files(directory)
+        assert len(files) >= 2
+        first = os.path.join(directory, files[0])
+        os.truncate(first, os.path.getsize(first) - 3)
+
+        replay = Journal.open(directory, segment_records=3).last_replay
+        assert [r.lsn for r in replay.records] == [0, 1]
+        assert segment_files(directory) == files[:1]
+
+    def test_torn_checkpoint_falls_back(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        journal = make_journal(tmp_path)
+        journal.log_floor(3)
+        journal.write_checkpoint(
+            floor=3, current_epoch=4, ahm=0, catalog={"tables": [], "families": []}
+        )
+        ckpt = os.path.join(directory, checkpoint_files(directory)[-1])
+        os.truncate(ckpt, os.path.getsize(ckpt) // 2)
+
+        replay = Journal.open(directory).last_replay
+        assert replay.checkpoint is None
+        assert replay.checkpoints_skipped == 1
+        assert replay.floor == 3  # floor record still on disk
+
+
+class TestCodec:
+    def table(self):
+        return TableDefinition(
+            "sales",
+            [
+                ColumnDef("sale_id", types.INTEGER),
+                ColumnDef("region", types.VARCHAR),
+                ColumnDef("amount", types.FLOAT),
+            ],
+            partition_by=lambda row: row["sale_id"] % 2,
+            partition_by_text="sale_id % 2",
+            primary_key=("sale_id",),
+        )
+
+    def test_table_roundtrip(self):
+        table = self.table()
+        decoded = decode_table(encode_table(table))
+        assert decoded.name == table.name
+        assert [c.name for c in decoded.columns] == [
+            c.name for c in table.columns
+        ]
+        assert [c.dtype for c in decoded.columns] == [
+            c.dtype for c in table.columns
+        ]
+        assert decoded.primary_key == table.primary_key
+        assert decoded.partition_by_text == "sale_id % 2"
+        assert decoded.partition_by is None  # documented limitation
+
+    def test_family_roundtrip(self):
+        family = make_family(self.table())
+        decoded = decode_family(encode_family(family))
+        assert decoded.primary.name == family.primary.name
+        assert len(decoded.buddies) == len(family.buddies)
+        for mine, theirs in zip(decoded.all_copies, family.all_copies):
+            assert mine.name == theirs.name
+            assert mine.sort_order == theirs.sort_order
+            assert mine.buddy_offset == theirs.buddy_offset
+            assert [c.encoding for c in mine.columns] == [
+                c.encoding for c in theirs.columns
+            ]
+            assert type(mine.segmentation) is type(theirs.segmentation)
+
+    def test_catalog_roundtrip(self):
+        catalog = Catalog()
+        table = self.table()
+        catalog.add_table(table)
+        catalog.add_family(make_family(table))
+        decoded = decode_catalog(encode_catalog(catalog))
+        assert sorted(decoded.tables) == sorted(catalog.tables)
+        assert sorted(decoded.families) == sorted(catalog.families)

@@ -89,6 +89,10 @@ GOLDEN_SCHEMAS = {
         "rejected_total", "timed_out_total", "cancelled_total",
         "peak_running",
     ],
+    "v_monitor.journal": [
+        "segment", "records", "bytes", "first_lsn", "last_lsn",
+        "is_active", "checkpoint_lsn", "floor_epoch",
+    ],
 }
 
 

@@ -63,6 +63,16 @@ echo "   seeds: 101, 202, ${GIT_SEED} (git-derived)"
 REPRO_CHAOS_SEEDS="101,202,${GIT_SEED}" REPRO_SANITIZE=1 \
     python -m pytest -q -m chaos tests/chaos/test_self_healing.py
 
+echo "== crash-restart: kill-anywhere durability sweep =="
+# Every durability fault point x allowed action: a fixed workload is
+# crashed (or silently corrupted) mid-flight, the database reopens
+# from disk, and the recovered state must be an exact op-boundary
+# snapshot of a fault-free oracle run.  Two pinned seeds anchor
+# regressions; one derived from the commit SHA explores fresh offsets.
+echo "   seeds: 11, 23, ${GIT_SEED} (git-derived)"
+REPRO_CRASH_SEEDS="11,23,${GIT_SEED}" REPRO_SANITIZE=1 \
+    python -m pytest -q tests/chaos/test_kill_anywhere.py
+
 echo "== Cluster.scrub() smoke =="
 python - <<'EOF'
 import shutil, tempfile
@@ -132,22 +142,23 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR7.json =="
+echo "== perf smoke: bench harness writes BENCH_PR8.json =="
 # Scaled-down benches through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
 # decoded, mergeouts, failover retries, admission activity, ...) per
-# bench into BENCH_PR7.json at the repo root.  The full report comes
+# bench into BENCH_PR8.json at the repo root.  The full report comes
 # from the same command without the scale-down env vars:
 #     python -m pytest benchmarks/ -q
 REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 \
-REPRO_SESSION_STATEMENTS=2 python -m pytest \
+REPRO_SESSION_STATEMENTS=2 REPRO_RESTART_COMMITS=12 python -m pytest \
     benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py \
-    benchmarks/bench_concurrent_sessions.py -q
-test -s BENCH_PR7.json
+    benchmarks/bench_concurrent_sessions.py \
+    benchmarks/bench_restart_recovery.py -q
+test -s BENCH_PR8.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR7.json"))
-assert report["benches"], "BENCH_PR7.json has no bench entries"
+report = json.load(open("BENCH_PR8.json"))
+assert report["benches"], "BENCH_PR8.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

@@ -20,7 +20,7 @@ import pytest
 
 from repro.monitor import METRICS
 
-#: Counters recorded per bench in BENCH_PR8.json — the ones whose
+#: Counters recorded per bench in BENCH_PR9.json — the ones whose
 #: movement the paper's evaluation section argues about, plus the
 #: self-healing runtime's failover/recovery activity and the
 #: vectorized engine's kernel-vs-row block split.
@@ -56,9 +56,15 @@ TRACKED_COUNTERS = (
     "journal.segments_pruned",
     "journal.replay.commits",
     "journal.replay.rows",
+    "dc.records",
+    "dc.records_evicted",
+    "dc.flushes",
+    "dc.bytes_written",
+    "dc.alerts_raised",
+    "dc.alerts_cleared",
 )
 
-BENCH_REPORT = "BENCH_PR8.json"
+BENCH_REPORT = "BENCH_PR9.json"
 
 #: name -> {"seconds": float, "metrics": {counter: delta}}
 _RESULTS: dict = {}
@@ -117,7 +123,7 @@ def report():
     return print_table
 
 
-# -- BENCH_PR8.json: wall time + metrics deltas per bench ----------------
+# -- BENCH_PR9.json: wall time + metrics deltas per bench ----------------
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):

@@ -16,10 +16,12 @@ distributed behaviours live:
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import TYPE_CHECKING
 
 from .. import faults
+from ..dc import DataCollector
 from ..core.catalog import Catalog
 from ..core.schema import TableDefinition
 from ..errors import (
@@ -63,6 +65,9 @@ class Cluster:
         wos_capacity: int = 65536,
         merge_policy: MergePolicy | None = None,
         journal: "Journal | None" = None,
+        dc_persist: bool = False,
+        dc_fresh: bool = False,
+        dc_retention=None,
     ):
         if k_safety >= node_count and node_count > 1:
             raise KSafetyError(
@@ -97,14 +102,48 @@ class Cluster:
         #: (heartbeats, recovery backoff) — never the wall clock, so
         #: chaos runs stay seed-reproducible (replint R8 enforces it).
         self.clock = SimulatedClock()
+        #: The Data Collector: every operationally interesting event
+        #: (requests, admissions, lock waits, node events, tuple-mover
+        #: cycles, errors) lands in its retention-bounded rings, served
+        #: back by the ``v_monitor.dc_*`` tables.  Persistence is on for
+        #: durable databases so history survives ``Database.open()``.
+        self.dc = DataCollector(
+            os.path.join(root, "dc"),
+            clock=self.clock,
+            persist=dc_persist,
+            fresh=dc_fresh,
+            retention=dc_retention,
+        )
+        # the lower layers emit through duck-typed ``collector``
+        # attributes so txn/tuple_mover never import repro.dc.
+        self.locks.collector = self.dc
+        self.membership.collector = self.dc
+        for node in self.nodes:
+            node.mover.collector = self.dc
         #: Availability incident log served by
-        #: ``v_monitor.failover_events``.
-        self.failover_log = FailoverLog()
+        #: ``v_monitor.failover_events``; every recorded incident is
+        #: mirrored into the collector's ``node_events`` component.
+        self.failover_log = FailoverLog(sink=self._dc_failover_event)
         from .supervisor import ClusterSupervisor
 
         #: The auto-recovery supervisor; :meth:`ClusterSupervisor.tick`
         #: detects failures and drives down nodes back to currency.
         self.supervisor = ClusterSupervisor(self)
+
+    def _dc_failover_event(self, event) -> None:
+        """FailoverLog sink: mirror availability incidents into the
+        Data Collector and flush — node deaths and recovery transitions
+        are rare and precious, so they go durable immediately."""
+        name = f"node{event.node_index:02d}" if event.node_index >= 0 else "-"
+        self.dc.record(
+            "node_events",
+            event.kind,
+            node_index=event.node_index,
+            node_name=name,
+            attempt=event.attempt,
+            detail=event.detail,
+        )
+        self.dc.flush()
 
     # -- DDL ---------------------------------------------------------------
 
@@ -577,9 +616,18 @@ class Cluster:
             for copy in family.all_copies:
                 manager.register_projection(copy, table)
         report = manager.scavenge()
+        for quarantined in report.quarantined:
+            self.dc.record(
+                "errors",
+                "quarantined_container",
+                source="scavenge",
+                node_index=node_index,
+                detail=f"{quarantined.projection}: {quarantined.reason}",
+            )
         self.nodes[node_index] = ClusterNode(
             index=node_index, manager=manager, merge_policy=old.merge_policy
         )
+        self.nodes[node_index].mover.collector = self.dc
         return report
 
     def scrub(self, repair: bool = True):
@@ -642,6 +690,9 @@ class Cluster:
                     # stays behind, so recovery replays the lost tail.
                     self._node_crashed(node_index, "crashed in tuple mover")
             self._advance_durable_floor()
+            # mover cycles are the natural batching boundary for the
+            # collector's own durability.
+            self.dc.flush()
         finally:
             TRACER.end_trace(trace)
 
@@ -666,6 +717,14 @@ class Cluster:
                 current_epoch=self.epochs.current_epoch,
                 ahm=self.epochs.ahm,
                 catalog=encode_catalog(self.catalog),
+            )
+            self.dc.record(
+                "node_events",
+                "journal_checkpoint",
+                node_index=-1,
+                node_name="-",
+                attempt=0,
+                detail=f"floor={floor} epoch={self.epochs.current_epoch}",
             )
 
     # -- introspection -----------------------------------------------------------

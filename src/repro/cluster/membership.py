@@ -50,6 +50,9 @@ class Membership:
     last_heartbeat: dict[int, int] = field(default_factory=dict)
     #: Consecutive missed heartbeat ticks per node (reset on receipt).
     missed_heartbeats: dict[int, int] = field(default_factory=dict)
+    #: Optional Data Collector (duck-typed); the cluster points this at
+    #: its collector so heartbeat misses land in ``dc_node_events``.
+    collector: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if not self.up:
@@ -111,6 +114,15 @@ class Membership:
             if verdict in ("drop", "delay"):
                 missed = self.missed_heartbeats.get(node, 0) + 1
                 self.missed_heartbeats[node] = missed
+                if self.collector is not None:
+                    self.collector.record(
+                        "node_events",
+                        "heartbeat_miss",
+                        node_index=node,
+                        node_name=f"node{node:02d}",
+                        attempt=missed,
+                        detail=f"verdict={verdict} missed={missed}",
+                    )
                 if missed >= self.heartbeat_timeout:
                     reason = (
                         f"missed {missed} consecutive heartbeats "

@@ -126,6 +126,9 @@ class ClusterSupervisor:
         self._reconcile_membership(now)
         self._drive_recovery(now)
         self._update_degraded_modes(now)
+        # clock advanced: let the Data Collector age out expired history
+        # at a deterministic point in the tick.
+        self.cluster.dc.on_tick()
         METRICS.inc("supervisor.ticks")
         return now
 

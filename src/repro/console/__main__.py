@@ -1,0 +1,10 @@
+"""CLI entry point: ``python -m repro.console --db PATH [--snapshot]``."""
+
+from __future__ import annotations
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,10 @@ class Database:
             wos_capacity=wos_capacity,
             merge_policy=merge_policy,
             workload_policy=workload_policy,
+            # operational history persists with the data; a fresh
+            # database wipes any stale collector segments at its path.
+            dc_persist=durable,
+            dc_fresh=True,
         )
         if durable:
             self.cluster.journal = Journal.create(
@@ -126,6 +130,10 @@ class Database:
             wos_capacity=genesis["wos_capacity"],
             merge_policy=merge_policy,
             workload_policy=workload_policy,
+            # cold start: recover the Data Collector's segments so
+            # dc_* history spans the pre-restart incarnation.
+            dc_persist=True,
+            dc_fresh=False,
         )
         db.replay_report = replay_journal(db.cluster, journal)
         db.cluster.journal = journal
@@ -142,6 +150,8 @@ class Database:
         wos_capacity: int,
         merge_policy: MergePolicy | None,
         workload_policy: WorkloadPolicy | None,
+        dc_persist: bool = False,
+        dc_fresh: bool = False,
     ) -> None:
         #: Resource-management policy applied to every query (section 7
         #: "Resource Management"); operators spill to disk rather than
@@ -154,6 +164,8 @@ class Database:
             segments_per_node=segments_per_node,
             wos_capacity=wos_capacity,
             merge_policy=merge_policy,
+            dc_persist=dc_persist,
+            dc_fresh=dc_fresh,
         )
         #: Cold-start summary (:class:`repro.durability.ColdStartReport`)
         #: when this database came up through :meth:`open`; else None.
@@ -173,6 +185,12 @@ class Database:
         #: a service wraps this database; the ``v_monitor.sessions`` /
         #: ``resource_pools`` producers read it (None = no service).
         self.service = None
+        #: The health/alert engine behind ``v_monitor.alerts`` and the
+        #: ``v_monitor.slow_queries`` threshold (lazy import: repro.dc
+        #: sits above the cluster in the import graph).
+        from ..dc import HealthMonitor
+
+        self.health = HealthMonitor(self)
         # traces stamp spans with this cluster's simulated clock; the
         # last-constructed Database wins, matching METRICS' process-wide
         # registry semantics.

@@ -1,0 +1,474 @@
+"""The Data Collector: durable, retention-bounded operational history.
+
+Vertica's Data Collector records every operationally interesting event
+— statement completions, resource acquisitions, lock waits, node
+up/down transitions, tuple-mover cycles, errors — into per-component
+ring buffers that are periodically persisted, then serves them back as
+ordinary ``dc_*`` SQL tables.  This module is that subsystem for the
+reproduction.
+
+Every event flows through one :meth:`DataCollector.record` call into a
+per-component ring bounded by a :class:`RetentionPolicy` (record count
+plus optional simulated-clock tick age).  When persistence is enabled
+the collector mirrors its rings to disk in CRC-framed segment files
+under ``<database>/dc/`` using the same stage/publish + torn-tail
+truncation protocol as the write-ahead journal
+(:mod:`repro.durability.journal`), so operational history survives
+``Database.open()`` cold starts:
+
+* one line per record, framed ``<crc32 hex, 8 chars> <canonical
+  JSON>\\n``;
+* flushes rewrite the component's active segment to a ``.tmp`` sibling
+  and publish it with a single atomic ``os.replace``
+  (:mod:`repro.storage.fsio`), with fault points ``dc.flush.stage`` /
+  ``dc.flush.publish`` for the kill-mid-flush chaos checks;
+* at recovery, a damaged line truncates the segment to its valid
+  prefix and discards later segments of that component — history
+  recovers to a valid prefix, never a torn middle;
+* segments rotate at ``segment_records`` records and old sealed
+  segments past the retention cap are pruned.
+
+Flushes are batched (every ``flush_interval`` records by default, plus
+explicit :meth:`flush` calls at cluster maintenance points) so the
+per-statement cost stays a dict append under one mutex —
+``benchmarks/bench_dc_overhead.py`` keeps the collector under a 10%
+statement-throughput tax.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .. import faults
+from ..lint.concur.runtime import TrackedLock
+from ..monitor.registry import METRICS
+from ..monitor.retention import DEFAULT_RETENTION, RetentionPolicy
+from ..storage import fsio
+
+#: Component names (= ring buffers = on-disk segment families = the
+#: ``v_monitor.dc_*`` tables built on top).
+COMPONENTS = (
+    "requests",
+    "resource_acquisitions",
+    "lock_waits",
+    "node_events",
+    "tuple_mover",
+    "errors",
+)
+
+#: Records buffered across all components before an automatic flush.
+DEFAULT_FLUSH_INTERVAL = 16
+#: Records per on-disk segment before the component rotates files.
+DEFAULT_SEGMENT_RECORDS = 128
+
+SEGMENT_SUFFIX = ".log"
+
+
+@dataclass(frozen=True)
+class DCRecord:
+    """One Data Collector event."""
+
+    #: Per-component monotonically increasing id (dense from 1 within
+    #: one database incarnation; recovery continues the sequence).
+    record_id: int
+    #: Simulated-clock tick the event was recorded at.
+    tick: int
+    #: Component-specific event kind (e.g. ``granted``, ``moveout``).
+    kind: str
+    #: Event fields; JSON-serializable values only.
+    payload: dict
+
+    def row(self) -> dict:
+        """The record flattened for the ``dc_*`` table producers."""
+        return {"record_id": self.record_id, "tick": self.tick,
+                "kind": self.kind, **self.payload}
+
+
+@dataclass
+class _Ring:
+    """One component's in-memory ring plus its persistence bookkeeping.
+
+    All fields are owned by the enclosing collector and guarded by its
+    mutex; the dataclass only groups them per component.
+    """
+
+    component: str
+    records: list[DCRecord] = field(default_factory=list)
+    next_id: int = 1
+    #: Records appended since the component's last flush.
+    pending: list[DCRecord] = field(default_factory=list)
+    #: Index of the segment new frames are appended to.
+    active_index: int = 1
+    #: Framed lines of the active segment (full-file rewrite on flush).
+    active_lines: list[str] = field(default_factory=list)
+    #: segment index -> record count, for sealed-segment pruning.
+    segment_records: dict[int, int] = field(default_factory=dict)
+
+
+def _frame(body: dict) -> str:
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return f"{fsio.crc32(text.encode('utf-8')):08x} {text}\n"
+
+
+def _parse_line(raw: bytes) -> dict | None:
+    """Decode one framed line; ``None`` if torn or corrupted."""
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    if not text.endswith("\n"):
+        return None  # torn mid-record
+    if len(text) < 10 or text[8] != " ":
+        return None
+    crc_hex, body_text = text[:8], text[9:-1]
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if fsio.crc32(body_text.encode("utf-8")) != expected:
+        return None
+    try:
+        body = json.loads(body_text)
+    except ValueError:
+        return None
+    if not isinstance(body, dict) or "id" not in body or "kind" not in body:
+        return None
+    return body
+
+
+class DataCollector:
+    """Retention-bounded operational event rings with durable segments.
+
+    One instance per :class:`repro.cluster.Cluster`; the cluster, the
+    lock manager, the resource governor, the tuple movers and the SQL
+    front end all feed it (duck-typed ``collector`` attributes, so the
+    lower layers never import this package).  ``persist=False`` keeps
+    everything in memory (throwaway/test clusters); ``fresh=True``
+    wipes any previous incarnation's segments; ``persist=True,
+    fresh=False`` recovers history from disk — the ``Database.open()``
+    cold-start path.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        clock=None,
+        persist: bool = False,
+        fresh: bool = False,
+        retention: RetentionPolicy | None = None,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        enabled: bool | None = None,
+    ):
+        self.directory = directory
+        self.clock = clock
+        self.persist = persist
+        self.retention = retention or DEFAULT_RETENTION
+        self.flush_interval = max(flush_interval, 1)
+        self.segment_records = max(segment_records, 1)
+        if enabled is None:
+            enabled = os.environ.get("REPRO_DC_DISABLE", "") not in ("1", "true")
+        #: Kill switch: a disabled collector's record() is a no-op
+        #: (``REPRO_DC_DISABLE=1``, or the overhead bench's off leg).
+        self.enabled = enabled
+        self._lock = TrackedLock("DataCollector._lock")
+        # concurrency: guarded-by(self._lock) — per-component rings and
+        # the cross-component pending-record counter.
+        self._rings: dict[str, _Ring] = {
+            name: _Ring(name) for name in COMPONENTS
+        }
+        self._dirty = 0  # concurrency: guarded-by(self._lock)
+        if fresh:
+            self._wipe()
+        elif persist:
+            self._recover()
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, component: str, kind: str, **payload) -> DCRecord | None:
+        """Append one event to ``component``'s ring.
+
+        Stamps the current simulated-clock tick, evicts past retention,
+        and (when persisting) batches the record for the next flush.
+        Returns ``None`` when the collector is disabled.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            ring = self._rings[component]
+            tick = self.clock.now if self.clock is not None else 0
+            record = DCRecord(ring.next_id, tick, kind, payload)
+            ring.next_id += 1
+            ring.records.append(record)
+            self._evict_ring(ring, tick)
+            METRICS.inc("dc.records")
+            if self.persist:
+                ring.pending.append(record)
+                self._dirty += 1
+                if self._dirty >= self.flush_interval:
+                    self._flush_locked()
+            return record
+
+    def on_tick(self) -> None:
+        """Clock-advance hook: age out expired records everywhere.
+
+        Called by :meth:`repro.cluster.supervisor.ClusterSupervisor.tick`
+        after it advances the simulated clock, so age-based eviction is
+        tick-driven and deterministic.
+        """
+        if not self.enabled or self.clock is None:
+            return
+        if self.retention.max_age_ticks is None:
+            return
+        with self._lock:
+            now = self.clock.now
+            for ring in self._rings.values():
+                self._evict_ring(ring, now)
+
+    def _evict_ring(self, ring: _Ring, now: int) -> None:
+        """Apply both retention bounds to one ring (caller holds lock)."""
+        evicted = 0
+        over = len(ring.records) - self.retention.max_records
+        if over > 0:
+            del ring.records[:over]
+            evicted += over
+        while ring.records and self.retention.expired(
+            ring.records[0].tick, now
+        ):
+            del ring.records[0]
+            evicted += 1
+        if evicted:
+            METRICS.inc("dc.records_evicted", evicted)
+
+    # -- reads ----------------------------------------------------------
+
+    def rows(self, component: str) -> list[dict]:
+        """Snapshot of one component's retained records as table rows,
+        oldest first.  Each row is a fresh dict — readers can never
+        observe a record mid-mutation (records are frozen) or tear the
+        list (copied under the mutex)."""
+        with self._lock:
+            return [record.row() for record in self._rings[component].records]
+
+    def counts(self) -> dict[str, int]:
+        """Retained record count per component (tests, console)."""
+        with self._lock:
+            return {
+                name: len(ring.records)
+                for name, ring in sorted(self._rings.items())
+            }
+
+    def reset(self) -> None:
+        """Drop all in-memory records (ids keep increasing; the disk
+        segments are untouched)."""
+        with self._lock:
+            for ring in self._rings.values():
+                ring.records.clear()
+                ring.pending.clear()
+
+    # -- persistence ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every pending record to its component's segments."""
+        if not (self.enabled and self.persist):
+            return
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        self._dirty = 0
+        for name in COMPONENTS:
+            ring = self._rings[name]
+            if not ring.pending:
+                continue
+            touched: list[int] = []
+            for record in ring.pending:
+                if len(ring.active_lines) >= self.segment_records:
+                    ring.active_index += 1
+                    ring.active_lines = []
+                ring.active_lines.append(
+                    _frame(
+                        {
+                            "id": record.record_id,
+                            "tick": record.tick,
+                            "kind": record.kind,
+                            "payload": record.payload,
+                        }
+                    )
+                )
+                ring.segment_records[ring.active_index] = len(
+                    ring.active_lines
+                )
+                if ring.active_index not in touched:
+                    touched.append(ring.active_index)
+            ring.pending = []
+            for index in touched:
+                lines = (
+                    ring.active_lines
+                    if index == ring.active_index
+                    else None
+                )
+                self._write_segment(ring, index, lines)
+            self._prune_segments(ring)
+            METRICS.inc("dc.flushes")
+
+    def _write_segment(
+        self, ring: _Ring, index: int, lines: list[str] | None
+    ) -> None:
+        """Publish one segment file via stage + atomic rename.
+
+        ``lines=None`` means the segment was sealed mid-flush: its full
+        contents were already framed into ``active_lines`` before the
+        rotation, so it was written as the then-active segment — only
+        the currently active segment is rewritten here.
+        """
+        if lines is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        final = self._segment_path(ring.component, index)
+        data = "".join(lines).encode("utf-8")
+        tmp = fsio.stage_file(final)
+        fsio.write_bytes(tmp, data)
+        faults.inject("dc.flush.stage", files=[tmp])
+        fsio.publish_file(tmp, final)
+        METRICS.inc("dc.bytes_written", len(data))
+        faults.inject("dc.flush.publish", files=[final])
+
+    def _prune_segments(self, ring: _Ring) -> None:
+        """Drop the oldest sealed segments once the sealed-record total
+        exceeds the retention cap (the active segment never goes)."""
+        while True:
+            sealed = sorted(
+                index
+                for index in ring.segment_records
+                if index != ring.active_index
+            )
+            total = sum(ring.segment_records[index] for index in sealed)
+            if not sealed or total <= self.retention.max_records:
+                return
+            victim = sealed[0]
+            path = self._segment_path(ring.component, victim)
+            if os.path.exists(path):
+                os.remove(path)
+            del ring.segment_records[victim]
+            METRICS.inc("dc.segments_pruned")
+
+    # -- cold-start recovery --------------------------------------------
+
+    def _recover(self) -> None:
+        """Load every component's valid segment prefix from disk.
+
+        Mirrors the journal's replay: a damaged line truncates its
+        segment to the valid prefix on disk and discards later segments
+        of that component; stray ``.tmp`` stages from a crashed flush
+        are removed.  Recovered records re-enter the rings (retention
+        applies) and each ring's id sequence continues past the newest
+        recovered id.
+        """
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
+        recovered_total = 0
+        truncated_total = 0
+        for component in COMPONENTS:
+            ring = self._rings[component]
+            indexes = self._segment_indexes(component)
+            damaged_at: int | None = None
+            for position, index in enumerate(indexes):
+                path = self._segment_path(component, index)
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+                valid_bytes = 0
+                count = 0
+                damaged = False
+                offset = 0
+                while offset < len(raw):
+                    newline = raw.find(b"\n", offset)
+                    if newline < 0:
+                        truncated_total += 1
+                        damaged = True
+                        break
+                    line = raw[offset : newline + 1]
+                    body = _parse_line(line)
+                    if body is None:
+                        truncated_total += 1 + raw[newline + 1 :].count(b"\n")
+                        damaged = True
+                        break
+                    ring.records.append(
+                        DCRecord(
+                            body["id"],
+                            body.get("tick", 0),
+                            body["kind"],
+                            body.get("payload", {}),
+                        )
+                    )
+                    ring.active_lines = (
+                        ring.active_lines if count else []
+                    )
+                    count += 1
+                    valid_bytes += len(line)
+                    offset = newline + 1
+                if count:
+                    ring.segment_records[index] = count
+                    ring.active_index = index
+                    recovered_total += count
+                if damaged:
+                    os.truncate(path, valid_bytes)
+                    if count == 0:
+                        os.remove(path)
+                        ring.segment_records.pop(index, None)
+                    damaged_at = position
+                    break
+            if damaged_at is not None:
+                for index in indexes[damaged_at + 1 :]:
+                    path = self._segment_path(component, index)
+                    with open(path, "rb") as handle:
+                        truncated_total += handle.read().count(b"\n")
+                    os.remove(path)
+                    ring.segment_records.pop(index, None)
+            if ring.records:
+                ring.next_id = max(r.record_id for r in ring.records) + 1
+                # the surviving tail segment becomes the active one; its
+                # frames must be reloaded so the next flush's full-file
+                # rewrite preserves them.
+                ring.active_lines = []
+                tail = self._segment_path(component, ring.active_index)
+                if os.path.exists(tail):
+                    with open(tail, "rb") as handle:
+                        for line in handle.read().splitlines(keepends=True):
+                            ring.active_lines.append(line.decode("utf-8"))
+                now = self.clock.now if self.clock is not None else 0
+                self._evict_ring(ring, now)
+        METRICS.inc("dc.recovered_records", recovered_total)
+        METRICS.inc("dc.truncated_records", truncated_total)
+
+    def _wipe(self) -> None:
+        """Remove any previous incarnation's segments (fresh database)."""
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.endswith((SEGMENT_SUFFIX, ".tmp")):
+                os.remove(os.path.join(self.directory, name))
+
+    def _segment_path(self, component: str, index: int) -> str:
+        return os.path.join(
+            self.directory, f"{component}_{index:06d}{SEGMENT_SUFFIX}"
+        )
+
+    def _segment_indexes(self, component: str) -> list[int]:
+        if not os.path.isdir(self.directory):
+            return []
+        prefix = f"{component}_"
+        found = []
+        for name in os.listdir(self.directory):
+            if not (name.startswith(prefix) and name.endswith(SEGMENT_SUFFIX)):
+                continue
+            stem = name[len(prefix) : -len(SEGMENT_SUFFIX)]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)

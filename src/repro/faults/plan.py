@@ -170,6 +170,18 @@ register_point(
     "container is staged (crash here loses the drained rows unless "
     "the journal can replay their commits)",
 )
+register_point(
+    "dc.flush.stage", "storage-tmp",
+    "after a Data Collector segment's contents are staged to its .tmp "
+    "sibling, before the publishing rename (the flushed records are "
+    "reported but not yet durable; recovery keeps the prior segment)",
+)
+register_point(
+    "dc.flush.publish", "storage-published",
+    "after the rename that publishes a Data Collector segment flush "
+    "(records durable; a torn write here must truncate recovery to "
+    "the segment's valid prefix)",
+)
 
 
 @dataclass

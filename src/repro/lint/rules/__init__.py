@@ -18,6 +18,7 @@ from . import wallclock  # noqa: F401  R8
 from . import concurrency  # noqa: F401  R9, R10
 from . import service  # noqa: F401  R11
 from . import journal_io  # noqa: F401  R12
+from . import dc_routing  # noqa: F401  R13
 
 __all__ = [
     "operators",
@@ -31,4 +32,5 @@ __all__ = [
     "concurrency",
     "service",
     "journal_io",
+    "dc_routing",
 ]

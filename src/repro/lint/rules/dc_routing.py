@@ -1,0 +1,84 @@
+"""R13: operational events route through the Data Collector.
+
+Vertica's rule for its Data Collector was that *every* operationally
+interesting event lands in a DC table — not in a scattered zoo of
+printfs, ad-hoc log files and per-subsystem counters that each need
+their own reader.  The reproduction adopts the same discipline for the
+packages on the query/cluster path (``service/``, ``cluster/``,
+``tuple_mover/``): an event worth telling an operator about goes
+through :meth:`repro.dc.DataCollector.record` (history; queryable as
+``v_monitor.dc_*``) or :data:`repro.monitor.METRICS` (aggregates;
+queryable as ``v_monitor.metrics``).
+
+Concretely this rule forbids, in those packages:
+
+* ``print(...)`` — invisible to SQL, lost on process exit;
+* any ``logging`` usage (``logging.getLogger``, ``logging.info``,
+  ``logger.warning`` chains rooted at a ``getLogger`` import);
+* writing to ``sys.stdout`` / ``sys.stderr`` directly.
+
+Test code is exempt, as is the console front end (whose whole job is
+writing to stdout).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, Project, attribute_chain, register_checker
+
+#: Package path fragments where ad-hoc output is forbidden.
+_PROTECTED = ("repro/service/", "repro/cluster/", "repro/tuple_mover/")
+
+_ADVICE = (
+    "; record operational events through DataCollector.record() "
+    "(v_monitor.dc_* tables) or METRICS (v_monitor.metrics) instead"
+)
+
+
+def _violation(node: ast.Call) -> str | None:
+    """The reason string if this call is ad-hoc operational output."""
+    chain = attribute_chain(node.func)
+    if not chain:
+        return None
+    if chain == ["print"]:
+        return "print() on the query/cluster path"
+    if chain[0] == "logging":
+        return f"logging via {'.'.join(chain)}()"
+    if chain[-1] == "getLogger":
+        return f"logger creation via {'.'.join(chain)}()"
+    if (
+        len(chain) >= 3
+        and chain[0] == "sys"
+        and chain[1] in ("stdout", "stderr")
+        and chain[2] == "write"
+    ):
+        return f"direct sys.{chain[1]}.write()"
+    return None
+
+
+@register_checker
+class DcRoutingChecker(Checker):
+    """R13: no ad-hoc print/logging in service/, cluster/, tuple_mover/."""
+
+    rule = "R13"
+    title = (
+        "operational events in service/, cluster/ and tuple_mover/ must "
+        "flow through the Data Collector or the metrics registry — no "
+        "ad-hoc print()/logging on the query path"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.is_test_code():
+                continue
+            if not any(part in module.norm_path for part in _PROTECTED):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _violation(node)
+                if reason is None:
+                    continue
+                yield self.finding(module, node.lineno, reason + _ADVICE)

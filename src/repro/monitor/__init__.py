@@ -31,8 +31,11 @@ from .registry import (
     MetricsRegistry,
     counter_delta,
 )
+from .retention import DEFAULT_RETENTION, RetentionPolicy
 
 __all__ = [
+    "DEFAULT_RETENTION",
+    "RetentionPolicy",
     "CounterCapture",
     "EVENTS",
     "EventLog",

@@ -19,8 +19,10 @@ availability histories must not interleave.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..lint.concur.runtime import TrackedLock
+from .retention import RetentionPolicy
 
 #: Events retained before the oldest are evicted.
 EVENT_CAPACITY = 1024
@@ -53,8 +55,15 @@ class EventLog:
     owned by the cluster's own machinery and needs none.)
     """
 
-    def __init__(self, capacity: int = EVENT_CAPACITY):
-        self._capacity = capacity
+    def __init__(
+        self,
+        capacity: int = EVENT_CAPACITY,
+        retention: RetentionPolicy | None = None,
+    ):
+        # ``retention`` is the shared knob shape; ``capacity`` kept for
+        # compatibility.  Tuple-mover events carry no clock tick, so
+        # only the record-count bound applies.
+        self._capacity = retention.max_records if retention else capacity
         self._lock = TrackedLock("EventLog._lock")
         self._events: list[TupleMoverEvent] = []  # concurrency: guarded-by(self._lock)
         self._next_id = 1  # concurrency: guarded-by(self._lock)
@@ -129,10 +138,22 @@ class FailoverEvent:
 
 
 class FailoverLog:
-    """Bounded FIFO of :class:`FailoverEvent` records, per cluster."""
+    """Bounded FIFO of :class:`FailoverEvent` records, per cluster.
 
-    def __init__(self, capacity: int = EVENT_CAPACITY):
-        self._capacity = capacity
+    ``sink``, when given, is called with every recorded event — the
+    cluster uses it to mirror availability incidents into the Data
+    Collector's ``node_events`` component without touching any of the
+    record sites.
+    """
+
+    def __init__(
+        self,
+        capacity: int = EVENT_CAPACITY,
+        retention: RetentionPolicy | None = None,
+        sink: "Callable[[FailoverEvent], None] | None" = None,
+    ):
+        self._capacity = retention.max_records if retention else capacity
+        self._sink = sink
         self._events: list[FailoverEvent] = []
         self._next_id = 1
 
@@ -157,6 +178,8 @@ class FailoverLog:
         self._events.append(event)
         if len(self._events) > self._capacity:
             del self._events[0]
+        if self._sink is not None:
+            self._sink(event)
         return event
 
     def events(self, kind: str | None = None) -> list[FailoverEvent]:

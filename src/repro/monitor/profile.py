@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from ..lint.concur.runtime import RACES, TrackedLock
+from .retention import RetentionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..execution.operators.base import Operator
@@ -89,8 +90,14 @@ class ProfileLog:
     allocation and the append/evict pair run under an internal mutex.
     """
 
-    def __init__(self, capacity: int = PROFILE_CAPACITY):
-        self._capacity = capacity
+    def __init__(
+        self,
+        capacity: int = PROFILE_CAPACITY,
+        retention: RetentionPolicy | None = None,
+    ):
+        # ``retention`` carries the shared bounded-history knob shape;
+        # profiles have no clock tick, so only the count bound applies.
+        self._capacity = retention.max_records if retention else capacity
         self._lock = TrackedLock("ProfileLog._lock")
         self._profiles: list[QueryProfile] = []  # concurrency: guarded-by(self._lock)
         self._next_id = 1  # concurrency: guarded-by(self._lock)

@@ -2,7 +2,7 @@
 
 Vertica ships its monitoring as ordinary tables in the ``v_monitor``
 schema so operators can use plain SQL against them.  This module does
-the same for the reproduction's twelve tables:
+the same for the reproduction's tables:
 
 * ``v_monitor.query_profiles`` — one row per operator per profiled
   query (the tabular twin of ``EXPLAIN ANALYZE``);
@@ -33,7 +33,17 @@ the same for the reproduction's twelve tables:
 * ``v_monitor.journal`` — one row per on-disk write-ahead journal
   segment (record/byte counts, LSN range, active flag) plus the
   durable floor and newest checkpoint LSN; empty when the database
-  was opened with ``durable=False``.
+  was opened with ``durable=False``;
+* the Data Collector tables — ``dc_requests_completed``,
+  ``dc_resource_acquisitions``, ``dc_lock_waits``, ``dc_node_events``,
+  ``dc_tuple_mover``, ``dc_errors`` — serving
+  :class:`repro.dc.DataCollector`'s retention-bounded (and, for
+  durable databases, crash-recoverable) operational history;
+* ``v_monitor.slow_queries`` — the requests history filtered to
+  statements at or above ``db.health.config.slow_query_ms``;
+* ``v_monitor.alerts`` — the health engine's rules
+  (:class:`repro.dc.HealthMonitor`), re-evaluated on every read, one
+  row per rule with its firing state and raise/clear history.
 
 Virtual tables never reach the optimizer or the distributed executor:
 their rows are tiny, in-memory and node-local, so
@@ -203,6 +213,96 @@ _COLUMNS = {
         "is_active",
         "checkpoint_lsn",
         "floor_epoch",
+    ],
+    "dc_requests_completed": [
+        "record_id",
+        "tick",
+        "statement",
+        "session_id",
+        "pool_name",
+        "sql",
+        "success",
+        "error",
+        "engine",
+        "rows_returned",
+        "duration_ms",
+        "epoch",
+    ],
+    "dc_resource_acquisitions": [
+        "record_id",
+        "tick",
+        "outcome",
+        "pool_name",
+        "session_id",
+        "ticket_id",
+        "memory_rows",
+        "queued_ticks",
+        "detail",
+    ],
+    "dc_lock_waits": [
+        "record_id",
+        "tick",
+        "outcome",
+        "txn_id",
+        "object_name",
+        "mode",
+        "blocker_txn",
+        "detail",
+    ],
+    "dc_node_events": [
+        "record_id",
+        "tick",
+        "kind",
+        "node_index",
+        "node_name",
+        "attempt",
+        "detail",
+    ],
+    "dc_tuple_mover": [
+        "record_id",
+        "tick",
+        "kind",
+        "node_index",
+        "projection_name",
+        "containers_in",
+        "containers_out",
+        "rows_in",
+        "rows_out",
+        "rows_purged",
+        "stratum",
+        "duration_ms",
+    ],
+    "dc_errors": [
+        "record_id",
+        "tick",
+        "kind",
+        "source",
+        "node_index",
+        "detail",
+    ],
+    "slow_queries": [
+        "record_id",
+        "tick",
+        "statement",
+        "session_id",
+        "pool_name",
+        "sql",
+        "engine",
+        "rows_returned",
+        "duration_ms",
+        "threshold_ms",
+    ],
+    "alerts": [
+        "alert",
+        "severity",
+        "state",
+        "value",
+        "raise_above",
+        "clear_below",
+        "raised_tick",
+        "cleared_tick",
+        "times_raised",
+        "detail",
     ],
 }
 
@@ -468,6 +568,84 @@ def _journal_rows(db) -> list[dict]:
     return journal.monitor_rows()
 
 
+# column name -> dc record key, where they differ: the collector
+# stores each record's event kind under "kind"; the tables surface it
+# under a table-specific name ("statement", "outcome").
+_DC_RENAMES = {"statement": "kind", "outcome": "kind"}
+
+
+def _dc_component_rows(db, component: str, table: str) -> list[dict]:
+    """Project one collector component onto its dc_* table columns."""
+    collector = getattr(db.cluster, "dc", None)
+    if collector is None:
+        return []
+    columns = _COLUMNS[table]
+    rows = []
+    for record in collector.rows(component):
+        rows.append(
+            {
+                column: record.get(_DC_RENAMES.get(column, column))
+                for column in columns
+            }
+        )
+    return rows
+
+
+def _dc_requests_rows(db) -> list[dict]:
+    return _dc_component_rows(db, "requests", "dc_requests_completed")
+
+
+def _dc_resource_acquisitions_rows(db) -> list[dict]:
+    return _dc_component_rows(
+        db, "resource_acquisitions", "dc_resource_acquisitions"
+    )
+
+
+def _dc_lock_waits_rows(db) -> list[dict]:
+    return _dc_component_rows(db, "lock_waits", "dc_lock_waits")
+
+
+def _dc_node_events_rows(db) -> list[dict]:
+    return _dc_component_rows(db, "node_events", "dc_node_events")
+
+
+def _dc_tuple_mover_rows(db) -> list[dict]:
+    return _dc_component_rows(db, "tuple_mover", "dc_tuple_mover")
+
+
+def _dc_errors_rows(db) -> list[dict]:
+    return _dc_component_rows(db, "errors", "dc_errors")
+
+
+def _slow_queries_rows(db) -> list[dict]:
+    """Completed requests at or above the configured threshold."""
+    health = getattr(db, "health", None)
+    if health is None:
+        return []
+    threshold = health.config.slow_query_ms
+    rows = []
+    for record in _dc_requests_rows(db):
+        duration = record.get("duration_ms") or 0.0
+        if duration < threshold:
+            continue
+        row = {
+            column: record.get(column)
+            for column in _COLUMNS["slow_queries"]
+        }
+        row["threshold_ms"] = threshold
+        rows.append(row)
+    return rows
+
+
+def _alerts_rows(db) -> list[dict]:
+    """Health rules, re-evaluated so a read is always current."""
+    health = getattr(db, "health", None)
+    if health is None:
+        return []
+    health.evaluate()
+    return health.rows()
+
+
 _PRODUCERS = {
     "query_profiles": _query_profiles_rows,
     "projection_storage": _projection_storage_rows,
@@ -481,6 +659,14 @@ _PRODUCERS = {
     "query_traces": _query_traces_rows,
     "trace_spans": _trace_spans_rows,
     "journal": _journal_rows,
+    "dc_requests_completed": _dc_requests_rows,
+    "dc_resource_acquisitions": _dc_resource_acquisitions_rows,
+    "dc_lock_waits": _dc_lock_waits_rows,
+    "dc_node_events": _dc_node_events_rows,
+    "dc_tuple_mover": _dc_tuple_mover_rows,
+    "dc_errors": _dc_errors_rows,
+    "slow_queries": _slow_queries_rows,
+    "alerts": _alerts_rows,
 }
 
 

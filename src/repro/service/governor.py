@@ -160,8 +160,28 @@ class ResourceGovernor:
         self._cond = threading.Condition()
         self._pools: dict[str, _PoolState] = {}  # concurrency: guarded-by(self._cond)
         self._next_ticket = 1  # concurrency: guarded-by(self._cond)
+        #: Optional Data Collector (duck-typed; set by the SQL
+        #: service).  Every admission outcome lands in
+        #: ``dc_resource_acquisitions``.  The collector's internal
+        #: mutex nests strictly inside ``self._cond``.
+        self.collector = None
         for config in pools or [PoolConfig("general")]:
             self._pools[config.name] = _PoolState(config)
+
+    def _dc_record(self, outcome: str, ticket: AdmissionTicket) -> None:
+        """Mirror one admission outcome into the collector."""
+        if self.collector is None:
+            return
+        self.collector.record(
+            "resource_acquisitions",
+            outcome,
+            pool_name=ticket.pool,
+            session_id=ticket.session_id,
+            ticket_id=ticket.ticket_id,
+            memory_rows=ticket.memory_rows,
+            queued_ticks=ticket.queued_ticks,
+            detail=ticket.detail,
+        )
 
     # -- configuration ---------------------------------------------------
 
@@ -229,6 +249,7 @@ class ResourceGovernor:
                 pool.queue.append(ticket)
                 pool.queued_total += 1
                 METRICS.inc("service.admission_queued")
+                self._dc_record(QUEUED, ticket)
             else:
                 ticket.state = REJECTED
                 ticket.detail = (
@@ -238,6 +259,7 @@ class ResourceGovernor:
                 )
                 pool.rejected_total += 1
                 METRICS.inc("service.admission_rejected")
+                self._dc_record(REJECTED, ticket)
             return ticket
 
     def admit(
@@ -335,6 +357,7 @@ class ResourceGovernor:
         pool.admitted_total += 1
         pool.peak_running = max(pool.peak_running, len(pool.running))
         METRICS.inc("service.admitted")
+        self._dc_record(GRANTED, ticket)
 
     def _pump(self, pool: _PoolState) -> None:
         """Promote queued tickets FIFO while the head fits.  Strict
@@ -358,6 +381,7 @@ class ResourceGovernor:
                 )
                 pool.timed_out_total += 1
                 METRICS.inc("service.admission_timeouts")
+                self._dc_record(TIMED_OUT, ticket)
             if expired:
                 self._pump(pool)
 
@@ -373,6 +397,7 @@ class ResourceGovernor:
         if state == CANCELLED:
             pool.cancelled_total += 1
             METRICS.inc("service.admission_cancelled")
+        self._dc_record(state, ticket)
 
     # -- observability ----------------------------------------------------
 

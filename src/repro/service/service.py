@@ -55,6 +55,8 @@ class SqlService:
         self.db = db
         self.clock = db.cluster.clock
         self.governor = ResourceGovernor(self.clock, pools)
+        # admission outcomes land in dc_resource_acquisitions.
+        self.governor.collector = getattr(db.cluster, "dc", None)
         self.default_pool = default_pool
         self.statement_timeout_ticks = statement_timeout_ticks
         self.lock_timeout_seconds = lock_timeout_seconds

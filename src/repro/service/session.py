@@ -77,6 +77,10 @@ class ServiceSession:
         self._core = service.db.session(isolation)
         self._core.lock_block = True
         self._core.lock_timeout = service.lock_timeout_seconds
+        # stamp the core session so the SQL front end can attribute
+        # dc_requests_completed records to this session and pool.
+        self._core.service_session_id = session_id
+        self._core.service_pool = pool
         self.state = IDLE
         self.current_statement: str | None = None
         self.statements_run = 0

@@ -51,22 +51,104 @@ def execute_sql(
     spans — parse, analyze, plan, per-node execution, exchanges,
     failover retries — are retained for ``v_monitor.query_traces`` /
     ``v_monitor.trace_spans`` and Chrome trace-event export.
+
+    It is also where the Data Collector's request history is written:
+    every completed (or failed) statement lands in
+    ``dc_requests_completed`` with its duration, row count, engine mix
+    and resource pool — except reads of the ``v_monitor`` tables
+    themselves, so a polling console never floods its own history.
     """
+    from time import perf_counter
+
     from ..trace import TRACER
 
     trace = TRACER.start_trace("statement", attrs={"sql": text})
+    info = {"kind": "unknown", "skip": False}
+    started = perf_counter()
     try:
-        return _execute_statement(session, text, copy_rows, trace)
+        result = _execute_statement(session, text, copy_rows, trace, info)
+    except Exception as exc:
+        _record_request(
+            session, text, info, perf_counter() - started, error=exc
+        )
+        raise
+    else:
+        _record_request(
+            session, text, info, perf_counter() - started, result=result
+        )
+        return result
     finally:
         TRACER.end_trace(trace)
 
 
-def _execute_statement(session, text, copy_rows, trace):
+def _engine_of(profile) -> str:
+    """Collapse a query profile's per-operator execution modes into one
+    label: "kernel", "row", "mixed", or "-" when nothing applies."""
+    if profile is None:
+        return "-"
+    modes = {
+        op.execution
+        for op in profile.operators
+        if op.execution != "-"
+    }
+    if not modes:
+        return "-"
+    if modes == {"kernel"}:
+        return "kernel"
+    if modes == {"row"}:
+        return "row"
+    return "mixed"
+
+
+def _record_request(
+    session, text, info, duration_seconds, result=None, error=None
+) -> None:
+    """Append one ``dc_requests_completed`` record for the statement."""
+    if info.get("skip"):
+        return
+    collector = getattr(session.db.cluster, "dc", None)
+    if collector is None:
+        return
+    rows_returned = len(result) if isinstance(result, list) else 0
+    profile = (
+        session.last_profile
+        if error is None and info.get("kind") == "select"
+        else None
+    )
+    collector.record(
+        "requests",
+        info.get("kind", "unknown"),
+        session_id=getattr(session, "service_session_id", None),
+        pool_name=getattr(session, "service_pool", "-"),
+        sql=text[:200],
+        success=error is None,
+        error=type(error).__name__ if error is not None else "",
+        engine=_engine_of(profile),
+        rows_returned=rows_returned,
+        duration_ms=duration_seconds * 1000.0,
+        epoch=session.db.latest_epoch,
+    )
+    if error is not None:
+        collector.record(
+            "errors",
+            type(error).__name__,
+            source="sql",
+            node_index=-1,
+            detail=str(error)[:200],
+        )
+
+
+def _execute_statement(session, text, copy_rows, trace, info=None):
     db = session.db
     from ..trace import TRACER
 
+    if info is None:
+        info = {}
     with TRACER.span("sql.parse", category="sql"):
         statement = parse(text)
+    info["kind"] = (
+        type(statement).__name__.removesuffix("Statement").lower()
+    )
     if trace is not None:
         trace.root.attrs["statement"] = type(statement).__name__
     analyzer = Analyzer(db.cluster.catalog)
@@ -75,6 +157,9 @@ def _execute_statement(session, text, copy_rows, trace):
         if _is_monitor_select(statement):
             from ..monitor.tables import execute_monitor_select
 
+            # reading the monitoring tables is not itself an
+            # operational event worth recording.
+            info["skip"] = True
             return execute_monitor_select(session, statement)
         with TRACER.span("sql.analyze", category="sql"):
             plan = analyzer.analyze_select(statement)

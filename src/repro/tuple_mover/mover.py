@@ -64,6 +64,31 @@ class TupleMover:
         self.manager = manager
         self.policy = policy or MergePolicy()
         self.stats = TupleMoverStats()
+        #: Optional Data Collector (duck-typed; the cluster points this
+        #: at its collector).  Completed moveouts/mergeouts land in
+        #: ``dc_tuple_mover`` alongside the process-wide EVENTS log.
+        self.collector = None
+
+    def _dc_record(
+        self, kind: str, projection_name: str, containers_in: int,
+        containers_out: int, rows_in: int, rows_out: int,
+        rows_purged: int, stratum: int, duration: float,
+    ) -> None:
+        if self.collector is None:
+            return
+        self.collector.record(
+            "tuple_mover",
+            kind,
+            node_index=self.manager.node_index,
+            projection_name=projection_name,
+            containers_in=containers_in,
+            containers_out=containers_out,
+            rows_in=rows_in,
+            rows_out=rows_out,
+            rows_purged=rows_purged,
+            stratum=stratum,
+            duration_ms=duration * 1000.0,
+        )
 
     # -- moveout -----------------------------------------------------------
 
@@ -155,6 +180,10 @@ class TupleMover:
             rows_purged=0,
             stratum=-1,
             duration_seconds=duration,
+        )
+        self._dc_record(
+            "moveout", projection_name, 0, len(created), len(rows),
+            rows_out, 0, -1, duration,
         )
         return created
 
@@ -283,6 +312,10 @@ class TupleMover:
             rows_purged=purged,
             stratum=stratum,
             duration_seconds=duration,
+        )
+        self._dc_record(
+            "mergeout", projection_name, len(merge_ids), 1, read,
+            len(merged_rows), purged, stratum, duration,
         )
         return new_id
 

@@ -122,6 +122,26 @@ class LockManager:
         self._objects: dict[str, _ObjectLocks] = {}  # concurrency: guarded-by(self._cond)
         #: txn id -> (object, target mode) it is currently parked on.
         self._waiting: dict[int, tuple[str, LockMode]] = {}  # concurrency: guarded-by(self._cond)
+        #: Optional Data Collector (duck-typed; set by the cluster).
+        #: Waits, deadlock victims and timeouts land in
+        #: ``dc_lock_waits``.  The collector's internal mutex nests
+        #: strictly inside ``self._cond`` and takes no further locks.
+        self.collector = None
+
+    def _dc_record(self, outcome: str, txn_id: int, obj: str,
+                   mode: LockMode, blocker, detail: str = "") -> None:
+        """Mirror one lock-contention incident into the collector."""
+        if self.collector is None:
+            return
+        self.collector.record(
+            "lock_waits",
+            outcome,
+            txn_id=txn_id,
+            object_name=obj,
+            mode=mode.value,
+            blocker_txn=blocker[0] if blocker else None,
+            detail=detail,
+        )
 
     def acquire(
         self,
@@ -181,6 +201,11 @@ class LockManager:
                 METRICS.inc("locks.waits")
                 if current is not None:
                     METRICS.inc("locks.upgrade_conflicts")
+                self._dc_record(
+                    "wait", txn_id, obj, target, blocker,
+                    f"blocked by txn {blocker[0]} holding "
+                    f"{blocker[1].value}",
+                )
                 self._check_deadlock(txn_id, obj, target)
                 if block:
                     blocker = self._wait_for_grant(
@@ -188,6 +213,11 @@ class LockManager:
                     )
                 if blocker is not None:
                     other_txn, other_mode = blocker
+                    self._dc_record(
+                        "timeout", txn_id, obj, target, blocker,
+                        f"gave up; txn {other_txn} still holds "
+                        f"{other_mode.value}",
+                    )
                     raise LockTimeoutError(
                         f"txn {txn_id} cannot take {target.value} on "
                         f"{obj!r}: txn {other_txn} holds {other_mode.value}"
@@ -321,6 +351,10 @@ class LockManager:
             if cycle is not None:
                 METRICS.inc("locks.deadlocks")
                 chain = " -> ".join(f"txn {t}" for t in cycle + [cycle[0]])
+                self._dc_record(
+                    "deadlock_victim", txn_id, obj, target,
+                    (cycle[0], target), f"cycle {chain}",
+                )
                 raise DeadlockError(
                     f"deadlock detected: txn {txn_id} waiting for "
                     f"{target.value} on {obj!r} would close the cycle "

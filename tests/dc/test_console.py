@@ -1,0 +1,84 @@
+"""Console front-end tests: one-shot snapshot rendering.
+
+``main(argv)`` is called in-process (the same path
+``python -m repro.console`` takes) against a real on-disk database, so
+these tests cover argument parsing, ``Database.open`` attachment, and
+the full render path over the SQL tables.
+"""
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.console import main, render
+from repro.monitor import reset_all
+
+pytestmark = pytest.mark.dc
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    reset_all()
+    path = str(tmp_path / "db")
+    db = Database(path, node_count=3)
+    db.create_table(
+        TableDefinition(
+            "t", [ColumnDef("k", types.INTEGER), ColumnDef("v", types.INTEGER)]
+        ),
+        sort_order=["k"],
+    )
+    db.sql("INSERT INTO t VALUES (1, 2), (3, 4)")
+    db.sql("SELECT k, v FROM t")
+    db.run_tuple_movers()
+    del db
+    return path
+
+
+def test_snapshot_renders_every_section(db_path, capsys):
+    assert main(["--db", db_path, "--snapshot"]) == 0
+    out = capsys.readouterr().out
+    for section in (
+        "NODES",
+        "POOLS",
+        "SESSIONS",
+        "ALERTS",
+        "SLOW QUERIES",
+        "RECENT REQUESTS",
+        "NODE EVENTS",
+    ):
+        assert f"── {section} " in out
+    # pre-restart history is served after Database.open
+    assert "select" in out
+    assert "node00" in out
+    assert "alerts_firing=" in out
+
+
+def test_snapshot_shows_firing_alerts_first(db_path):
+    db = Database.open(db_path)
+    # force one warning alert to fire deterministically
+    from repro.monitor import METRICS
+
+    METRICS.inc("executor.row_fallback_blocks", 100)
+    out = render(db, db_path)
+    assert "alerts_firing=1 (row_engine_fallback)" in out
+    alerts = out.split("── ALERTS ")[1].splitlines()
+    first_row = alerts[3]  # header, rule line, then rows
+    assert "row_engine_fallback" in first_row
+    assert "firing" in first_row
+
+
+def test_missing_db_argument_is_an_error():
+    with pytest.raises(SystemExit):
+        main(["--snapshot"])
+
+
+def test_long_cells_truncated(db_path):
+    db = Database.open(db_path)
+    db.sql("SELECT k, v FROM t WHERE k = 1 OR k = 3 OR k = 5 OR k = 7")
+    wide = "SELECT k FROM t WHERE " + " OR ".join(
+        f"k = {i}" for i in range(40)
+    )
+    db.sql(wide)
+    out = render(db, db_path)
+    for line in out.splitlines():
+        assert len(line) < 400  # one wide SQL cannot wreck the layout
+    assert "…" in out

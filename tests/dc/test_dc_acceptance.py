@@ -1,0 +1,106 @@
+"""The issue's acceptance scenario, end to end.
+
+One durable database goes through load → query → node failure →
+recovery → clean restart; afterwards the reopened database must serve
+``dc_requests_completed`` and ``dc_node_events`` history *spanning the
+restart*, and along the way at least one alert must both raise and
+clear through ``v_monitor.alerts``.
+"""
+
+import pytest
+
+from repro import ColumnDef, Database, TableDefinition, types
+from repro.faults import FaultPlan
+from repro.monitor import reset_all
+
+pytestmark = pytest.mark.dc
+
+
+def alert_state(db, name):
+    (row,) = db.sql(f"SELECT * FROM v_monitor.alerts WHERE alert = '{name}'")
+    return row
+
+
+def test_full_lifecycle_history_spans_restart(tmp_path):
+    reset_all()
+    path = str(tmp_path / "db")
+    db = Database(path, node_count=3, k_safety=1)
+    db.create_table(
+        TableDefinition(
+            "sales",
+            [ColumnDef("k", types.INTEGER), ColumnDef("v", types.INTEGER)],
+        ),
+        sort_order=["k"],
+    )
+
+    # -- load + query: requests history accrues ------------------------
+    db.sql("INSERT INTO sales VALUES (1, 10), (2, 20), (3, 30)")
+    assert db.sql("SELECT v FROM sales WHERE k = 2") == [{"v": 20}]
+    db.cluster.run_tuple_movers()
+
+    # -- failover: a node dies mid-query, the query retries ------------
+    victim = 2
+    plan = FaultPlan(seed=1).arm("executor.scan", "crash", node=victim)
+    with plan:
+        assert db.sql("SELECT v FROM sales WHERE k = 1") == [{"v": 10}]
+    assert plan.fired
+    assert not db.cluster.membership.is_up(victim)
+
+    down = alert_state(db, "node_down")
+    assert down["state"] == "firing"
+    assert down["times_raised"] == 1
+    raised_tick = down["raised_tick"]
+    assert raised_tick is not None
+
+    # -- recovery: the supervisor heals it, the alert clears -----------
+    db.cluster.supervisor.run_until_converged(max_ticks=64)
+    assert db.cluster.membership.is_up(victim)
+    down = alert_state(db, "node_down")
+    assert down["state"] == "ok"
+    assert down["cleared_tick"] is not None
+    assert down["cleared_tick"] >= raised_tick
+    assert down["times_raised"] == 1
+
+    # both transitions are themselves DC history
+    kinds = [r["kind"] for r in db.sql("SELECT kind FROM v_monitor.dc_errors")]
+    assert "alert_raised" in kinds and "alert_cleared" in kinds
+
+    pre_requests = db.sql(
+        "SELECT record_id, statement FROM v_monitor.dc_requests_completed"
+    )
+    pre_events = db.sql(
+        "SELECT record_id, kind FROM v_monitor.dc_node_events"
+    )
+    assert {"insert", "select"} <= {r["statement"] for r in pre_requests}
+    pre_kinds = {r["kind"] for r in pre_events}
+    assert "ejection" in pre_kinds
+    assert "recovery_transition" in pre_kinds
+
+    # -- restart: cold start serves the pre-restart history ------------
+    del db
+    reopened = Database.open(path)
+    requests = reopened.sql(
+        "SELECT record_id, statement FROM v_monitor.dc_requests_completed"
+    )
+    events = reopened.sql(
+        "SELECT record_id, kind FROM v_monitor.dc_node_events"
+    )
+    pre_request_ids = {r["record_id"] for r in pre_requests}
+    assert pre_request_ids <= {r["record_id"] for r in requests}
+    assert "ejection" in {r["kind"] for r in events}
+
+    # and the history keeps growing on the new incarnation: the reopen
+    # itself appended recovery transitions after the recovered records
+    new_events = [
+        r["kind"]
+        for r in events
+        if r["record_id"] > max(e["record_id"] for e in pre_events)
+    ]
+    assert "recovery_transition" in new_events
+
+    reopened.sql("SELECT k FROM sales")
+    grown = reopened.sql(
+        "SELECT record_id FROM v_monitor.dc_requests_completed"
+    )
+    assert len(grown) == len(requests) + 1
+    assert alert_state(reopened, "node_down")["state"] == "ok"

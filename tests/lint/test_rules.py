@@ -576,6 +576,76 @@ class TestR11GovernedService:
         assert lint(tmp_path, "R11") == []
 
 
+class TestR13DcRouting:
+    def test_print_in_service_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/chatty.py",
+            """
+            def admit(ticket):
+                print(f"admitted {ticket}")
+            """,
+        )
+        messages = [f.message for f in lint(tmp_path, "R13")]
+        assert len(messages) == 1
+        assert "DataCollector.record()" in messages[0]
+
+    def test_logging_in_cluster_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/cluster/noisy.py",
+            """
+            import logging
+
+            log = logging.getLogger(__name__)
+
+            def eject(node):
+                logging.warning("ejecting %s", node)
+            """,
+        )
+        assert len(lint(tmp_path, "R13")) == 2
+
+    def test_stderr_write_in_tuple_mover_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/tuple_mover/loud.py",
+            """
+            import sys
+
+            def moveout():
+                sys.stderr.write("moving out\\n")
+            """,
+        )
+        assert len(lint(tmp_path, "R13")) == 1
+
+    def test_collector_and_metrics_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/cluster/quiet.py",
+            """
+            from ..monitor import METRICS
+
+            def eject(collector, node):
+                collector.record("node_events", "ejection", node_index=node)
+                METRICS.inc("cluster.ejections")
+            """,
+        )
+        assert lint(tmp_path, "R13") == []
+
+    def test_other_packages_and_tests_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/console/fine.py",
+            "def show(text):\n    print(text)\n",
+        )
+        write(
+            tmp_path,
+            "tests/service/test_thing.py",
+            "def test_x():\n    print('debug')\n",
+        )
+        assert lint(tmp_path, "R13") == []
+
+
 class TestSuppression:
     def test_line_suppression_silences_rule(self, tmp_path):
         write(

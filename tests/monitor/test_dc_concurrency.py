@@ -1,0 +1,114 @@
+"""8-thread stress over the Data Collector and its SQL tables.
+
+The issue's satellite: concurrent writers plus a SQL poller must never
+observe a torn row (a record whose fields mix two writers), and
+retention eviction under simulated-clock ticks stays deterministic.
+"""
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.cluster.clock import SimulatedClock
+from repro.dc import DataCollector
+from repro.monitor import reset_all
+from repro.monitor.retention import RetentionPolicy
+
+pytestmark = pytest.mark.dc
+
+WRITERS = 8
+PER_WRITER = 300
+
+
+def test_eight_writers_and_a_sql_poller_no_torn_rows(tmp_path):
+    reset_all()
+    db = Database(str(tmp_path / "db"), node_count=3, durable=False)
+    dc = db.cluster.dc
+    start = threading.Barrier(WRITERS + 1)
+    stop = threading.Event()
+    torn: list[dict] = []
+
+    def writer(tid):
+        start.wait()
+        for seq in range(PER_WRITER):
+            dc.record(
+                "requests",
+                "select",
+                session_id=tid,
+                pool_name=f"pool{tid}",
+                sql=f"t{tid}-s{seq}",
+                rows_returned=tid * 100_000 + seq,
+            )
+
+    def poller():
+        start.wait()
+        while not stop.is_set():
+            rows = db.sql(
+                "SELECT session_id, pool_name, sql, rows_returned "
+                "FROM v_monitor.dc_requests_completed"
+            )
+            for row in rows:
+                tid = row["session_id"]
+                expected_sql = f"t{tid}-s{row['rows_returned'] % 100_000}"
+                if (
+                    row["pool_name"] != f"pool{tid}"
+                    or row["sql"] != expected_sql
+                    or row["rows_returned"] // 100_000 != tid
+                ):
+                    torn.append(row)
+
+    threads = [
+        threading.Thread(target=writer, args=(tid,)) for tid in range(WRITERS)
+    ]
+    reader = threading.Thread(target=poller)
+    reader.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    stop.set()
+    reader.join(timeout=30.0)
+    assert not reader.is_alive()
+    assert torn == []
+
+    rows = dc.rows("requests")
+    # default retention bounds the ring; ids stay strictly monotonic
+    assert len(rows) <= 1024
+    ids = [r["record_id"] for r in rows]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+    counts = dc.counts()
+    assert counts["requests"] == len(rows)
+
+
+def test_concurrent_ticks_evict_deterministically(tmp_path):
+    clock = SimulatedClock()
+    dc = DataCollector(
+        str(tmp_path / "dc"),
+        clock=clock,
+        retention=RetentionPolicy(max_records=10_000, max_age_ticks=3),
+    )
+    start = threading.Barrier(WRITERS)
+
+    def writer(tid):
+        start.wait()
+        for seq in range(PER_WRITER):
+            dc.record("node_events", "k", node_index=tid, detail=str(seq))
+
+    threads = [
+        threading.Thread(target=writer, args=(tid,)) for tid in range(WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+    total = WRITERS * PER_WRITER
+    assert len(dc.rows("node_events")) == total  # all at tick 0, all kept
+    clock.advance(4)  # every record is now older than max_age_ticks
+    dc.on_tick()
+    assert dc.rows("node_events") == []
+    # and the eviction is idempotent
+    dc.on_tick()
+    assert dc.rows("node_events") == []

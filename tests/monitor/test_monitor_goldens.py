@@ -93,6 +93,41 @@ GOLDEN_SCHEMAS = {
         "segment", "records", "bytes", "first_lsn", "last_lsn",
         "is_active", "checkpoint_lsn", "floor_epoch",
     ],
+    "v_monitor.dc_requests_completed": [
+        "record_id", "tick", "statement", "session_id", "pool_name",
+        "sql", "success", "error", "engine", "rows_returned",
+        "duration_ms", "epoch",
+    ],
+    "v_monitor.dc_resource_acquisitions": [
+        "record_id", "tick", "outcome", "pool_name", "session_id",
+        "ticket_id", "memory_rows", "queued_ticks", "detail",
+    ],
+    "v_monitor.dc_lock_waits": [
+        "record_id", "tick", "outcome", "txn_id", "object_name",
+        "mode", "blocker_txn", "detail",
+    ],
+    "v_monitor.dc_node_events": [
+        "record_id", "tick", "kind", "node_index", "node_name",
+        "attempt", "detail",
+    ],
+    "v_monitor.dc_tuple_mover": [
+        "record_id", "tick", "kind", "node_index", "projection_name",
+        "containers_in", "containers_out", "rows_in", "rows_out",
+        "rows_purged", "stratum", "duration_ms",
+    ],
+    "v_monitor.dc_errors": [
+        "record_id", "tick", "kind", "source", "node_index", "detail",
+    ],
+    "v_monitor.slow_queries": [
+        "record_id", "tick", "statement", "session_id", "pool_name",
+        "sql", "engine", "rows_returned", "duration_ms",
+        "threshold_ms",
+    ],
+    "v_monitor.alerts": [
+        "alert", "severity", "state", "value", "raise_above",
+        "clear_below", "raised_tick", "cleared_tick", "times_raised",
+        "detail",
+    ],
 }
 
 

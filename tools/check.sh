@@ -142,23 +142,61 @@ finally:
     shutil.rmtree(root, ignore_errors=True)
 EOF
 
-echo "== perf smoke: bench harness writes BENCH_PR8.json =="
+echo "== data collector: kill-mid-flush crash-restart + console snapshot =="
+# The DC segments reuse the stage/publish fault points: a flush is
+# crashed or torn mid-write, the database reopens, and the dc_* tables
+# must serve an exact record-prefix of the history.  Then the console
+# front end renders a one-shot snapshot of a database that has been
+# through load -> query -> failover -> restart.
+REPRO_SANITIZE=1 python -m pytest -q tests/dc/test_dc_crash_restart.py \
+    tests/dc/test_dc_acceptance.py
+python - <<'EOF'
+import shutil, subprocess, sys, tempfile
+from repro import ColumnDef, Database, TableDefinition, types
+
+root = tempfile.mkdtemp(prefix="console_smoke_")
+try:
+    db = Database(root + "/db", node_count=3, k_safety=1)
+    db.create_table(TableDefinition(
+        "t", [ColumnDef("k", types.INTEGER), ColumnDef("v", types.INTEGER)],
+    ), sort_order=["k"])
+    db.sql("INSERT INTO t VALUES (1, 10), (2, 20)")
+    db.sql("SELECT v FROM t WHERE k = 1")
+    db.cluster.run_tuple_movers()
+    del db
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.console",
+         "--db", root + "/db", "--snapshot"],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for section in ("NODES", "ALERTS", "RECENT REQUESTS", "NODE EVENTS"):
+        assert section in proc.stdout, f"missing section {section}"
+    assert "select" in proc.stdout, "pre-restart history not served"
+    print("console smoke OK: snapshot rendered pre-restart history")
+finally:
+    shutil.rmtree(root, ignore_errors=True)
+EOF
+
+echo "== perf smoke: bench harness writes BENCH_PR9.json =="
 # Scaled-down benches through benchmarks/conftest.py, which records
 # wall time plus the metrics-registry movement (blocks pruned, bytes
 # decoded, mergeouts, failover retries, admission activity, ...) per
-# bench into BENCH_PR8.json at the repo root.  The full report comes
+# bench into BENCH_PR9.json at the repo root.  The full report comes
 # from the same command without the scale-down env vars:
 #     python -m pytest benchmarks/ -q
 REPRO_T4B_ROWS=20000 REPRO_FAILOVER_ROWS=8000 \
-REPRO_SESSION_STATEMENTS=2 REPRO_RESTART_COMMITS=12 python -m pytest \
+REPRO_SESSION_STATEMENTS=2 REPRO_RESTART_COMMITS=12 \
+REPRO_DC_STATEMENTS=100 python -m pytest \
     benchmarks/bench_figure3_plan.py benchmarks/bench_degraded_failover.py \
     benchmarks/bench_concurrent_sessions.py \
-    benchmarks/bench_restart_recovery.py -q
-test -s BENCH_PR8.json
+    benchmarks/bench_restart_recovery.py \
+    benchmarks/bench_dc_overhead.py -q
+test -s BENCH_PR9.json
 python - <<'EOF'
 import json
-report = json.load(open("BENCH_PR8.json"))
-assert report["benches"], "BENCH_PR8.json has no bench entries"
+report = json.load(open("BENCH_PR9.json"))
+assert report["benches"], "BENCH_PR9.json has no bench entries"
 for name, bench in report["benches"].items():
     assert bench["seconds"] >= 0 and "metrics" in bench, name
 print("perf smoke OK:", len(report["benches"]), "bench entries recorded")

@@ -11,7 +11,10 @@ Two modes:
 * ``--snapshot`` renders the dashboard once to stdout and exits —
   scriptable, deterministic, used by CI smoke tests;
 * live mode (the default) re-renders every ``--interval`` seconds
-  until interrupted.
+  until interrupted, re-opening the database for each frame so the
+  dashboard tracks the on-disk state as it changes (a ``Database``
+  instance holds in-memory rings; only a fresh ``Database.open`` picks
+  up history flushed by the serving process since the last frame).
 
 Sections, top to bottom: a header (path, tick, epoch, service mode),
 NODES (``node_states``), POOLS (``resource_pools``), SESSIONS,
@@ -188,12 +191,15 @@ def main(argv: list[str] | None = None) -> int:
 
     from ..core.database import Database
 
-    db = Database.open(args.db)
     try:
         if args.snapshot:
-            print(render(db, args.db))
+            print(render(Database.open(args.db), args.db))
             return 0
         while True:
+            # Re-open per frame: the dashboard must show whatever the
+            # serving process has flushed to disk since the last frame,
+            # which a single in-process instance would never see.
+            db = Database.open(args.db)
             # ANSI clear + home, then the fresh frame.
             sys.stdout.write("\x1b[2J\x1b[H" + render(db, args.db) + "\n")
             sys.stdout.flush()

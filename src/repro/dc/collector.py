@@ -188,12 +188,25 @@ class DataCollector:
 
     # -- recording ------------------------------------------------------
 
-    def record(self, component: str, kind: str, **payload) -> DCRecord | None:
+    def record(
+        self, component: str, kind: str, *, defer_flush: bool = False,
+        **payload,
+    ) -> DCRecord | None:
         """Append one event to ``component``'s ring.
 
         Stamps the current simulated-clock tick, evicts past retention,
         and (when persisting) batches the record for the next flush.
         Returns ``None`` when the collector is disabled.
+
+        ``defer_flush=True`` is for callers recording from inside their
+        own critical section (the lock manager and resource governor
+        hold their condition variables across the call): the record
+        still enters the ring and the pending batch, but the
+        threshold-triggered segment flush — synchronous file I/O plus
+        the ``dc.flush.*`` fault points — is skipped, so no disk write
+        or injected fault can happen under the caller's lock.  The
+        batch is persisted by the next non-deferred record that crosses
+        the threshold or by an explicit :meth:`flush`.
         """
         if not self.enabled:
             return None
@@ -208,7 +221,7 @@ class DataCollector:
             if self.persist:
                 ring.pending.append(record)
                 self._dirty += 1
-                if self._dirty >= self.flush_interval:
+                if not defer_flush and self._dirty >= self.flush_interval:
                     self._flush_locked()
             return record
 
@@ -285,8 +298,15 @@ class DataCollector:
             if not ring.pending:
                 continue
             touched: list[int] = []
+            # Segments sealed *during this batch*: index -> the full
+            # framed line list snapshotted at rotation time.  Without
+            # the snapshot, a batch that straddles a rotation would
+            # write only the new active segment and silently drop the
+            # records that completed the sealed one.
+            sealed_lines: dict[int, list[str]] = {}
             for record in ring.pending:
                 if len(ring.active_lines) >= self.segment_records:
+                    sealed_lines[ring.active_index] = ring.active_lines
                     ring.active_index += 1
                     ring.active_lines = []
                 ring.active_lines.append(
@@ -309,24 +329,21 @@ class DataCollector:
                 lines = (
                     ring.active_lines
                     if index == ring.active_index
-                    else None
+                    else sealed_lines[index]
                 )
                 self._write_segment(ring, index, lines)
             self._prune_segments(ring)
             METRICS.inc("dc.flushes")
 
     def _write_segment(
-        self, ring: _Ring, index: int, lines: list[str] | None
+        self, ring: _Ring, index: int, lines: list[str]
     ) -> None:
         """Publish one segment file via stage + atomic rename.
 
-        ``lines=None`` means the segment was sealed mid-flush: its full
-        contents were already framed into ``active_lines`` before the
-        rotation, so it was written as the then-active segment — only
-        the currently active segment is rewritten here.
+        ``lines`` is the segment's complete framed contents — the
+        current ``active_lines`` for the active segment, or the
+        snapshot taken at rotation time for a segment sealed mid-batch.
         """
-        if lines is None:
-            return
         os.makedirs(self.directory, exist_ok=True)
         final = self._segment_path(ring.component, index)
         data = "".join(lines).encode("utf-8")

@@ -163,7 +163,9 @@ class ResourceGovernor:
         #: Optional Data Collector (duck-typed; set by the SQL
         #: service).  Every admission outcome lands in
         #: ``dc_resource_acquisitions``.  The collector's internal
-        #: mutex nests strictly inside ``self._cond``.
+        #: mutex nests strictly inside ``self._cond``; recording defers
+        #: segment flushes so no disk I/O (or injected ``dc.flush.*``
+        #: fault) ever runs inside this critical section.
         self.collector = None
         for config in pools or [PoolConfig("general")]:
             self._pools[config.name] = _PoolState(config)
@@ -175,6 +177,7 @@ class ResourceGovernor:
         self.collector.record(
             "resource_acquisitions",
             outcome,
+            defer_flush=True,
             pool_name=ticket.pool,
             session_id=ticket.session_id,
             ticket_id=ticket.ticket_id,

@@ -125,7 +125,9 @@ class LockManager:
         #: Optional Data Collector (duck-typed; set by the cluster).
         #: Waits, deadlock victims and timeouts land in
         #: ``dc_lock_waits``.  The collector's internal mutex nests
-        #: strictly inside ``self._cond`` and takes no further locks.
+        #: strictly inside ``self._cond`` and takes no further locks;
+        #: recording defers segment flushes so no disk I/O (or injected
+        #: ``dc.flush.*`` fault) ever runs inside this critical section.
         self.collector = None
 
     def _dc_record(self, outcome: str, txn_id: int, obj: str,
@@ -136,6 +138,7 @@ class LockManager:
         self.collector.record(
             "lock_waits",
             outcome,
+            defer_flush=True,
             txn_id=txn_id,
             object_name=obj,
             mode=mode.value,

@@ -155,6 +155,43 @@ class TestPersistence:
         assert len(rows) == 8
         assert rows[-1]["sql"] == "q39"
 
+    def test_flush_straddling_rotation_loses_nothing(self, tmp_path):
+        """Regression: a flush batch that fills the active segment
+        mid-batch must also rewrite the sealed segment — the records
+        that completed it used to be silently dropped on disk."""
+        dc = collector(
+            tmp_path,
+            persist=True,
+            flush_interval=100,
+            segment_records=10,
+        )
+        for i in range(8):
+            dc.record("requests", "select", sql=f"q{i}")
+        dc.flush()  # segment 1 at 8 records
+        for i in range(8, 14):
+            dc.record("requests", "select", sql=f"q{i}")
+        dc.flush()  # q8/q9 seal segment 1, q10..q13 open segment 2
+        with open(tmp_path / "dc" / "requests_000001.log", "rb") as fh:
+            assert len(fh.read().splitlines()) == 10  # sealed AND full
+
+        reopened = collector(tmp_path, persist=True)
+        rows = reopened.rows("requests")
+        assert [r["sql"] for r in rows] == [f"q{i}" for i in range(14)]
+        assert [r["record_id"] for r in rows] == list(range(1, 15))
+
+    def test_deferred_records_skip_the_inline_flush(self, tmp_path):
+        """``defer_flush=True`` batches the record without segment I/O
+        even past the flush threshold; the next non-deferred record
+        (or explicit flush) persists the whole backlog."""
+        dc = collector(tmp_path, persist=True, flush_interval=2)
+        dc.record("lock_waits", "wait", defer_flush=True, txn_id=1)
+        dc.record("lock_waits", "wait", defer_flush=True, txn_id=2)
+        assert not (tmp_path / "dc").exists()  # over threshold, no I/O
+        dc.record("requests", "select", sql="q0")  # crosses it for real
+        reopened = collector(tmp_path, persist=True)
+        assert len(reopened.rows("lock_waits")) == 2
+        assert len(reopened.rows("requests")) == 1
+
     def test_torn_tail_truncated_to_valid_prefix(self, tmp_path):
         dc = collector(tmp_path, persist=True, flush_interval=1)
         for i in range(5):

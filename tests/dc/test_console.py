@@ -66,6 +66,35 @@ def test_snapshot_shows_firing_alerts_first(db_path):
     assert "firing" in first_row
 
 
+def test_live_mode_reopens_database_each_frame(db_path, monkeypatch, capsys):
+    """Live mode must track the on-disk state: every frame re-opens the
+    database instead of re-rendering one stale in-process instance."""
+    from repro.core.database import Database as Db
+
+    real_open = Db.open.__func__
+    opens = []
+
+    def counting_open(cls, path, *args, **kwargs):
+        opens.append(path)
+        return real_open(cls, path, *args, **kwargs)
+
+    monkeypatch.setattr(Db, "open", classmethod(counting_open))
+
+    sleeps = []
+
+    def interrupting_sleep(_interval):
+        sleeps.append(1)
+        if len(sleeps) >= 2:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.console.time.sleep", interrupting_sleep)
+
+    assert main(["--db", db_path, "--interval", "0"]) == 0
+    assert opens == [db_path, db_path]  # one fresh open per frame
+    out = capsys.readouterr().out
+    assert out.count("repro console — Data Collector dashboard") == 2
+
+
 def test_missing_db_argument_is_an_error():
     with pytest.raises(SystemExit):
         main(["--snapshot"])

@@ -123,6 +123,56 @@ class TestCollectorUnit:
         assert ids == sorted(ids)  # ids stay monotonic across the crash
 
 
+class TestNoFlushInCriticalSections:
+    """Lock/admission recording defers segment I/O: a dc.flush fault
+    must never surface through acquire()/submit() callers, because the
+    flush must never run inside their condition-variable sections."""
+
+    def test_lock_wait_recording_never_flushes_inline(self, tmp_path):
+        from repro.errors import LockTimeoutError
+        from repro.txn.locks import LockManager, LockMode
+
+        dc = DataCollector(
+            str(tmp_path / "dc"),
+            clock=SimulatedClock(),
+            persist=True,
+            flush_interval=1,
+        )
+        locks = LockManager()
+        locks.collector = dc
+        locks.acquire(1, "t", LockMode.X)
+        plan = FaultPlan(seed=19).arm("dc.flush.stage", "crash")
+        with plan:
+            with pytest.raises(LockTimeoutError):
+                locks.acquire(2, "t", LockMode.X)  # records wait + timeout
+            assert not plan.fired  # no segment I/O under locks._cond
+            with pytest.raises(InjectedFaultError):
+                dc.flush()  # the deferred backlog persists (and faults) here
+        assert plan.fired
+        assert len(dc.rows("lock_waits")) == 2  # both incidents ringed
+
+    def test_admission_recording_never_flushes_inline(self, tmp_path):
+        from repro.service.governor import ResourceGovernor
+
+        dc = DataCollector(
+            str(tmp_path / "dc"),
+            clock=SimulatedClock(),
+            persist=True,
+            flush_interval=1,
+        )
+        governor = ResourceGovernor(SimulatedClock())
+        governor.collector = dc
+        plan = FaultPlan(seed=23).arm("dc.flush.stage", "crash")
+        with plan:
+            ticket = governor.submit()  # grants, records the grant
+            assert ticket.state == "granted"
+            assert not plan.fired  # no segment I/O under governor._cond
+            with pytest.raises(InjectedFaultError):
+                dc.flush()
+        assert plan.fired
+        assert len(dc.rows("resource_acquisitions")) == 1
+
+
 class TestDatabaseCrashRestart:
     """End to end: a durable database dies mid-flush and reopens."""
 
